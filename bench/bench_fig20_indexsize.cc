@@ -1,0 +1,74 @@
+// Figure 20: index utility and size. (A) the selectivity of the anchor
+// term 'public' (fraction of SFAs whose representation can spell it) as a
+// function of (m, k) — at high m and k nearly every SFA matches and the
+// index stops pruning anything; (B) total index size across the grid.
+#include <cstdio>
+
+#include "automata/trie.h"
+#include "eval/workbench.h"
+#include "indexing/index_builder.h"
+#include "ocr/corpus.h"
+#include "staccato/chunking.h"
+
+using namespace staccato;
+
+int main() {
+  CorpusSpec cspec;
+  cspec.kind = DatasetKind::kCongressActs;
+  cspec.num_pages = 2;
+  cspec.lines_per_page = 30;
+  OcrNoiseModel noise;
+  noise.alternatives = 95;  // OCRopus-style: every ASCII reading weighted
+  auto ds = GenerateOcrDataset(cspec, noise);
+  if (!ds.ok()) return 1;
+  auto dict = DictionaryTrie::Build(BuildDictionaryFromCorpus(ds->corpus.lines));
+  if (!dict.ok()) return 1;
+  TermId anchor = dict->Find("public");
+  if (anchor == kInvalidTerm) {
+    fprintf(stderr, "anchor term missing from dictionary\n");
+    return 1;
+  }
+
+  const std::vector<size_t> ms = {1, 10, 40, 100};
+  const std::vector<size_t> ks = {1, 10, 25, 50};
+
+  eval::PrintHeader("Figure 20(A): selectivity of 'public' (% of SFAs)");
+  printf("%8s |", "m \\ k");
+  for (size_t k : ks) printf(" %8zu", k);
+  printf("\n");
+  std::map<std::pair<size_t, size_t>, size_t> index_postings;
+  for (size_t m : ms) {
+    printf("%8zu |", m);
+    for (size_t k : ks) {
+      size_t matched = 0, postings = 0;
+      for (const Sfa& sfa : ds->sfas) {
+        auto approx = ApproximateSfa(sfa, {m, k, true});
+        if (!approx.ok()) return 1;
+        IndexBuildStats stats;
+        auto p = BuildPostings(*approx, *dict, &stats);
+        if (!p.ok()) return 1;
+        if (p->count(anchor)) ++matched;
+        postings += stats.postings;
+      }
+      index_postings[{m, k}] = postings;
+      printf(" %7.1f%%", 100.0 * static_cast<double>(matched) /
+                             static_cast<double>(ds->sfas.size()));
+    }
+    printf("\n");
+  }
+
+  eval::PrintHeader("Figure 20(B): total postings across the dictionary");
+  printf("%8s |", "m \\ k");
+  for (size_t k : ks) printf(" %10zu", k);
+  printf("\n");
+  for (size_t m : ms) {
+    printf("%8zu |", m);
+    for (size_t k : ks) printf(" %10zu", index_postings[{m, k}]);
+    printf("\n");
+  }
+  printf("\nSelectivity creeps toward 100%% as (m, k) grow — more retained\n"
+         "strings mean more SFAs can spell any given term — and the index\n"
+         "size grows with it; at that point the index stops being useful,\n"
+         "exactly the Figure-20 observation.\n");
+  return 0;
+}

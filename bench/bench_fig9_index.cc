@@ -1,0 +1,50 @@
+// Figure 9: inverted-index query performance for the anchored regex
+// 'Public Law (8|9)\d' (anchor term 'public'). Reports, per (m, k):
+// total indexed runtime, the filescan runtime, the fraction of scan time,
+// and the selectivity of the anchor term in the index.
+#include <cstdio>
+
+#include "eval/workbench.h"
+#include "ocr/corpus.h"
+
+using namespace staccato;
+using eval::Workbench;
+using eval::WorkbenchSpec;
+using rdbms::Approach;
+
+int main() {
+  const std::string query = "Public Law (8|9)\\d";
+  eval::PrintHeader(
+      "Figure 9: indexed vs filescan runtimes, query 'Public Law (8|9)\\d'");
+  printf("%6s %6s | %10s %10s %10s | %12s\n", "m", "k", "scan(s)", "index(s)",
+         "% of scan", "selectivity");
+  for (size_t m : {1u, 10u, 40u}) {
+    for (size_t k : {1u, 10u, 25u, 50u}) {
+      WorkbenchSpec spec;
+      spec.corpus.kind = DatasetKind::kCongressActs;
+      spec.corpus.num_pages = 3;
+      spec.corpus.lines_per_page = 40;
+      spec.noise.alternatives = 10;
+      spec.load.kmap_k = k;
+      spec.load.staccato = {m, k, true};
+      spec.build_index = true;
+      auto wb = Workbench::Create(spec);
+      if (!wb.ok()) {
+        fprintf(stderr, "%s\n", wb.status().ToString().c_str());
+        return 1;
+      }
+      auto scan = (*wb)->Run(Approach::kStaccato, query, 100, false);
+      auto idx = (*wb)->Run(Approach::kStaccato, query, 100, true);
+      if (!scan.ok() || !idx.ok()) return 1;
+      printf("%6zu %6zu | %10.4f %10.4f %9.1f%% | %11.1f%%\n", m, k,
+             scan->stats.seconds, idx->stats.seconds,
+             100.0 * idx->stats.seconds / scan->stats.seconds,
+             100.0 * idx->stats.selectivity);
+    }
+  }
+  printf("\nAt low (m,k) the anchor term is rare in the representation and\n"
+         "the index prunes most of the scan; as k and m grow, more SFAs can\n"
+         "spell 'public' somewhere and the selectivity creeps up, eroding\n"
+         "the speedup — the Figure-9 behaviour.\n");
+  return 0;
+}

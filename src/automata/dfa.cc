@@ -1,0 +1,173 @@
+#include "automata/dfa.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace staccato {
+
+namespace {
+
+// Thompson-style NFA with CharSet-labeled and epsilon transitions.
+struct Nfa {
+  struct Trans {
+    CharSet on;
+    int to;
+  };
+  std::vector<std::vector<Trans>> trans;
+  std::vector<std::vector<int>> eps;
+  int start = 0;
+  int accept = 0;
+
+  int AddState() {
+    trans.emplace_back();
+    eps.emplace_back();
+    return static_cast<int>(trans.size()) - 1;
+  }
+  void AddEps(int from, int to) { eps[from].push_back(to); }
+  void AddTrans(int from, const CharSet& on, int to) {
+    trans[from].push_back({on, to});
+  }
+};
+
+struct Fragment {
+  int in;
+  int out;
+};
+
+Fragment BuildFragment(Nfa* nfa, const PatternNode& node) {
+  switch (node.kind) {
+    case PatternNode::Kind::kChar: {
+      int a = nfa->AddState();
+      int b = nfa->AddState();
+      nfa->AddTrans(a, node.chars, b);
+      return {a, b};
+    }
+    case PatternNode::Kind::kSeq: {
+      int a = nfa->AddState();
+      int cur = a;
+      for (const auto& child : node.children) {
+        Fragment f = BuildFragment(nfa, *child);
+        nfa->AddEps(cur, f.in);
+        cur = f.out;
+      }
+      return {a, cur};
+    }
+    case PatternNode::Kind::kAlt: {
+      int a = nfa->AddState();
+      int b = nfa->AddState();
+      for (const auto& child : node.children) {
+        Fragment f = BuildFragment(nfa, *child);
+        nfa->AddEps(a, f.in);
+        nfa->AddEps(f.out, b);
+      }
+      return {a, b};
+    }
+    case PatternNode::Kind::kStar: {
+      int a = nfa->AddState();
+      int b = nfa->AddState();
+      Fragment f = BuildFragment(nfa, *node.children[0]);
+      nfa->AddEps(a, f.in);
+      nfa->AddEps(f.out, b);
+      nfa->AddEps(a, b);       // zero repetitions
+      nfa->AddEps(f.out, f.in);  // loop
+      return {a, b};
+    }
+  }
+  return {0, 0};
+}
+
+void EpsClosure(const Nfa& nfa, std::set<int>* states) {
+  std::vector<int> stack(states->begin(), states->end());
+  while (!stack.empty()) {
+    int s = stack.back();
+    stack.pop_back();
+    for (int t : nfa.eps[s]) {
+      if (states->insert(t).second) stack.push_back(t);
+    }
+  }
+}
+
+}  // namespace
+
+Result<Dfa> Dfa::Compile(const std::string& pattern_text, MatchMode mode) {
+  auto pat = Pattern::Parse(pattern_text);
+  if (!pat.ok()) return pat.status();
+  return Compile(*pat, mode);
+}
+
+Result<Dfa> Dfa::Compile(const Pattern& pattern, MatchMode mode) {
+  Nfa nfa;
+  Fragment body = BuildFragment(&nfa, pattern.root());
+  nfa.start = nfa.AddState();
+  nfa.accept = nfa.AddState();
+  nfa.AddEps(nfa.start, body.in);
+  nfa.AddEps(body.out, nfa.accept);
+  if (mode == MatchMode::kContains) {
+    // Σ* on both sides; the accept state is absorbing.
+    nfa.AddTrans(nfa.start, CharSet::Any(), nfa.start);
+    nfa.AddTrans(nfa.accept, CharSet::Any(), nfa.accept);
+  }
+
+  // Subset construction.
+  Dfa dfa;
+  dfa.mode_ = mode;
+  std::map<std::set<int>, DfaState> ids;
+  std::vector<std::set<int>> subsets;
+
+  std::set<int> start_set{nfa.start};
+  EpsClosure(nfa, &start_set);
+  ids[start_set] = 0;
+  subsets.push_back(start_set);
+  dfa.start_ = 0;
+
+  for (size_t cur = 0; cur < subsets.size(); ++cur) {
+    // Snapshot: subsets may reallocate as we append.
+    std::set<int> state_set = subsets[cur];
+    bool accept = state_set.count(nfa.accept) > 0;
+    if (dfa.accept_.size() <= cur) dfa.accept_.resize(cur + 1, 0);
+    dfa.accept_[cur] = accept ? 1 : 0;
+    dfa.table_.resize(subsets.size() * kAlphabetSize, kDfaDead);
+
+    for (int ci = 0; ci < kAlphabetSize; ++ci) {
+      char c = IndexChar(ci);
+      std::set<int> next;
+      for (int s : state_set) {
+        for (const auto& t : nfa.trans[s]) {
+          if (t.on.Test(c)) next.insert(t.to);
+        }
+      }
+      if (next.empty()) continue;
+      EpsClosure(nfa, &next);
+      auto [it, inserted] = ids.emplace(std::move(next), static_cast<DfaState>(subsets.size()));
+      if (inserted) {
+        subsets.push_back(it->first);
+        dfa.table_.resize(subsets.size() * kAlphabetSize, kDfaDead);
+        dfa.accept_.resize(subsets.size(), 0);
+      }
+      dfa.table_[cur * kAlphabetSize + ci] = it->second;
+    }
+  }
+  dfa.accept_.resize(subsets.size(), 0);
+  for (size_t i = 0; i < subsets.size(); ++i) {
+    dfa.accept_[i] = subsets[i].count(nfa.accept) ? 1 : 0;
+  }
+  dfa.table_.resize(subsets.size() * kAlphabetSize, kDfaDead);
+  return dfa;
+}
+
+bool Dfa::Matches(const std::string& s) const {
+  DfaState st = Step(start_, s);
+  return IsAccept(st);
+}
+
+DfaState Dfa::Step(DfaState from, const std::string& s) const {
+  DfaState st = from;
+  for (char c : s) {
+    if (st == kDfaDead) return kDfaDead;
+    st = Next(st, c);
+  }
+  return st;
+}
+
+}  // namespace staccato

@@ -1,0 +1,69 @@
+#include "automata/trie.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/strings.h"
+
+namespace staccato {
+
+Result<DictionaryTrie> DictionaryTrie::Build(
+    const std::vector<std::string>& terms) {
+  DictionaryTrie trie;
+  trie.nodes_.emplace_back();  // root
+  std::set<std::string> unique;
+  for (const std::string& raw : terms) {
+    if (raw.empty()) return Status::InvalidArgument("empty dictionary term");
+    unique.insert(ToLowerAscii(raw));
+  }
+  for (const std::string& term : unique) {
+    int32_t cur = 0;
+    for (char c : term) {
+      if (!IsAlphabetChar(c)) {
+        return Status::InvalidArgument("dictionary term outside alphabet: " + term);
+      }
+      auto it = trie.nodes_[cur].children.find(c);
+      if (it == trie.nodes_[cur].children.end()) {
+        trie.nodes_.emplace_back();
+        int32_t next = static_cast<int32_t>(trie.nodes_.size()) - 1;
+        trie.nodes_[cur].children.emplace(c, next);
+        cur = next;
+      } else {
+        cur = it->second;
+      }
+    }
+    trie.nodes_[cur].term = static_cast<TermId>(trie.terms_.size());
+    trie.terms_.push_back(term);
+  }
+  return trie;
+}
+
+TermId DictionaryTrie::Find(const std::string& term) const {
+  int32_t cur = 0;
+  for (char c : term) {
+    cur = Step(cur, c);
+    if (cur == kDead) return kInvalidTerm;
+  }
+  return TermAt(cur);
+}
+
+std::vector<std::string> BuildDictionaryFromCorpus(
+    const std::vector<std::string>& lines, size_t min_length) {
+  std::set<std::string> vocab;
+  for (const std::string& line : lines) {
+    std::string word;
+    for (char c : line) {
+      bool is_word = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+      if (is_word) {
+        word.push_back(c);
+      } else {
+        if (word.size() >= min_length) vocab.insert(ToLowerAscii(word));
+        word.clear();
+      }
+    }
+    if (word.size() >= min_length) vocab.insert(ToLowerAscii(word));
+  }
+  return {vocab.begin(), vocab.end()};
+}
+
+}  // namespace staccato

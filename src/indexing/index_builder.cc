@@ -1,0 +1,155 @@
+#include "indexing/index_builder.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace staccato {
+
+uint64_t PackPosting(const Posting& p) {
+  return (static_cast<uint64_t>(p.edge & 0xFFFFFF) << 40) |
+         (static_cast<uint64_t>(p.path & 0xFFFF) << 24) |
+         static_cast<uint64_t>(p.offset & 0xFFFFFF);
+}
+
+Posting UnpackPosting(uint64_t v) {
+  Posting p;
+  p.edge = static_cast<EdgeId>((v >> 40) & 0xFFFFFF);
+  p.path = static_cast<uint32_t>((v >> 24) & 0xFFFF);
+  p.offset = static_cast<uint32_t>(v & 0xFFFFFF);
+  return p;
+}
+
+namespace {
+
+// Augmented state set: trie state -> start postings alive in that state.
+using AugStates = std::unordered_map<int32_t, std::set<Posting>>;
+
+// RunDFA (Algorithm 4) over one edge string: advances incoming augmented
+// states and spawns fresh starts at every offset.
+void RunString(const DictionaryTrie& dict, EdgeId edge, uint32_t path,
+               const std::string& s, const AugStates& incoming,
+               AugStates* outgoing, PostingMap* index) {
+  // (1) Continue the partial matches carried in from parent edges.
+  for (const auto& [state, starts] : incoming) {
+    int32_t cur = state;
+    bool alive = true;
+    for (char c : s) {
+      cur = dict.Step(cur, c);
+      if (cur == DictionaryTrie::kDead) {
+        alive = false;
+        break;
+      }
+      TermId term = dict.TermAt(cur);
+      if (term != kInvalidTerm) {
+        auto& vec = (*index)[term];
+        vec.insert(vec.end(), starts.begin(), starts.end());
+      }
+    }
+    if (alive && cur != dict.root()) {
+      auto& dst = (*outgoing)[cur];
+      dst.insert(starts.begin(), starts.end());
+    }
+  }
+  // (2) Fresh starts at every offset of this string.
+  // active: (trie state, start offset) pairs — the SO set of Algorithm 4.
+  std::vector<std::pair<int32_t, uint32_t>> active;
+  for (uint32_t j = 0; j < s.size(); ++j) {
+    active.emplace_back(dict.root(), j);
+    size_t w = 0;
+    for (auto& [state, start] : active) {
+      int32_t nxt = dict.Step(state, s[j]);
+      if (nxt == DictionaryTrie::kDead) continue;
+      TermId term = dict.TermAt(nxt);
+      if (term != kInvalidTerm) {
+        (*index)[term].push_back(Posting{edge, path, start});
+      }
+      active[w++] = {nxt, start};
+    }
+    active.resize(w);
+  }
+  for (auto& [state, start] : active) {
+    if (state != dict.root()) {
+      (*outgoing)[state].insert(Posting{edge, path, start});
+    }
+  }
+}
+
+}  // namespace
+
+Result<PostingMap> BuildPostings(const Sfa& sfa, const DictionaryTrie& dict,
+                                 IndexBuildStats* stats) {
+  PostingMap index;
+  IndexBuildStats local;
+
+  // Augmented states at the *end* of each edge (Algorithm 3's AugSts_e).
+  std::vector<AugStates> aug(sfa.NumEdges());
+  // Process edges so all parent edges (edges into e.from) come first:
+  // order by the topological index of the source node.
+  std::vector<EdgeId> order(sfa.NumEdges());
+  for (EdgeId e = 0; e < sfa.NumEdges(); ++e) order[e] = e;
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    return sfa.TopoIndex()[sfa.edge(a).from] < sfa.TopoIndex()[sfa.edge(b).from];
+  });
+
+  for (EdgeId eid : order) {
+    const Edge& e = sfa.edge(eid);
+    // Union the augmented states of all parent edges.
+    AugStates incoming;
+    for (EdgeId pe : sfa.InEdges(e.from)) {
+      for (const auto& [state, starts] : aug[pe]) {
+        incoming[state].insert(starts.begin(), starts.end());
+      }
+    }
+    AugStates outgoing;
+    for (uint32_t pi = 0; pi < e.transitions.size(); ++pi) {
+      RunString(dict, eid, pi, e.transitions[pi].label, incoming, &outgoing,
+                &index);
+    }
+    size_t alive = 0;
+    for (const auto& [state, starts] : outgoing) alive += starts.size();
+    local.aug_states_peak = std::max(local.aug_states_peak, alive);
+    aug[eid] = std::move(outgoing);
+  }
+
+  // Deduplicate and sort postings per term.
+  for (auto& [term, vec] : index) {
+    std::sort(vec.begin(), vec.end());
+    vec.erase(std::unique(vec.begin(), vec.end()), vec.end());
+    local.postings += vec.size();
+  }
+  local.terms_matched = index.size();
+  if (stats != nullptr) *stats = local;
+  return index;
+}
+
+double EstimateDirectIndexPostings(const Sfa& sfa) {
+  // Number of emitted strings (paths weighted by alternatives per edge) and
+  // the expected token count per string, via two DPs. A direct index posts
+  // every word token of every represented string, so the total is
+  // (#strings) × (average tokens per string).
+  std::vector<double> paths(sfa.NumNodes(), 0.0);
+  std::vector<double> chars(sfa.NumNodes(), 0.0);  // Σ over paths of length
+  paths[sfa.start()] = 1.0;
+  for (NodeId n : sfa.TopologicalOrder()) {
+    if (paths[n] == 0.0) continue;
+    for (EdgeId eid : sfa.OutEdges(n)) {
+      const Edge& e = sfa.edge(eid);
+      double alt = static_cast<double>(e.transitions.size());
+      double len = 0;
+      for (const Transition& t : e.transitions) {
+        len += static_cast<double>(t.label.size());
+      }
+      paths[e.to] += paths[n] * alt;
+      chars[e.to] += chars[n] * alt + paths[n] * len;
+    }
+  }
+  double num_strings = paths[sfa.final()];
+  if (num_strings == 0.0) return 0.0;
+  double avg_len = chars[sfa.final()] / num_strings;
+  // Average English token length ≈ 6 characters including the separator.
+  double tokens_per_string = std::max(1.0, avg_len / 6.0);
+  return num_strings * tokens_per_string;
+}
+
+}  // namespace staccato

@@ -1,0 +1,37 @@
+// Inverted index construction over SFAs (Section 4, Algorithms 3 & 4).
+//
+// The dictionary of terms is compiled to a prefix-trie automaton; a dynamic
+// program then walks the SFA's edges in topological order. Terms may
+// straddle multiple edges, so partially-matched trie states are carried
+// across edges as "augmented states" — pairs of (trie state, start
+// posting) — exactly as in Algorithm 3/4. Whenever the trie reaches a
+// final state, the start posting is emitted for that term.
+#pragma once
+
+#include "automata/trie.h"
+#include "indexing/postings.h"
+#include "sfa/sfa.h"
+#include "util/result.h"
+
+namespace staccato {
+
+/// \brief Index construction statistics (Figures 5 & 19).
+struct IndexBuildStats {
+  size_t postings = 0;         ///< total postings emitted
+  size_t terms_matched = 0;    ///< distinct dictionary terms found
+  size_t aug_states_peak = 0;  ///< max augmented states alive on one edge
+};
+
+/// Runs Algorithms 3 & 4: all start locations of dictionary terms in `sfa`.
+/// Postings per term are deduplicated and sorted.
+Result<PostingMap> BuildPostings(const Sfa& sfa, const DictionaryTrie& dict,
+                                 IndexBuildStats* stats = nullptr);
+
+/// The Figure-5 measurement: the number of postings a *direct* (dictionary-
+/// free) index over all represented strings would contain — i.e. one
+/// posting per word token per emitted string. Grows as k^m; returned as a
+/// double because it overflows 64 bits quickly (the paper hits the same
+/// overflow at m = 60, k = 50).
+double EstimateDirectIndexPostings(const Sfa& sfa);
+
+}  // namespace staccato

@@ -1,0 +1,40 @@
+// Posting representation for the dictionary-based inverted index
+// (Section 4). A posting records where a dictionary term *starts* inside
+// an SFA: the edge, the string (path alternative) on that edge, and the
+// character offset within that string.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "automata/trie.h"
+#include "sfa/sfa.h"
+
+namespace staccato {
+
+/// \brief Start location of a term inside one SFA.
+struct Posting {
+  EdgeId edge = 0;
+  uint32_t path = 0;    ///< index of the string on the edge
+  uint32_t offset = 0;  ///< character offset within that string
+
+  bool operator==(const Posting& o) const {
+    return edge == o.edge && path == o.path && offset == o.offset;
+  }
+  bool operator<(const Posting& o) const {
+    if (edge != o.edge) return edge < o.edge;
+    if (path != o.path) return path < o.path;
+    return offset < o.offset;
+  }
+};
+
+/// Postings for one SFA, grouped by dictionary term.
+using PostingMap = std::map<TermId, std::vector<Posting>>;
+
+/// Packs a posting into a 64-bit payload for B+-tree storage:
+/// [edge:24][path:16][offset:24].
+uint64_t PackPosting(const Posting& p);
+Posting UnpackPosting(uint64_t v);
+
+}  // namespace staccato

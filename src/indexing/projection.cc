@@ -1,0 +1,101 @@
+#include "indexing/projection.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace staccato {
+
+std::vector<NodeId> ProjectNodes(const Sfa& sfa, NodeId from, size_t max_edges) {
+  std::vector<uint32_t> depth(sfa.NumNodes(), UINT32_MAX);
+  std::deque<NodeId> q{from};
+  depth[from] = 0;
+  std::vector<NodeId> out{from};
+  while (!q.empty()) {
+    NodeId n = q.front();
+    q.pop_front();
+    if (depth[n] >= max_edges) continue;
+    for (EdgeId eid : sfa.OutEdges(n)) {
+      NodeId t = sfa.edge(eid).to;
+      if (depth[t] == UINT32_MAX) {
+        depth[t] = depth[n] + 1;
+        out.push_back(t);
+        q.push_back(t);
+      } else {
+        depth[t] = std::min(depth[t], depth[n] + 1);
+      }
+    }
+  }
+  return out;
+}
+
+double EvalProjected(const Sfa& sfa, const Dfa& dfa, NodeId from,
+                     size_t max_edges) {
+  std::vector<NodeId> region = ProjectNodes(sfa, from, max_edges);
+  std::vector<bool> in_region(sfa.NumNodes(), false);
+  for (NodeId n : region) in_region[n] = true;
+
+  const int q = dfa.NumStates();
+  std::vector<std::vector<double>> mass(
+      sfa.NumNodes(), std::vector<double>(static_cast<size_t>(q), 0.0));
+  mass[from][dfa.start()] = 1.0;
+  double accepted = 0.0;
+  for (NodeId n : sfa.TopologicalOrder()) {
+    if (!in_region[n]) continue;
+    bool exits_region = true;
+    for (EdgeId eid : sfa.OutEdges(n)) {
+      if (in_region[sfa.edge(eid).to]) exits_region = false;
+    }
+    if (exits_region || sfa.OutEdges(n).empty()) {
+      // Region boundary: bank whatever mass already reached an accept state
+      // (accept states of a kContains DFA are absorbing).
+      for (int s = 0; s < q; ++s) {
+        if (dfa.IsAccept(s)) accepted += mass[n][s];
+      }
+      continue;
+    }
+    for (EdgeId eid : sfa.OutEdges(n)) {
+      const Edge& e = sfa.edge(eid);
+      if (!in_region[e.to]) {
+        // Mass leaving the region: bank its accepted share.
+        for (int s = 0; s < q; ++s) {
+          if (dfa.IsAccept(s)) {
+            double p = 0.0;
+            for (const Transition& t : e.transitions) p += t.prob;
+            accepted += mass[n][s] * p;
+          }
+        }
+        continue;
+      }
+      for (const Transition& t : e.transitions) {
+        // Step the state mass through the label characters.
+        std::vector<double> cur(static_cast<size_t>(q), 0.0);
+        for (int s = 0; s < q; ++s) cur[s] = mass[n][s] * t.prob;
+        for (char c : t.label) {
+          std::vector<double> next(static_cast<size_t>(q), 0.0);
+          for (int s = 0; s < q; ++s) {
+            if (cur[s] == 0.0) continue;
+            DfaState d = dfa.Next(s, c);
+            if (d != kDfaDead) next[d] += cur[s];
+          }
+          cur.swap(next);
+        }
+        for (int s = 0; s < q; ++s) mass[e.to][s] += cur[s];
+      }
+    }
+  }
+  return std::min(accepted, 1.0);
+}
+
+size_t ProjectionBytes(const Sfa& sfa, NodeId from, size_t max_edges) {
+  std::vector<NodeId> region = ProjectNodes(sfa, from, max_edges);
+  std::vector<bool> in_region(sfa.NumNodes(), false);
+  for (NodeId n : region) in_region[n] = true;
+  size_t bytes = 0;
+  for (const Edge& e : sfa.edges()) {
+    if (!in_region[e.from] || !in_region[e.to]) continue;
+    for (const Transition& t : e.transitions) bytes += t.label.size() + 16;
+  }
+  return bytes;
+}
+
+}  // namespace staccato

@@ -1,0 +1,85 @@
+#include "inference/kbest.h"
+
+#include <algorithm>
+
+namespace staccato {
+
+namespace {
+
+bool ScoredLess(const ScoredString& a, const ScoredString& b) {
+  if (a.prob != b.prob) return a.prob > b.prob;
+  return a.str < b.str;
+}
+
+// Keeps the top-k of `cand` in-place (sorted by descending probability).
+void PruneToK(std::vector<ScoredString>* cand, size_t k) {
+  if (cand->size() > k) {
+    std::partial_sort(cand->begin(), cand->begin() + static_cast<long>(k),
+                      cand->end(), ScoredLess);
+    cand->resize(k);
+  } else {
+    std::sort(cand->begin(), cand->end(), ScoredLess);
+  }
+}
+
+}  // namespace
+
+std::vector<ScoredString> KBestStrings(const Sfa& sfa, size_t k) {
+  if (k == 0 || sfa.NumNodes() == 0) return {};
+  std::vector<std::vector<ScoredString>> best(sfa.NumNodes());
+  best[sfa.start()].push_back({"", 1.0});
+  for (NodeId n : sfa.TopologicalOrder()) {
+    if (best[n].empty()) continue;
+    // All predecessors of n are settled (topological order), so pruning to
+    // the k best prefixes here is exact: a dominated prefix cannot be part
+    // of a top-k full path, because the unique-path property guarantees the
+    // k dominating prefixes extend to k distinct dominating strings.
+    PruneToK(&best[n], k);
+    for (EdgeId eid : sfa.OutEdges(n)) {
+      const Edge& e = sfa.edge(eid);
+      auto& target = best[e.to];
+      // Only the top-k transitions of an edge can contribute to a k-best
+      // list downstream; transitions are already sorted by probability.
+      size_t t_limit = std::min(e.transitions.size(), k);
+      for (size_t ti = 0; ti < t_limit; ++ti) {
+        const Transition& t = e.transitions[ti];
+        for (const ScoredString& s : best[n]) {
+          target.push_back({s.str + t.label, s.prob * t.prob});
+        }
+      }
+    }
+    // Bound intermediate memory; final pruning happens when the target node
+    // is expanded.
+    for (EdgeId eid : sfa.OutEdges(n)) {
+      auto& target = best[sfa.edge(eid).to];
+      if (target.size() > 8 * k) PruneToK(&target, k);
+    }
+    if (n != sfa.final()) {
+      best[n].clear();
+      best[n].shrink_to_fit();
+    }
+  }
+  auto& result = best[sfa.final()];
+  PruneToK(&result, k);
+  return std::move(result);
+}
+
+Result<ScoredString> MapString(const Sfa& sfa) {
+  auto top = KBestStrings(sfa, 1);
+  if (top.empty()) return Status::InvalidArgument("SFA emits no strings");
+  return top[0];
+}
+
+Result<std::vector<ScoredString>> KBestStringsByEnumeration(const Sfa& sfa,
+                                                            size_t k,
+                                                            size_t max_paths) {
+  auto all = sfa.EnumerateStrings(max_paths);
+  if (!all.ok()) return all.status();
+  std::vector<ScoredString> scored;
+  scored.reserve(all->size());
+  for (auto& [s, p] : *all) scored.push_back({std::move(s), p});
+  PruneToK(&scored, k);
+  return scored;
+}
+
+}  // namespace staccato

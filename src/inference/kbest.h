@@ -1,0 +1,42 @@
+// MAP and k-MAP inference over SFAs.
+//
+// Because OCR SFAs are DAGs with the unique-path property, the k highest
+// probability strings can be computed exactly by a Viterbi-style dynamic
+// program that keeps a k-best list per node in topological order (the
+// incremental flavour of Yen's k-shortest-paths specialized to DAGs, which
+// is what the paper uses via [54]).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sfa/sfa.h"
+#include "util/result.h"
+
+namespace staccato {
+
+/// \brief A string with its path probability.
+struct ScoredString {
+  std::string str;
+  double prob = 0.0;
+
+  bool operator==(const ScoredString& o) const {
+    return str == o.str && prob == o.prob;
+  }
+};
+
+/// Returns the k highest-probability strings emitted by the SFA, sorted by
+/// descending probability (ties broken lexicographically). Returns fewer
+/// than k if the SFA emits fewer strings.
+std::vector<ScoredString> KBestStrings(const Sfa& sfa, size_t k);
+
+/// The maximum a-posteriori string (k = 1). Fails only on an empty SFA.
+Result<ScoredString> MapString(const Sfa& sfa);
+
+/// Reference implementation by exhaustive enumeration; exponential, for
+/// tests and the ablation micro-benchmarks only.
+Result<std::vector<ScoredString>> KBestStringsByEnumeration(const Sfa& sfa,
+                                                            size_t k,
+                                                            size_t max_paths);
+
+}  // namespace staccato

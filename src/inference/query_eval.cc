@@ -1,0 +1,154 @@
+#include "inference/query_eval.h"
+
+namespace staccato {
+
+namespace {
+
+// Steps a dense DFA-state mass vector through one label string.
+// in/out have dfa.NumStates() entries; `scratch` is reused across calls.
+void StepLabel(const Dfa& dfa, const std::string& label,
+               const std::vector<double>& in, std::vector<double>* out,
+               std::vector<double>* scratch) {
+  const int q = dfa.NumStates();
+  std::vector<double>* cur = scratch;
+  *cur = in;
+  std::vector<double> next(static_cast<size_t>(q), 0.0);
+  for (char c : label) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (int s = 0; s < q; ++s) {
+      double m = (*cur)[s];
+      if (m == 0.0) continue;
+      DfaState t = dfa.Next(s, c);
+      if (t == kDfaDead) continue;  // mass of strings the DFA rejects is dropped
+      next[t] += m;
+    }
+    std::swap(*cur, next);
+  }
+  for (int s = 0; s < q; ++s) (*out)[s] += (*cur)[s];
+}
+
+}  // namespace
+
+double EvalSfaQuery(const Sfa& sfa, const Dfa& dfa) {
+  if (sfa.NumNodes() == 0) return 0.0;
+  const int q = dfa.NumStates();
+  // mass[n][s]: probability mass of prefixes reaching SFA node n with the
+  // DFA in state s. A kContains DFA has absorbing accept states, so mass in
+  // accepting states at the final node is exactly Pr[q].
+  std::vector<std::vector<double>> mass(
+      sfa.NumNodes(), std::vector<double>(static_cast<size_t>(q), 0.0));
+  mass[sfa.start()][dfa.start()] = 1.0;
+  std::vector<double> scratch(static_cast<size_t>(q), 0.0);
+  std::vector<double> scaled(static_cast<size_t>(q), 0.0);
+  for (NodeId n : sfa.TopologicalOrder()) {
+    const auto& in = mass[n];
+    bool live = false;
+    for (double m : in) {
+      if (m != 0.0) {
+        live = true;
+        break;
+      }
+    }
+    if (!live) continue;
+    for (EdgeId eid : sfa.OutEdges(n)) {
+      const Edge& e = sfa.edge(eid);
+      for (const Transition& t : e.transitions) {
+        for (int s = 0; s < q; ++s) scaled[s] = in[s] * t.prob;
+        StepLabel(dfa, t.label, scaled, &mass[e.to], &scratch);
+      }
+    }
+    if (n != sfa.final()) {
+      mass[n].clear();
+      mass[n].shrink_to_fit();
+    }
+  }
+  double p = 0.0;
+  for (int s = 0; s < q; ++s) {
+    if (dfa.IsAccept(s)) p += mass[sfa.final()][s];
+  }
+  // Guard against accumulated floating point drift above 1.
+  return p > 1.0 ? 1.0 : p;
+}
+
+double EvalStringsQuery(const std::vector<ScoredString>& strings,
+                        const Dfa& dfa) {
+  double p = 0.0;
+  for (const ScoredString& s : strings) {
+    if (dfa.Matches(s.str)) p += s.prob;
+  }
+  return p > 1.0 ? 1.0 : p;
+}
+
+double EvalSfaQueryMatrix(const Sfa& sfa, const Dfa& dfa) {
+  if (sfa.NumNodes() == 0) return 0.0;
+  const size_t q = static_cast<size_t>(dfa.NumStates());
+  // M[n][i*q + j]: mass arriving at SFA node n having moved the DFA from
+  // state i (at the SFA start) to state j.
+  std::vector<std::vector<double>> node_mat(sfa.NumNodes());
+  node_mat[sfa.start()].assign(q * q, 0.0);
+  for (size_t i = 0; i < q; ++i) node_mat[sfa.start()][i * q + i] = 1.0;
+
+  std::vector<double> edge_mat(q * q), tmp(q * q);
+  for (NodeId n : sfa.TopologicalOrder()) {
+    if (node_mat[n].empty()) continue;
+    for (EdgeId eid : sfa.OutEdges(n)) {
+      const Edge& e = sfa.edge(eid);
+      // Edge matrix: Σ over transitions of prob × Π over label chars of the
+      // (deterministic) per-character DFA step matrix.
+      std::fill(edge_mat.begin(), edge_mat.end(), 0.0);
+      for (const Transition& t : e.transitions) {
+        std::fill(tmp.begin(), tmp.end(), 0.0);
+        for (size_t i = 0; i < q; ++i) tmp[i * q + i] = t.prob;
+        for (char c : t.label) {
+          // Right-multiply tmp by the char's step matrix: column j of the
+          // product collects columns whose state steps to j.
+          std::vector<double> next(q * q, 0.0);
+          for (size_t j = 0; j < q; ++j) {
+            DfaState d = dfa.Next(static_cast<DfaState>(j), c);
+            if (d == kDfaDead) continue;
+            for (size_t i = 0; i < q; ++i) {
+              next[i * q + static_cast<size_t>(d)] += tmp[i * q + j];
+            }
+          }
+          tmp.swap(next);
+        }
+        for (size_t i = 0; i < q * q; ++i) edge_mat[i] += tmp[i];
+      }
+      // node_mat[to] += node_mat[n] × edge_mat  — the q³ step of Table 1.
+      auto& dst = node_mat[e.to];
+      if (dst.empty()) dst.assign(q * q, 0.0);
+      const auto& src = node_mat[n];
+      for (size_t i = 0; i < q; ++i) {
+        for (size_t l = 0; l < q; ++l) {
+          double v = src[i * q + l];
+          if (v == 0.0) continue;
+          for (size_t j = 0; j < q; ++j) {
+            dst[i * q + j] += v * edge_mat[l * q + j];
+          }
+        }
+      }
+    }
+    if (n != sfa.final()) {
+      node_mat[n].clear();
+      node_mat[n].shrink_to_fit();
+    }
+  }
+  const auto& fin = node_mat[sfa.final()];
+  if (fin.empty()) return 0.0;
+  double p = 0.0;
+  size_t s0 = static_cast<size_t>(dfa.start());
+  for (size_t j = 0; j < q; ++j) {
+    if (dfa.IsAccept(static_cast<DfaState>(j))) p += fin[s0 * q + j];
+  }
+  return p > 1.0 ? 1.0 : p;
+}
+
+uint64_t CountEvalWork(const Sfa& sfa, const Dfa& dfa) {
+  uint64_t chars = 0;
+  for (const Edge& e : sfa.edges()) {
+    for (const Transition& t : e.transitions) chars += t.label.size();
+  }
+  return chars * static_cast<uint64_t>(dfa.NumStates());
+}
+
+}  // namespace staccato

@@ -1,0 +1,40 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+
+namespace staccato {
+
+std::vector<Answer> RankAnswers(std::vector<Answer> answers, size_t num_ans) {
+  answers.erase(std::remove_if(answers.begin(), answers.end(),
+                               [](const Answer& a) { return a.prob <= 0.0; }),
+                answers.end());
+  std::sort(answers.begin(), answers.end(), [](const Answer& a, const Answer& b) {
+    if (a.prob != b.prob) return a.prob > b.prob;
+    return a.doc < b.doc;
+  });
+  if (answers.size() > num_ans) answers.resize(num_ans);
+  return answers;
+}
+
+QualityScores ScoreAnswers(const std::vector<Answer>& ranked,
+                           const std::set<DocId>& truth) {
+  size_t hits = 0;
+  for (const Answer& a : ranked) {
+    if (truth.count(a.doc)) ++hits;
+  }
+  QualityScores q;
+  if (ranked.empty()) {
+    q.precision = truth.empty() ? 1.0 : 0.0;
+  } else {
+    q.precision = static_cast<double>(hits) / static_cast<double>(ranked.size());
+  }
+  q.recall = truth.empty()
+                 ? 1.0
+                 : static_cast<double>(hits) / static_cast<double>(truth.size());
+  q.f1 = (q.precision + q.recall) > 0.0
+             ? 2.0 * q.precision * q.recall / (q.precision + q.recall)
+             : 0.0;
+  return q;
+}
+
+}  // namespace staccato

@@ -1,0 +1,40 @@
+// Answer-quality metrics (Section 5): queries return a ranked set of
+// documents (SFAs) with match probabilities; we take the top `NumAns`
+// answers and score them against a ground-truth answer set with
+// precision / recall / F1.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace staccato {
+
+using DocId = uint64_t;
+
+/// \brief One retrieved answer: a document and its match probability.
+struct Answer {
+  DocId doc = 0;
+  double prob = 0.0;
+};
+
+/// \brief Precision/recall/F1 triple.
+struct QualityScores {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Sorts answers by descending probability (ties by doc id), drops
+/// zero-probability entries, and keeps at most `num_ans`.
+std::vector<Answer> RankAnswers(std::vector<Answer> answers, size_t num_ans);
+
+/// Scores a ranked answer list against the ground-truth set.
+/// Precision = |retrieved ∩ truth| / |retrieved| (1.0 if nothing retrieved
+/// and truth empty, 0.0 if nothing retrieved but truth non-empty);
+/// Recall = |retrieved ∩ truth| / |truth| (1.0 when truth is empty).
+QualityScores ScoreAnswers(const std::vector<Answer>& ranked,
+                           const std::set<DocId>& truth);
+
+}  // namespace staccato

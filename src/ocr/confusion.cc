@@ -1,0 +1,84 @@
+#include "ocr/confusion.h"
+
+#include <unordered_map>
+
+namespace staccato {
+
+namespace {
+
+const std::unordered_map<char, std::vector<char>>& ConfusionTable() {
+  static const auto* table = new std::unordered_map<char, std::vector<char>>{
+      {'o', {'0', 'c', 'e', 'a'}},  {'O', {'0', 'Q', 'D', 'C'}},
+      {'0', {'o', 'O', '8', '6'}},  {'l', {'1', 'I', '|', 'i'}},
+      {'1', {'l', 'I', '7', 'i'}},  {'I', {'l', '1', 'i', 'T'}},
+      {'i', {'1', 'l', 'j', ';'}},  {'5', {'S', 's', '6', '3'}},
+      {'S', {'5', 's', '8', 'B'}},  {'s', {'5', 'S', 'a', 'z'}},
+      {'8', {'B', '3', '0', '6'}},  {'B', {'8', 'E', 'R', 'D'}},
+      {'2', {'Z', 'z', '7', '?'}},  {'Z', {'2', 'z', '7', 'S'}},
+      {'6', {'b', 'G', '5', '0'}},  {'b', {'6', 'h', 'd', 'p'}},
+      {'9', {'g', 'q', '4', '7'}},  {'g', {'9', 'q', 'y', 'e'}},
+      {'q', {'g', '9', 'p', 'y'}},  {'3', {'8', 'B', 'E', '5'}},
+      {'4', {'A', '9', '1', 'd'}},  {'7', {'1', 'T', '2', '?'}},
+      {'e', {'c', 'o', 'a', '6'}},  {'c', {'e', 'o', 'G', '('}},
+      {'a', {'o', 'e', 's', 'd'}},  {'n', {'r', 'm', 'h', 'u'}},
+      {'r', {'n', 'v', 't', 'f'}},  {'m', {'n', 'w', 'r', 'M'}},
+      {'u', {'v', 'n', 'o', 'w'}},  {'v', {'u', 'y', 'w', 'r'}},
+      {'w', {'v', 'u', 'm', 'W'}},  {'t', {'f', 'l', '1', '+'}},
+      {'f', {'t', 'r', '{', 'F'}},  {'h', {'b', 'n', 'k', 'H'}},
+      {'d', {'b', 'a', 'o', 'q'}},  {'y', {'v', 'g', 'j', 'q'}},  {'j', {'i', 'y', ';', 'J'}},
+      {'k', {'h', 'x', 'K', 'R'}},  {'x', {'k', 'z', 'X', '%'}},
+      {'z', {'s', '2', 'Z', 'x'}},  {'p', {'q', 'b', 'P', 'n'}},
+      {'P', {'F', 'R', 'p', 'B'}},  {'F', {'P', 'E', 'T', 'f'}},
+      {'T', {'I', '7', 'F', 'Y'}},  {'E', {'F', 'B', '8', 'L'}},
+      {'C', {'G', 'O', 'c', '('}},  {'G', {'C', '6', 'O', 'Q'}},
+      {'D', {'O', 'B', '0', 'P'}},  {'U', {'V', 'O', 'u', 'J'}},
+      {'.', {',', '\'', ':', ';'}}, {',', {'.', ';', '\'', '`'}},
+      {' ', {'.', ',', '\'', '-'}}, {'-', {'_', '=', '~', ' '}},
+      {'\'', {'`', ',', '.', '"'}},
+  };
+  return *table;
+}
+
+const std::unordered_map<char, std::string>& SplitTable() {
+  static const auto* table = new std::unordered_map<char, std::string>{
+      {'m', "rn"}, {'w', "vv"}, {'u', "ii"}, {'n', "ri"},
+      {'d', "cl"}, {'h', "li"}, {'M', "IV"}, {'W', "VV"},
+  };
+  return *table;
+}
+
+}  // namespace
+
+const std::vector<char>& ConfusablesFor(char c) {
+  const auto& table = ConfusionTable();
+  auto it = table.find(c);
+  if (it != table.end()) return it->second;
+  // Letters without an entry confuse with their case twin and neighbors.
+  static auto* fb = new std::unordered_map<char, std::vector<char>>();
+  auto fit = fb->find(c);
+  if (fit != fb->end()) return fit->second;
+  std::vector<char> alts;
+  if (c >= 'a' && c <= 'z') {
+    alts = {static_cast<char>(c - 'a' + 'A'),
+            static_cast<char>(c == 'z' ? 'a' : c + 1),
+            static_cast<char>(c == 'a' ? 'z' : c - 1)};
+  } else if (c >= 'A' && c <= 'Z') {
+    alts = {static_cast<char>(c - 'A' + 'a'),
+            static_cast<char>(c == 'Z' ? 'A' : c + 1),
+            static_cast<char>(c == 'A' ? 'Z' : c - 1)};
+  } else if (c >= '0' && c <= '9') {
+    alts = {static_cast<char>(c == '9' ? '0' : c + 1),
+            static_cast<char>(c == '0' ? '9' : c - 1), 'o'};
+  } else {
+    alts = {'.', ',', '\''};
+  }
+  return fb->emplace(c, std::move(alts)).first->second;
+}
+
+std::string SegmentationSplit(char c) {
+  const auto& table = SplitTable();
+  auto it = table.find(c);
+  return it == table.end() ? std::string() : it->second;
+}
+
+}  // namespace staccato

@@ -1,0 +1,20 @@
+// The character confusion model behind the synthetic OCR channel.
+// Encodes the classic OCR confusion classes (o↔0, l↔1↔I, 5↔S, rn↔m, ...)
+// that make MAP transcriptions lose query answers — exactly the effect
+// Figure 1 of the paper illustrates with 'Ford' → 'F0 rd'.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace staccato {
+
+/// Characters visually confusable with `c`, most-confusable first.
+/// Always returns at least one alternative within the printable alphabet.
+const std::vector<char>& ConfusablesFor(char c);
+
+/// Two-character segmentation splits: e.g. 'm' may be read as "rn".
+/// Returns the split digram, or an empty string if `c` has none.
+std::string SegmentationSplit(char c);
+
+}  // namespace staccato

@@ -1,0 +1,213 @@
+#include "ocr/corpus.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace staccato {
+
+namespace {
+
+struct Vocabulary {
+  std::vector<std::string> filler;
+  // Each generator yields one special phrase; chosen uniformly when a
+  // special is injected.
+  std::vector<std::string (*)(Rng*)> specials;
+};
+
+std::string DigitString(Rng* rng, size_t n) {
+  std::string s;
+  for (size_t i = 0; i < n; ++i) {
+    s.push_back(static_cast<char>('0' + rng->UniformInt(0, 9)));
+  }
+  return s;
+}
+
+// --- Congress Acts specials -------------------------------------------------
+std::string CaPresident(Rng*) { return "President"; }
+std::string CaUnitedStates(Rng*) { return "United States"; }
+std::string CaAttorney(Rng*) { return "Attorney"; }
+std::string CaCommission(Rng*) { return "Commission"; }
+std::string CaEmployment(Rng*) { return "employment"; }
+std::string CaPublicLaw(Rng* rng) {
+  // Matches 'Public Law (8|9)\d' when the leading digit is 8 or 9.
+  int lead = rng->Coin(0.7) ? static_cast<int>(rng->UniformInt(8, 9))
+                            : static_cast<int>(rng->UniformInt(1, 7));
+  return StringPrintf("Public Law %d%d", lead,
+                      static_cast<int>(rng->UniformInt(0, 9)));
+}
+std::string CaUsc(Rng* rng) {
+  // Matches 'U.S.C. 2\d\d\d' when the section starts with 2.
+  int lead = rng->Coin(0.6) ? 2 : static_cast<int>(rng->UniformInt(3, 9));
+  return StringPrintf("U.S.C. %d%s", lead, DigitString(rng, 3).c_str());
+}
+
+// --- Literature specials ----------------------------------------------------
+std::string LtBrinkmann(Rng*) { return "Brinkmann"; }
+std::string LtHitler(Rng*) { return "Hitler"; }
+std::string LtJonathan(Rng*) { return "Jonathan"; }
+std::string LtKerouac(Rng*) { return "Kerouac"; }
+std::string LtThirdReich(Rng*) { return "Third Reich"; }
+std::string LtYearPair(Rng* rng) {
+  // Matches '19\d\d, \d\d' (a year followed by a page reference).
+  return StringPrintf("19%s, %s", DigitString(rng, 2).c_str(),
+                      DigitString(rng, 2).c_str());
+}
+std::string LtSpontan(Rng* rng) {
+  static const std::vector<std::string> forms = {"spontaneous", "spontaneity",
+                                                 "spontaneously"};
+  Rng& r = *rng;
+  return forms[static_cast<size_t>(r.UniformInt(0, 2))];
+}
+
+// --- DB Papers specials -----------------------------------------------------
+std::string DbAccuracy(Rng*) { return "accuracy"; }
+std::string DbConfidence(Rng*) { return "confidence"; }
+std::string DbDatabase(Rng*) { return "database"; }
+std::string DbLineage(Rng*) { return "lineage"; }
+std::string DbTrio(Rng*) { return "Trio"; }
+std::string DbSection(Rng* rng) {
+  // Matches 'Sec(\x)*\d'.
+  return StringPrintf("Sec. %d", static_cast<int>(rng->UniformInt(1, 9)));
+}
+std::string DbCitation(Rng* rng) {
+  // Feeds '\x\x\x\d\d' (any three characters then two digits).
+  return StringPrintf("VLDB %s", DigitString(rng, 2).c_str());
+}
+
+const Vocabulary& VocabFor(DatasetKind kind) {
+  static const Vocabulary ca = {
+      {"act",        "amendment",  "section",   "congress",  "senate",
+       "federal",    "provision",  "statute",   "enacted",   "hereby",
+       "pursuant",   "regulation", "committee", "secretary", "title",
+       "chapter",    "code",       "authorized","funds",     "fiscal",
+       "national",   "security",   "defense",   "education", "labor",
+       "welfare",    "amended",    "striking",  "inserting", "subsection",
+       "paragraph",  "clause",     "report",    "agency",    "department",
+       "appropriated","thereof",   "provided",  "further",   "general",
+       "house",      "representatives", "approved", "session", "bill"},
+      {CaPresident, CaUnitedStates, CaAttorney, CaCommission, CaEmployment,
+       CaPublicLaw, CaUsc}};
+  static const Vocabulary lt = {
+      {"road",    "night",   "river",   "morning", "silent",  "window",
+       "letters", "journey", "memory",  "winter",  "shadow",  "voice",
+       "garden",  "city",    "dream",   "young",   "heart",   "light",
+       "story",   "novel",   "poet",    "writing", "chapter", "spoke",
+       "walked",  "quiet",   "distant", "evening", "summer",  "stranger",
+       "house",   "early",   "letter",  "moment",  "country", "return",
+       "thought", "remember","crossing","burning", "alone",   "friends"},
+      {LtBrinkmann, LtHitler, LtJonathan, LtKerouac, LtThirdReich, LtYearPair,
+       LtSpontan}};
+  static const Vocabulary db = {
+      {"query",      "relational", "tuple",     "index",      "join",
+       "transaction","schema",     "optimizer", "storage",    "buffer",
+       "page",       "lock",       "recovery",  "log",        "attribute",
+       "relation",   "algebra",    "cost",      "plan",       "selectivity",
+       "cardinality","probabilistic", "uncertain", "system",  "evaluation",
+       "semantics",  "model",      "table",     "result",     "experiment",
+       "approach",   "baseline",   "workload",  "throughput", "latency",
+       "benchmark",  "algorithm",  "efficient", "scalable",   "prototype"},
+      {DbAccuracy, DbConfidence, DbDatabase, DbLineage, DbTrio, DbSection,
+       DbCitation}};
+  switch (kind) {
+    case DatasetKind::kCongressActs:
+      return ca;
+    case DatasetKind::kLiterature:
+      return lt;
+    case DatasetKind::kDbPapers:
+      return db;
+  }
+  return ca;
+}
+
+}  // namespace
+
+const char* DatasetName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kCongressActs:
+      return "CA";
+    case DatasetKind::kLiterature:
+      return "LT";
+    case DatasetKind::kDbPapers:
+      return "DB";
+  }
+  return "??";
+}
+
+Corpus GenerateCorpus(const CorpusSpec& spec) {
+  Corpus corpus;
+  corpus.name = DatasetName(spec.kind);
+  corpus.num_pages = spec.num_pages;
+  Rng rng(spec.seed);
+  const Vocabulary& vocab = VocabFor(spec.kind);
+  for (size_t page = 0; page < spec.num_pages; ++page) {
+    for (size_t li = 0; li < spec.lines_per_page; ++li) {
+      std::string line;
+      size_t words = static_cast<size_t>(
+          rng.UniformInt(5, 5 + static_cast<int64_t>(spec.max_line_chars) / 6));
+      for (size_t w = 0; w < words; ++w) {
+        std::string word;
+        if (rng.Coin(0.16)) {
+          word = vocab.specials[static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(vocab.specials.size()) - 1))](&rng);
+        } else {
+          word = rng.Choice(vocab.filler);
+        }
+        if (!line.empty()) line.push_back(' ');
+        line += word;
+        if (line.size() >= spec.max_line_chars) break;
+      }
+      // Sentence-case the line, as printed text would be.
+      if (!line.empty() && line[0] >= 'a' && line[0] <= 'z') {
+        line[0] = static_cast<char>(line[0] - 'a' + 'A');
+      }
+      corpus.lines.push_back(std::move(line));
+      corpus.page_of_line.push_back(static_cast<uint32_t>(page));
+    }
+  }
+  return corpus;
+}
+
+size_t OcrDataset::TotalSfaBytes() const {
+  size_t n = 0;
+  for (const Sfa& s : sfas) n += s.SizeBytes();
+  return n;
+}
+
+size_t OcrDataset::TotalTextBytes() const {
+  size_t n = 0;
+  for (const std::string& l : corpus.lines) n += l.size() + 1;
+  return n;
+}
+
+Result<OcrDataset> GenerateOcrDataset(const CorpusSpec& spec,
+                                      const OcrNoiseModel& model) {
+  OcrDataset ds;
+  ds.corpus = GenerateCorpus(spec);
+  Rng rng(spec.seed ^ 0x9e3779b97f4a7c15ULL);
+  ds.sfas.reserve(ds.corpus.lines.size());
+  for (const std::string& line : ds.corpus.lines) {
+    STACCATO_ASSIGN_OR_RETURN(Sfa sfa, OcrLineToSfa(line, model, &rng));
+    ds.sfas.push_back(std::move(sfa));
+  }
+  return ds;
+}
+
+std::vector<std::string> DatasetQueries(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kCongressActs:
+      return {"Attorney",      "Commission", "employment",
+              "President",     "United States",
+              "Public Law (8|9)\\d", "U.S.C. 2\\d\\d\\d"};
+    case DatasetKind::kLiterature:
+      return {"Brinkmann", "Hitler",   "Jonathan", "Kerouac",
+              "Third Reich", "19\\d\\d, \\d\\d", "spontan(\\x)*"};
+    case DatasetKind::kDbPapers:
+      return {"accuracy", "confidence", "database", "lineage",
+              "Trio",     "Sec(\\x)*\\d", "\\x\\x\\x\\d\\d"};
+  }
+  return {};
+}
+
+}  // namespace staccato

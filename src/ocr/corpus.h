@@ -1,0 +1,65 @@
+// Synthetic corpora styled after the paper's three datasets (Table 2):
+// Congress Acts (CA), English Literature (LT), and Database Papers (DB).
+// Each corpus is a set of "pages" of ground-truth text lines whose
+// vocabulary contains the query targets of Table 6 (President, Public Law,
+// U.S.C. codes, Brinkmann, Kerouac, Trio, lineage, ...) at controlled
+// frequencies, so every experiment query has a non-trivial ground truth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ocr/generator.h"
+#include "sfa/sfa.h"
+#include "util/result.h"
+
+namespace staccato {
+
+enum class DatasetKind {
+  kCongressActs,  // "CA"
+  kLiterature,    // "LT"
+  kDbPapers,      // "DB"
+};
+
+const char* DatasetName(DatasetKind kind);
+
+/// \brief Shape of a generated corpus.
+struct CorpusSpec {
+  DatasetKind kind = DatasetKind::kCongressActs;
+  size_t num_pages = 8;
+  size_t lines_per_page = 42;
+  /// Approximate line length in characters (scanned-book lines are long;
+  /// short lines make the Staccato chunks trivially small).
+  size_t max_line_chars = 60;
+  uint64_t seed = 42;
+};
+
+/// \brief Ground-truth text corpus; one SFA will be produced per line.
+struct Corpus {
+  std::string name;
+  std::vector<std::string> lines;
+  std::vector<uint32_t> page_of_line;  // parallel to lines
+  size_t num_pages = 0;
+};
+
+Corpus GenerateCorpus(const CorpusSpec& spec);
+
+/// \brief A corpus pushed through the OCR channel: per-line SFAs plus truth.
+struct OcrDataset {
+  Corpus corpus;
+  std::vector<Sfa> sfas;  // parallel to corpus.lines
+
+  size_t TotalSfaBytes() const;
+  size_t TotalTextBytes() const;
+};
+
+/// Generates the corpus and runs every line through the OCR channel.
+Result<OcrDataset> GenerateOcrDataset(const CorpusSpec& spec,
+                                      const OcrNoiseModel& model);
+
+/// The seven benchmark queries of Table 6 for a dataset (keywords first,
+/// then regexes), e.g. CA1='Attorney' ... CA7='U.S.C. 2\d\d\d'.
+std::vector<std::string> DatasetQueries(DatasetKind kind);
+
+}  // namespace staccato

@@ -1,0 +1,126 @@
+#include "ocr/generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "automata/pattern.h"
+#include "ocr/confusion.h"
+
+namespace staccato {
+
+namespace {
+
+// Builds the weighted reading list for one glyph: `truth` plus confusables
+// plus random fill, `alternatives` distinct characters in total, with
+// probabilities summing to `total_mass`. Characters in `exclude` are never
+// used — branching nodes need disjoint label sets on their outgoing edges
+// to preserve the unique-path property.
+std::vector<Transition> GlyphReadings(char truth, double total_mass,
+                                      const OcrNoiseModel& model, Rng* rng,
+                                      const std::set<char>& exclude = {}) {
+  std::vector<char> chars;
+  std::set<char> used;
+  auto push = [&](char c) {
+    if (IsAlphabetChar(c) && !exclude.count(c) && used.insert(c).second) {
+      chars.push_back(c);
+    }
+  };
+  push(truth);
+  for (char c : ConfusablesFor(truth)) push(c);
+  for (int attempts = 0; chars.size() < model.alternatives && attempts < 1000;
+       ++attempts) {
+    push(IndexChar(static_cast<int>(rng->UniformInt(0, kAlphabetSize - 1))));
+  }
+  if (chars.size() > model.alternatives) chars.resize(model.alternatives);
+
+  if (chars.size() == 1) {
+    return {{std::string(1, chars[0]), total_mass}};
+  }
+  // Confidence of the winner; remaining mass decays geometrically.
+  double conf = std::clamp(
+      rng->Normal(model.confidence_mean, model.confidence_stddev), 0.40, 0.95);
+  bool hard_glyph = !((truth >= 'a' && truth <= 'z') ||
+                      (truth >= 'A' && truth <= 'Z') || truth == ' ');
+  double p_err = std::min(0.9, model.p_error *
+                                   (hard_glyph ? model.digit_error_factor : 1.0));
+  bool flip = rng->Coin(p_err) && chars.size() > 1;
+  if (flip) {
+    // The channel misreads this glyph: a confusable becomes the argmax.
+    std::swap(chars[0], chars[1]);
+  }
+  // Raw geometric weights, floored so deep tails never underflow to zero,
+  // then normalized to exactly total_mass.
+  std::vector<double> raw(chars.size());
+  raw[0] = conf;
+  double rest = 1.0 - conf;
+  double decay = 0.55;
+  double weight = rest * (1.0 - decay);
+  double sum = conf;
+  for (size_t i = 1; i < chars.size(); ++i) {
+    raw[i] = weight + 1e-9;
+    sum += raw[i];
+    weight *= decay;
+  }
+  std::vector<Transition> out;
+  out.reserve(chars.size());
+  for (size_t i = 0; i < chars.size(); ++i) {
+    out.push_back({std::string(1, chars[i]), raw[i] / sum * total_mass});
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Sfa> OcrLineToSfa(const std::string& line, const OcrNoiseModel& model,
+                         Rng* rng) {
+  if (line.empty()) return Status::InvalidArgument("empty line");
+  if (model.alternatives < 2 ||
+      model.alternatives > static_cast<size_t>(kAlphabetSize)) {
+    return Status::InvalidArgument("alternatives must be in [2, 95]");
+  }
+  for (char c : line) {
+    if (!IsAlphabetChar(c)) {
+      return Status::InvalidArgument("line contains non-printable character");
+    }
+  }
+  SfaBuilder b;
+  NodeId cur = b.AddNode();
+  b.SetStart(cur);
+  for (size_t i = 0; i < line.size(); ++i) {
+    char truth = line[i];
+    NodeId next = b.AddNode();
+    std::string split = SegmentationSplit(truth);
+    bool branch = !split.empty() && rng->Coin(model.p_branch);
+    if (branch) {
+      // Diamond: direct single-character reading with mass 0.6, two-edge
+      // split reading with mass 0.4. The two outgoing edges of `cur` carry
+      // disjoint character sets, so every emitted string identifies which
+      // branch was taken — the unique-path property is preserved globally.
+      std::vector<Transition> split_first =
+          GlyphReadings(split[0], 0.4, model, rng, /*exclude=*/{truth});
+      std::set<char> taken;
+      for (const Transition& t : split_first) taken.insert(t.label[0]);
+      std::vector<Transition> direct = GlyphReadings(truth, 0.6, model, rng,
+                                                     /*exclude=*/taken);
+      for (Transition& t : direct) {
+        STACCATO_RETURN_NOT_OK(b.AddTransition(cur, next, std::move(t.label), t.prob));
+      }
+      NodeId mid = b.AddNode();
+      for (Transition& t : split_first) {
+        STACCATO_RETURN_NOT_OK(b.AddTransition(cur, mid, std::move(t.label), t.prob));
+      }
+      for (Transition& t : GlyphReadings(split[1], 1.0, model, rng)) {
+        STACCATO_RETURN_NOT_OK(b.AddTransition(mid, next, std::move(t.label), t.prob));
+      }
+    } else {
+      for (Transition& t : GlyphReadings(truth, 1.0, model, rng)) {
+        STACCATO_RETURN_NOT_OK(b.AddTransition(cur, next, std::move(t.label), t.prob));
+      }
+    }
+    cur = next;
+  }
+  b.SetFinal(cur);
+  return b.Build(/*require_stochastic=*/true);
+}
+
+}  // namespace staccato

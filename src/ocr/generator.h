@@ -1,0 +1,49 @@
+// Synthetic OCR channel: converts a ground-truth ASCII line into the
+// per-line SFA an OCR engine such as OCRopus would emit.
+//
+// The channel reproduces the statistical properties of real OCR output that
+// the paper's experiments depend on:
+//  * per-position uncertainty — each glyph has several weighted ASCII
+//    readings (confusion classes from `confusion.h`);
+//  * transcription errors — with probability `p_error` the most likely
+//    reading is *not* the true character, so the MAP string loses answers;
+//  * segmentation ambiguity — with probability `p_branch` a glyph is also
+//    readable as a two-character split ('m' vs "rn"), which creates the
+//    DAG branching that distinguishes SFAs from flat per-position models.
+#pragma once
+
+#include <string>
+
+#include "sfa/sfa.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace staccato {
+
+/// \brief Parameters of the synthetic OCR channel.
+struct OcrNoiseModel {
+  /// Probability that a position's MAP reading differs from the truth.
+  double p_error = 0.05;
+  /// Digits and punctuation are harder to OCR than letters (the paper's
+  /// regex queries show much lower MAP recall than keywords); their error
+  /// probability is p_error * digit_error_factor.
+  double digit_error_factor = 3.0;
+  /// Probability of a segmentation diamond at an eligible position.
+  double p_branch = 0.10;
+  /// Mean confidence of the winning reading (per-position confidence is
+  /// sampled from a clamped normal around this mean).
+  double confidence_mean = 0.70;
+  double confidence_stddev = 0.12;
+  /// Number of weighted readings per edge. OCRopus emits one arc per ASCII
+  /// character (95); smaller values shrink the data without changing any
+  /// code path.
+  size_t alternatives = 12;
+};
+
+/// Converts one text line into an SFA under the noise model. The result is
+/// stochastic (per-node outgoing mass sums to 1) and satisfies the
+/// unique-path property by construction.
+Result<Sfa> OcrLineToSfa(const std::string& line, const OcrNoiseModel& model,
+                         Rng* rng);
+
+}  // namespace staccato

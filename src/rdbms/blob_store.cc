@@ -1,0 +1,63 @@
+#include "rdbms/blob_store.h"
+
+#include "util/serde.h"
+
+namespace staccato::rdbms {
+
+Result<std::unique_ptr<BlobStore>> BlobStore::Create(const std::string& path) {
+  auto store = std::unique_ptr<BlobStore>(new BlobStore(path));
+  store->file_ = fopen(path.c_str(), "w+b");
+  if (store->file_ == nullptr) return Status::IOError("cannot create " + path);
+  return store;
+}
+
+Result<std::unique_ptr<BlobStore>> BlobStore::Open(const std::string& path) {
+  auto store = std::unique_ptr<BlobStore>(new BlobStore(path));
+  store->file_ = fopen(path.c_str(), "r+b");
+  if (store->file_ == nullptr) return Status::IOError("cannot open " + path);
+  fseek(store->file_, 0, SEEK_END);
+  store->end_ = static_cast<uint64_t>(ftell(store->file_));
+  return store;
+}
+
+BlobStore::~BlobStore() {
+  if (file_ != nullptr) fclose(file_);
+}
+
+Result<BlobId> BlobStore::Put(const std::string& data) {
+  if (fseek(file_, static_cast<long>(end_), SEEK_SET) != 0) {
+    return Status::IOError("seek failed");
+  }
+  uint64_t len = data.size();
+  if (fwrite(&len, sizeof(len), 1, file_) != 1) {
+    return Status::IOError("short write (header)");
+  }
+  if (!data.empty() && fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+    return Status::IOError("short write (payload)");
+  }
+  BlobId id = end_;
+  end_ += sizeof(len) + data.size();
+  return id;
+}
+
+Result<std::string> BlobStore::Get(BlobId id) {
+  if (id >= end_) return Status::NotFound("blob id out of range");
+  if (fseek(file_, static_cast<long>(id), SEEK_SET) != 0) {
+    return Status::IOError("seek failed");
+  }
+  uint64_t len = 0;
+  if (fread(&len, sizeof(len), 1, file_) != 1) {
+    return Status::IOError("short read (header)");
+  }
+  if (id + sizeof(len) + len > end_) {
+    return Status::Corruption("blob length past end of store");
+  }
+  std::string data(len, '\0');
+  if (len > 0 && fread(data.data(), 1, len, file_) != len) {
+    return Status::IOError("short read (payload)");
+  }
+  bytes_read_ += sizeof(len) + len;
+  return data;
+}
+
+}  // namespace staccato::rdbms

@@ -1,0 +1,45 @@
+// Append-only blob store: the OID-addressed large-object storage the
+// FullSFA and StaccatoGraph columns point into (the paper stores serialized
+// transducers as Postgres large objects).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "util/result.h"
+
+namespace staccato::rdbms {
+
+using BlobId = uint64_t;
+
+/// \brief File-backed append-only blob store.
+class BlobStore {
+ public:
+  static Result<std::unique_ptr<BlobStore>> Create(const std::string& path);
+  static Result<std::unique_ptr<BlobStore>> Open(const std::string& path);
+
+  ~BlobStore();
+  BlobStore(const BlobStore&) = delete;
+  BlobStore& operator=(const BlobStore&) = delete;
+
+  /// Appends a blob; the returned id is its file offset.
+  Result<BlobId> Put(const std::string& data);
+
+  /// Reads a blob back.
+  Result<std::string> Get(BlobId id);
+
+  uint64_t FileBytes() const { return end_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+  void ResetStats() { bytes_read_ = 0; }
+
+ private:
+  explicit BlobStore(std::string path) : path_(std::move(path)) {}
+
+  std::string path_;
+  FILE* file_ = nullptr;
+  uint64_t end_ = 0;
+  uint64_t bytes_read_ = 0;
+};
+
+}  // namespace staccato::rdbms

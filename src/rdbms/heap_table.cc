@@ -1,0 +1,174 @@
+#include "rdbms/heap_table.h"
+
+#include <sys/stat.h>
+
+#include "util/strings.h"
+
+namespace staccato::rdbms {
+
+namespace {
+Result<FILE*> OpenFile(const std::string& path, bool truncate) {
+  FILE* f = fopen(path.c_str(), truncate ? "w+b" : "r+b");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path);
+  }
+  return f;
+}
+}  // namespace
+
+Result<std::unique_ptr<HeapTable>> HeapTable::Create(const std::string& path,
+                                                     Schema schema,
+                                                     size_t pool_pages) {
+  auto table = std::unique_ptr<HeapTable>(
+      new HeapTable(path, std::move(schema), pool_pages));
+  STACCATO_ASSIGN_OR_RETURN(table->file_, OpenFile(path, /*truncate=*/true));
+  return table;
+}
+
+Result<std::unique_ptr<HeapTable>> HeapTable::Open(const std::string& path,
+                                                   Schema schema,
+                                                   size_t pool_pages) {
+  auto table = std::unique_ptr<HeapTable>(
+      new HeapTable(path, std::move(schema), pool_pages));
+  STACCATO_ASSIGN_OR_RETURN(table->file_, OpenFile(path, /*truncate=*/false));
+  fseek(table->file_, 0, SEEK_END);
+  long size = ftell(table->file_);
+  if (size < 0 || size % static_cast<long>(kPageSize) != 0) {
+    return Status::Corruption("heap file size is not a multiple of page size");
+  }
+  table->num_pages_ = static_cast<size_t>(size) / kPageSize;
+  // Recount tuples (cheap metadata pass; a production system would keep a
+  // catalog entry instead).
+  for (uint32_t p = 0; p < table->num_pages_; ++p) {
+    STACCATO_ASSIGN_OR_RETURN(Frame * f, table->FetchPage(p));
+    table->num_tuples_ += f->page.NumSlots();
+  }
+  return table;
+}
+
+HeapTable::~HeapTable() {
+  if (file_ != nullptr) {
+    (void)Flush();
+    fclose(file_);
+  }
+}
+
+Status HeapTable::WritePage(uint32_t page_no, const SlottedPage& page) {
+  if (fseek(file_, static_cast<long>(page_no) * static_cast<long>(kPageSize),
+            SEEK_SET) != 0) {
+    return Status::IOError("seek failed");
+  }
+  if (fwrite(page.raw(), 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("short write");
+  }
+  ++io_.pages_written;
+  return Status::OK();
+}
+
+Status HeapTable::EvictOne() {
+  if (lru_.empty()) return Status::Internal("buffer pool empty");
+  uint32_t victim = lru_.back();
+  auto it = pool_.find(victim);
+  if (it->second.dirty) {
+    STACCATO_RETURN_NOT_OK(WritePage(victim, it->second.page));
+  }
+  lru_.pop_back();
+  pool_.erase(it);
+  return Status::OK();
+}
+
+Result<HeapTable::Frame*> HeapTable::FetchPage(uint32_t page_no) {
+  ++io_.page_reads;
+  auto it = pool_.find(page_no);
+  if (it != pool_.end()) {
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(page_no);
+    it->second.lru_it = lru_.begin();
+    return &it->second;
+  }
+  ++io_.page_misses;
+  io_.bytes_read += kPageSize;
+  while (pool_.size() >= pool_cap_) {
+    STACCATO_RETURN_NOT_OK(EvictOne());
+  }
+  Frame frame;
+  if (page_no < num_pages_) {
+    if (fseek(file_, static_cast<long>(page_no) * static_cast<long>(kPageSize),
+              SEEK_SET) != 0) {
+      return Status::IOError("seek failed");
+    }
+    if (fread(frame.page.raw(), 1, kPageSize, file_) != kPageSize) {
+      return Status::IOError("short read");
+    }
+  } else {
+    frame.page.Init();
+  }
+  auto [ins, ok] = pool_.emplace(page_no, std::move(frame));
+  lru_.push_front(page_no);
+  ins->second.lru_it = lru_.begin();
+  return &ins->second;
+}
+
+Result<RecordId> HeapTable::Insert(const Tuple& tuple) {
+  STACCATO_RETURN_NOT_OK(schema_.CheckTuple(tuple));
+  BinaryWriter w;
+  schema_.EncodeTuple(tuple, &w);
+  const std::string& rec = w.buffer();
+  if (rec.size() > kPageSize / 2) {
+    return Status::InvalidArgument(
+        "record too large for slotted page; store large payloads as blobs");
+  }
+  uint32_t page_no =
+      num_pages_ == 0 ? 0 : static_cast<uint32_t>(num_pages_ - 1);
+  STACCATO_ASSIGN_OR_RETURN(Frame * frame, FetchPage(page_no));
+  if (!frame->page.Fits(rec.size())) {
+    page_no = static_cast<uint32_t>(num_pages_);
+    STACCATO_ASSIGN_OR_RETURN(frame, FetchPage(page_no));
+  }
+  STACCATO_ASSIGN_OR_RETURN(uint16_t slot, frame->page.Insert(rec));
+  frame->dirty = true;
+  if (page_no >= num_pages_) num_pages_ = page_no + 1;
+  ++num_tuples_;
+  return RecordId{page_no, slot};
+}
+
+Result<Tuple> HeapTable::Get(RecordId rid) {
+  if (rid.page >= num_pages_) return Status::NotFound("page out of range");
+  STACCATO_ASSIGN_OR_RETURN(Frame * frame, FetchPage(rid.page));
+  STACCATO_ASSIGN_OR_RETURN(std::string_view rec, frame->page.Get(rid.slot));
+  BinaryReader r(rec.data(), rec.size());
+  return schema_.DecodeTuple(&r);
+}
+
+Status HeapTable::Scan(const std::function<bool(RecordId, const Tuple&)>& fn) {
+  for (uint32_t p = 0; p < num_pages_; ++p) {
+    STACCATO_ASSIGN_OR_RETURN(Frame * frame, FetchPage(p));
+    uint16_t slots = frame->page.NumSlots();
+    for (uint16_t s = 0; s < slots; ++s) {
+      STACCATO_ASSIGN_OR_RETURN(std::string_view rec, frame->page.Get(s));
+      BinaryReader r(rec.data(), rec.size());
+      STACCATO_ASSIGN_OR_RETURN(Tuple t, schema_.DecodeTuple(&r));
+      if (!fn(RecordId{p, s}, t)) return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status HeapTable::Flush() {
+  for (auto& [page_no, frame] : pool_) {
+    if (frame.dirty) {
+      STACCATO_RETURN_NOT_OK(WritePage(page_no, frame.page));
+      frame.dirty = false;
+    }
+  }
+  fflush(file_);
+  return Status::OK();
+}
+
+void HeapTable::EvictAll() {
+  (void)Flush();
+  pool_.clear();
+  lru_.clear();
+}
+
+}  // namespace staccato::rdbms

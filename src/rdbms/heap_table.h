@@ -1,0 +1,89 @@
+// Disk-backed heap tables of slotted pages, with a small LRU buffer pool.
+// This is the filescan substrate of every non-indexed query in the paper.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "rdbms/page.h"
+#include "rdbms/value.h"
+#include "util/result.h"
+
+namespace staccato::rdbms {
+
+/// \brief I/O accounting for the benches: logical and physical page reads.
+struct IoStats {
+  uint64_t page_reads = 0;      ///< pages fetched (buffer pool hits included)
+  uint64_t page_misses = 0;     ///< pages read from disk
+  uint64_t pages_written = 0;
+  uint64_t bytes_read = 0;      ///< physical bytes read from disk
+};
+
+/// \brief A heap file of tuples under a fixed schema.
+class HeapTable {
+ public:
+  /// Creates (truncates) a heap file.
+  static Result<std::unique_ptr<HeapTable>> Create(const std::string& path,
+                                                   Schema schema,
+                                                   size_t pool_pages = 64);
+  /// Opens an existing heap file.
+  static Result<std::unique_ptr<HeapTable>> Open(const std::string& path,
+                                                 Schema schema,
+                                                 size_t pool_pages = 64);
+
+  ~HeapTable();
+  HeapTable(const HeapTable&) = delete;
+  HeapTable& operator=(const HeapTable&) = delete;
+
+  const Schema& schema() const { return schema_; }
+
+  Result<RecordId> Insert(const Tuple& tuple);
+
+  Result<Tuple> Get(RecordId rid);
+
+  /// Full filescan in storage order. The callback returns false to stop.
+  Status Scan(const std::function<bool(RecordId, const Tuple&)>& fn);
+
+  /// Flushes dirty pages to disk.
+  Status Flush();
+
+  size_t NumPages() const { return num_pages_; }
+  uint64_t NumTuples() const { return num_tuples_; }
+  uint64_t FileBytes() const { return static_cast<uint64_t>(num_pages_) * kPageSize; }
+
+  const IoStats& io_stats() const { return io_; }
+  void ResetIoStats() { io_ = IoStats{}; }
+
+  /// Drops all cached pages (simulates a cold cache for benchmarks).
+  void EvictAll();
+
+ private:
+  HeapTable(std::string path, Schema schema, size_t pool_pages)
+      : path_(std::move(path)), schema_(std::move(schema)), pool_cap_(pool_pages) {}
+
+  struct Frame {
+    SlottedPage page;
+    bool dirty = false;
+    std::list<uint32_t>::iterator lru_it;
+  };
+
+  Result<Frame*> FetchPage(uint32_t page_no);
+  Status WritePage(uint32_t page_no, const SlottedPage& page);
+  Status EvictOne();
+
+  std::string path_;
+  Schema schema_;
+  size_t pool_cap_;
+  FILE* file_ = nullptr;
+  size_t num_pages_ = 0;
+  uint64_t num_tuples_ = 0;
+  std::unordered_map<uint32_t, Frame> pool_;
+  std::list<uint32_t> lru_;  // front = most recent
+  IoStats io_;
+};
+
+}  // namespace staccato::rdbms

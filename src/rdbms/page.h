@@ -1,0 +1,77 @@
+// Slotted pages: the on-disk unit of the heap tables. Classic layout —
+// header and slot directory grow from the front, record payloads grow from
+// the back; a record is addressed by (page id, slot id).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace staccato::rdbms {
+
+inline constexpr size_t kPageSize = 8192;
+
+/// \brief Record address: page number within a table file plus slot index.
+struct RecordId {
+  uint32_t page = 0;
+  uint16_t slot = 0;
+
+  bool operator==(const RecordId& o) const {
+    return page == o.page && slot == o.slot;
+  }
+};
+
+/// \brief One 8 KiB slotted page.
+///
+/// Layout:
+///   [u16 num_slots][u16 free_end][slot dir: u16 off, u16 len per slot]...
+///   ...free space... [record data packed at the tail]
+class SlottedPage {
+ public:
+  SlottedPage() { Init(); }
+
+  void Init() {
+    std::memset(data_, 0, kPageSize);
+    SetNumSlots(0);
+    SetFreeEnd(kPageSize);
+  }
+
+  uint16_t NumSlots() const { return ReadU16(0); }
+
+  /// Bytes still available for one more record (including its slot entry).
+  size_t FreeSpace() const;
+
+  /// True if a record of `len` bytes fits.
+  bool Fits(size_t len) const { return FreeSpace() >= len + kSlotEntrySize; }
+
+  /// Appends a record; fails with OutOfRange if it does not fit.
+  Result<uint16_t> Insert(std::string_view record);
+
+  /// Reads the record in `slot`.
+  Result<std::string_view> Get(uint16_t slot) const;
+
+  const char* raw() const { return data_; }
+  char* raw() { return data_; }
+
+ private:
+  static constexpr size_t kHeaderSize = 4;
+  static constexpr size_t kSlotEntrySize = 4;
+
+  uint16_t ReadU16(size_t off) const {
+    uint16_t v;
+    std::memcpy(&v, data_ + off, 2);
+    return v;
+  }
+  void WriteU16(size_t off, uint16_t v) { std::memcpy(data_ + off, &v, 2); }
+
+  uint16_t FreeEnd() const { return ReadU16(2); }
+  void SetNumSlots(uint16_t n) { WriteU16(0, n); }
+  void SetFreeEnd(uint16_t v) { WriteU16(2, v); }
+
+  char data_[kPageSize];
+};
+
+}  // namespace staccato::rdbms

@@ -1,0 +1,184 @@
+#include "rdbms/sql.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace staccato::rdbms {
+
+namespace {
+
+struct Token {
+  enum class Kind { kWord, kSymbol, kString, kEnd };
+  Kind kind;
+  std::string text;  // words upper-cased for keyword compare; raw for others
+  std::string raw;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& sql) : sql_(sql) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    size_t i = 0;
+    while (i < sql_.size()) {
+      char c = sql_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '\'') {
+        size_t j = i + 1;
+        std::string lit;
+        while (j < sql_.size() && sql_[j] != '\'') lit.push_back(sql_[j++]);
+        if (j >= sql_.size()) {
+          return Status::InvalidArgument("unterminated string literal");
+        }
+        out.push_back({Token::Kind::kString, lit, lit});
+        i = j + 1;
+        continue;
+      }
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.') {
+        size_t j = i;
+        while (j < sql_.size() &&
+               (std::isalnum(static_cast<unsigned char>(sql_[j])) ||
+                sql_[j] == '_' || sql_[j] == '.')) {
+          ++j;
+        }
+        std::string raw = sql_.substr(i, j - i);
+        std::string upper = raw;
+        for (char& ch : upper) {
+          ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+        }
+        out.push_back({Token::Kind::kWord, upper, raw});
+        i = j;
+        continue;
+      }
+      if (c == ',' || c == '=' || c == ';' || c == '*' || c == '(' || c == ')') {
+        out.push_back({Token::Kind::kSymbol, std::string(1, c), std::string(1, c)});
+        ++i;
+        continue;
+      }
+      return Status::InvalidArgument(
+          StringPrintf("unexpected character '%c' in SQL", c));
+    }
+    out.push_back({Token::Kind::kEnd, "", ""});
+    return out;
+  }
+
+ private:
+  const std::string& sql_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> Parse() {
+    SelectStatement stmt;
+    STACCATO_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    // Select list: '*' or comma-separated identifiers.
+    if (PeekSymbol("*")) {
+      ++pos_;
+      stmt.select_columns.push_back("*");
+    } else {
+      while (true) {
+        STACCATO_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        stmt.select_columns.push_back(col);
+        if (!PeekSymbol(",")) break;
+        ++pos_;
+      }
+    }
+    STACCATO_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    STACCATO_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    if (PeekKeyword("WHERE")) {
+      ++pos_;
+      while (true) {
+        STACCATO_RETURN_NOT_OK(ParsePredicate(&stmt));
+        if (!PeekKeyword("AND")) break;
+        ++pos_;
+      }
+    }
+    if (PeekSymbol(";")) ++pos_;
+    if (tokens_[pos_].kind != Token::Kind::kEnd) {
+      return Status::InvalidArgument("trailing tokens after statement");
+    }
+    return stmt;
+  }
+
+ private:
+  Status ParsePredicate(SelectStatement* stmt) {
+    STACCATO_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+    if (PeekKeyword("LIKE")) {
+      ++pos_;
+      if (tokens_[pos_].kind != Token::Kind::kString) {
+        return Status::InvalidArgument("LIKE requires a string literal");
+      }
+      if (stmt->like.has_value()) {
+        return Status::NotImplemented("multiple LIKE predicates");
+      }
+      LikePredicate like;
+      like.column = col;
+      std::string lit = tokens_[pos_++].raw;
+      if (!lit.empty() && lit.front() == '%') {
+        like.anchored_left = false;
+        lit.erase(lit.begin());
+      }
+      if (!lit.empty() && lit.back() == '%') {
+        like.anchored_right = false;
+        lit.pop_back();
+      }
+      if (lit.empty()) {
+        return Status::InvalidArgument("empty LIKE pattern");
+      }
+      like.pattern = lit;
+      stmt->like = std::move(like);
+      return Status::OK();
+    }
+    if (PeekSymbol("=")) {
+      ++pos_;
+      const Token& t = tokens_[pos_];
+      if (t.kind != Token::Kind::kWord && t.kind != Token::Kind::kString) {
+        return Status::InvalidArgument("expected literal after '='");
+      }
+      ++pos_;
+      stmt->equalities.push_back({col, t.raw});
+      return Status::OK();
+    }
+    return Status::InvalidArgument("expected LIKE or '=' after column " + col);
+  }
+
+  bool PeekSymbol(const std::string& s) const {
+    return tokens_[pos_].kind == Token::Kind::kSymbol && tokens_[pos_].text == s;
+  }
+  bool PeekKeyword(const std::string& kw) const {
+    return tokens_[pos_].kind == Token::Kind::kWord && tokens_[pos_].text == kw;
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!PeekKeyword(kw)) {
+      return Status::InvalidArgument("expected " + kw);
+    }
+    ++pos_;
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdentifier() {
+    if (tokens_[pos_].kind != Token::Kind::kWord) {
+      return Status::InvalidArgument("expected identifier");
+    }
+    return tokens_[pos_++].raw;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> ParseSelect(const std::string& sql) {
+  Lexer lexer(sql);
+  STACCATO_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  return Parser(std::move(tokens)).Parse();
+}
+
+}  // namespace staccato::rdbms

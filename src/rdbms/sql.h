@@ -1,0 +1,47 @@
+// A minimal SQL front-end for the query class the paper targets: single
+// table select-project with conjunctive WHERE clauses, one of which is a
+// LIKE predicate over an OCR document column, e.g.
+//
+//   SELECT DocID, Loss FROM Claims
+//   WHERE Year = 2010 AND DocData LIKE '%Ford%';
+//
+// The point of Staccato is that this statement is *unchanged* whether
+// DocData is plain text or a probabilistic OCR model; the parser extracts
+// the pieces the probabilistic executor needs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace staccato::rdbms {
+
+/// \brief An equality predicate `column = value` (value kept as written).
+struct EqualityPredicate {
+  std::string column;
+  std::string value;
+};
+
+/// \brief A LIKE predicate `column LIKE '%pattern%'`.
+struct LikePredicate {
+  std::string column;
+  std::string pattern;        ///< with the surrounding %...% stripped
+  bool anchored_left = true;  ///< false when the literal started with '%'
+  bool anchored_right = true; ///< false when the literal ended with '%'
+};
+
+/// \brief Parsed single-table select-project-LIKE statement.
+struct SelectStatement {
+  std::vector<std::string> select_columns;  // "*" becomes a single "*"
+  std::string table;
+  std::vector<EqualityPredicate> equalities;
+  std::optional<LikePredicate> like;
+};
+
+/// Parses the supported SQL subset. Keywords are case-insensitive;
+/// identifiers keep their case. A trailing ';' is allowed.
+Result<SelectStatement> ParseSelect(const std::string& sql);
+
+}  // namespace staccato::rdbms

@@ -1,0 +1,470 @@
+#include "rdbms/staccato_db.h"
+
+#include "rdbms/sql.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <thread>
+
+#include "automata/dfa.h"
+#include "indexing/index_builder.h"
+#include "indexing/projection.h"
+#include "inference/kbest.h"
+#include "inference/query_eval.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace staccato::rdbms {
+
+namespace {
+
+Schema MasterSchema() {
+  return Schema({{"DataKey", ValueType::kInt},
+                 {"DocName", ValueType::kString},
+                 {"SFANum", ValueType::kInt}});
+}
+Schema TruthSchema() {
+  return Schema({{"DataKey", ValueType::kInt}, {"Data", ValueType::kString}});
+}
+Schema KMapSchema() {
+  return Schema({{"DataKey", ValueType::kInt},
+                 {"LineNum", ValueType::kInt},  // rank of the path
+                 {"Data", ValueType::kString},
+                 {"LogProb", ValueType::kDouble}});
+}
+Schema FullSfaSchema() {
+  return Schema({{"DataKey", ValueType::kInt}, {"SFABlob", ValueType::kBlobId}});
+}
+Schema StaccatoDataSchema() {
+  return Schema({{"DataKey", ValueType::kInt},
+                 {"ChunkNum", ValueType::kInt},
+                 {"LineNum", ValueType::kInt},
+                 {"Data", ValueType::kString},
+                 {"LogProb", ValueType::kDouble}});
+}
+Schema StaccatoGraphSchema() {
+  return Schema({{"DataKey", ValueType::kInt}, {"GraphBlob", ValueType::kBlobId}});
+}
+Schema PostingsSchema() {
+  return Schema({{"Term", ValueType::kString},
+                 {"DataKey", ValueType::kInt},
+                 {"Posting", ValueType::kInt}});
+}
+
+uint64_t PackRid(RecordId rid) {
+  return (static_cast<uint64_t>(rid.page) << 16) | rid.slot;
+}
+RecordId UnpackRid(uint64_t v) {
+  return RecordId{static_cast<uint32_t>(v >> 16), static_cast<uint16_t>(v & 0xFFFF)};
+}
+
+}  // namespace
+
+const char* ApproachName(Approach a) {
+  switch (a) {
+    case Approach::kMap: return "MAP";
+    case Approach::kKMap: return "k-MAP";
+    case Approach::kFullSfa: return "FullSFA";
+    case Approach::kStaccato: return "STACCATO";
+  }
+  return "?";
+}
+
+Result<std::unique_ptr<StaccatoDb>> StaccatoDb::Open(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create directory " + dir);
+  auto db = std::unique_ptr<StaccatoDb>(new StaccatoDb(dir));
+  STACCATO_ASSIGN_OR_RETURN(db->master_,
+                            HeapTable::Create(dir + "/master.tbl", MasterSchema()));
+  STACCATO_ASSIGN_OR_RETURN(db->truth_,
+                            HeapTable::Create(dir + "/truth.tbl", TruthSchema()));
+  STACCATO_ASSIGN_OR_RETURN(db->kmap_,
+                            HeapTable::Create(dir + "/kmap.tbl", KMapSchema()));
+  STACCATO_ASSIGN_OR_RETURN(
+      db->fullsfa_, HeapTable::Create(dir + "/fullsfa.tbl", FullSfaSchema()));
+  STACCATO_ASSIGN_OR_RETURN(
+      db->staccato_,
+      HeapTable::Create(dir + "/staccato.tbl", StaccatoDataSchema()));
+  STACCATO_ASSIGN_OR_RETURN(
+      db->staccato_graph_,
+      HeapTable::Create(dir + "/staccato_graph.tbl", StaccatoGraphSchema()));
+  STACCATO_ASSIGN_OR_RETURN(
+      db->postings_, HeapTable::Create(dir + "/postings.tbl", PostingsSchema()));
+  STACCATO_ASSIGN_OR_RETURN(db->blobs_, BlobStore::Create(dir + "/blobs.dat"));
+  return db;
+}
+
+Result<std::unique_ptr<StaccatoDb>> StaccatoDb::OpenExisting(
+    const std::string& dir) {
+  auto db = std::unique_ptr<StaccatoDb>(new StaccatoDb(dir));
+  STACCATO_ASSIGN_OR_RETURN(db->master_,
+                            HeapTable::Open(dir + "/master.tbl", MasterSchema()));
+  STACCATO_ASSIGN_OR_RETURN(db->truth_,
+                            HeapTable::Open(dir + "/truth.tbl", TruthSchema()));
+  STACCATO_ASSIGN_OR_RETURN(db->kmap_,
+                            HeapTable::Open(dir + "/kmap.tbl", KMapSchema()));
+  STACCATO_ASSIGN_OR_RETURN(
+      db->fullsfa_, HeapTable::Open(dir + "/fullsfa.tbl", FullSfaSchema()));
+  STACCATO_ASSIGN_OR_RETURN(
+      db->staccato_, HeapTable::Open(dir + "/staccato.tbl", StaccatoDataSchema()));
+  STACCATO_ASSIGN_OR_RETURN(
+      db->staccato_graph_,
+      HeapTable::Open(dir + "/staccato_graph.tbl", StaccatoGraphSchema()));
+  STACCATO_ASSIGN_OR_RETURN(
+      db->postings_, HeapTable::Open(dir + "/postings.tbl", PostingsSchema()));
+  STACCATO_ASSIGN_OR_RETURN(db->blobs_, BlobStore::Open(dir + "/blobs.dat"));
+
+  // Recover the DataKey -> blob-row maps from the tables themselves.
+  db->num_sfas_ = db->fullsfa_->NumTuples();
+  db->fullsfa_rid_.resize(db->num_sfas_);
+  db->graph_rid_.resize(db->num_sfas_);
+  STACCATO_RETURN_NOT_OK(db->fullsfa_->Scan([&](RecordId rid, const Tuple& t) {
+    size_t key = static_cast<size_t>(t[0].AsInt());
+    if (key < db->num_sfas_) db->fullsfa_rid_[key] = rid;
+    return true;
+  }));
+  STACCATO_RETURN_NOT_OK(
+      db->staccato_graph_->Scan([&](RecordId rid, const Tuple& t) {
+        size_t key = static_cast<size_t>(t[0].AsInt());
+        if (key < db->num_sfas_) db->graph_rid_[key] = rid;
+        return true;
+      }));
+
+  // Rebuild the in-memory B+-tree (and the dictionary trie) from the
+  // persisted postings relation, if an index had been built.
+  if (db->postings_->NumTuples() > 0) {
+    std::set<std::string> terms;
+    STACCATO_RETURN_NOT_OK(db->postings_->Scan([&](RecordId, const Tuple& t) {
+      terms.insert(t[0].AsString());
+      return true;
+    }));
+    STACCATO_ASSIGN_OR_RETURN(
+        DictionaryTrie trie,
+        DictionaryTrie::Build({terms.begin(), terms.end()}));
+    db->dict_.emplace(std::move(trie));
+    db->index_ = std::make_unique<BPlusTree>();
+    STACCATO_RETURN_NOT_OK(db->postings_->Scan([&](RecordId rid, const Tuple& t) {
+      db->index_->Insert(t[0].AsString(), PackRid(rid));
+      return true;
+    }));
+  }
+  return db;
+}
+
+Status StaccatoDb::Load(const OcrDataset& dataset, const LoadOptions& opts) {
+  const size_t n = dataset.sfas.size();
+  num_sfas_ = n;
+
+  // Staccato construction is the expensive part; parallelize across SFAs.
+  size_t threads = opts.construction_threads == 0
+                       ? std::max(1u, std::thread::hardware_concurrency())
+                       : opts.construction_threads;
+  threads = std::min(threads, n == 0 ? size_t{1} : n);
+  std::vector<Sfa> chunked(n);
+  std::vector<Status> errors(threads, Status::OK());
+  std::atomic<size_t> next{0};
+  auto worker = [&](size_t tid) {
+    while (true) {
+      size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      auto r = ApproximateSfa(dataset.sfas[i], opts.staccato);
+      if (!r.ok()) {
+        errors[tid] = r.status();
+        return;
+      }
+      chunked[i] = std::move(*r);
+    }
+  };
+  {
+    std::vector<std::thread> pool;
+    for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (auto& t : pool) t.join();
+  }
+  for (const Status& st : errors) STACCATO_RETURN_NOT_OK(st);
+
+  fullsfa_rid_.resize(n);
+  graph_rid_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t key = static_cast<int64_t>(i);
+    std::string doc_name = StringPrintf(
+        "%s-page-%u", dataset.corpus.name.c_str(), dataset.corpus.page_of_line[i]);
+    STACCATO_RETURN_NOT_OK(
+        master_
+            ->Insert({Value::Int(key), Value::String(doc_name),
+                      Value::Int(static_cast<int64_t>(i))})
+            .status());
+    STACCATO_RETURN_NOT_OK(
+        truth_
+            ->Insert({Value::Int(key), Value::String(dataset.corpus.lines[i])})
+            .status());
+
+    // k-MAP rows (rank 0 is the MAP transcription).
+    std::vector<ScoredString> top = KBestStrings(dataset.sfas[i], opts.kmap_k);
+    for (size_t r = 0; r < top.size(); ++r) {
+      STACCATO_RETURN_NOT_OK(kmap_
+                                 ->Insert({Value::Int(key),
+                                           Value::Int(static_cast<int64_t>(r)),
+                                           Value::String(top[r].str),
+                                           Value::Double(std::log(top[r].prob))})
+                                 .status());
+    }
+
+    // FullSFA blob.
+    STACCATO_ASSIGN_OR_RETURN(BlobId full_id, blobs_->Put(dataset.sfas[i].Serialize()));
+    STACCATO_ASSIGN_OR_RETURN(
+        RecordId full_rid,
+        fullsfa_->Insert({Value::Int(key), Value::Blob(full_id)}));
+    fullsfa_rid_[i] = full_rid;
+
+    // Staccato rows: one per (chunk, retained string), plus the graph blob.
+    const Sfa& ch = chunked[i];
+    for (EdgeId e = 0; e < ch.NumEdges(); ++e) {
+      const Edge& edge = ch.edge(e);
+      for (size_t r = 0; r < edge.transitions.size(); ++r) {
+        STACCATO_RETURN_NOT_OK(
+            staccato_
+                ->Insert({Value::Int(key), Value::Int(static_cast<int64_t>(e)),
+                          Value::Int(static_cast<int64_t>(r)),
+                          Value::String(edge.transitions[r].label),
+                          Value::Double(std::log(edge.transitions[r].prob))})
+                .status());
+      }
+    }
+    STACCATO_ASSIGN_OR_RETURN(BlobId graph_id, blobs_->Put(ch.Serialize()));
+    STACCATO_ASSIGN_OR_RETURN(
+        RecordId graph_rid,
+        staccato_graph_->Insert({Value::Int(key), Value::Blob(graph_id)}));
+    graph_rid_[i] = graph_rid;
+  }
+  STACCATO_RETURN_NOT_OK(master_->Flush());
+  STACCATO_RETURN_NOT_OK(truth_->Flush());
+  STACCATO_RETURN_NOT_OK(kmap_->Flush());
+  STACCATO_RETURN_NOT_OK(fullsfa_->Flush());
+  STACCATO_RETURN_NOT_OK(staccato_->Flush());
+  STACCATO_RETURN_NOT_OK(staccato_graph_->Flush());
+  return Status::OK();
+}
+
+Status StaccatoDb::BuildInvertedIndex(
+    const std::vector<std::string>& dictionary_terms) {
+  STACCATO_ASSIGN_OR_RETURN(DictionaryTrie trie,
+                            DictionaryTrie::Build(dictionary_terms));
+  dict_.emplace(std::move(trie));
+  index_ = std::make_unique<BPlusTree>();
+  for (size_t i = 0; i < num_sfas_; ++i) {
+    STACCATO_ASSIGN_OR_RETURN(Sfa sfa, LoadStaccatoSfa(i));
+    STACCATO_ASSIGN_OR_RETURN(PostingMap postings, BuildPostings(sfa, *dict_));
+    for (const auto& [term, vec] : postings) {
+      for (const Posting& p : vec) {
+        STACCATO_ASSIGN_OR_RETURN(
+            RecordId rid,
+            postings_->Insert({Value::String(dict_->term(term)),
+                               Value::Int(static_cast<int64_t>(i)),
+                               Value::Int(static_cast<int64_t>(PackPosting(p)))}));
+        index_->Insert(dict_->term(term), PackRid(rid));
+      }
+    }
+  }
+  return postings_->Flush();
+}
+
+Result<Sfa> StaccatoDb::LoadStaccatoSfa(DocId doc) {
+  if (doc >= graph_rid_.size()) return Status::NotFound("no such DataKey");
+  STACCATO_ASSIGN_OR_RETURN(Tuple t, staccato_graph_->Get(graph_rid_[doc]));
+  STACCATO_ASSIGN_OR_RETURN(std::string blob, blobs_->Get(t[1].AsBlobId()));
+  return Sfa::Deserialize(blob);
+}
+
+Result<Sfa> StaccatoDb::LoadFullSfa(DocId doc) {
+  if (doc >= fullsfa_rid_.size()) return Status::NotFound("no such DataKey");
+  STACCATO_ASSIGN_OR_RETURN(Tuple t, fullsfa_->Get(fullsfa_rid_[doc]));
+  STACCATO_ASSIGN_OR_RETURN(std::string blob, blobs_->Get(t[1].AsBlobId()));
+  return Sfa::Deserialize(blob);
+}
+
+Result<std::map<DocId, std::vector<uint64_t>>> StaccatoDb::IndexCandidates(
+    const QueryOptions& q, std::string* anchor_out) {
+  if (index_ == nullptr || !dict_) {
+    return Status::InvalidArgument("inverted index not built");
+  }
+  STACCATO_ASSIGN_OR_RETURN(Pattern pat, Pattern::Parse(q.pattern));
+  std::string anchor = pat.AnchorTerm();
+  if (anchor.empty() || dict_->Find(anchor) == kInvalidTerm) {
+    return Status::NotFound("pattern has no dictionary anchor term: '" +
+                            q.pattern + "'");
+  }
+  *anchor_out = anchor;
+  std::vector<uint64_t> rids = index_->Lookup(anchor);
+  std::map<DocId, std::vector<uint64_t>> docs;
+  for (uint64_t packed : rids) {
+    STACCATO_ASSIGN_OR_RETURN(Tuple t, postings_->Get(UnpackRid(packed)));
+    docs[static_cast<DocId>(t[1].AsInt())].push_back(
+        static_cast<uint64_t>(t[2].AsInt()));
+  }
+  return docs;
+}
+
+Result<std::vector<Answer>> StaccatoDb::QueryStrings(bool map_only,
+                                                     const QueryOptions& q,
+                                                     QueryStats* stats) {
+  STACCATO_ASSIGN_OR_RETURN(Dfa dfa, Dfa::Compile(q.pattern, MatchMode::kContains));
+  std::vector<double> prob(num_sfas_, 0.0);
+  kmap_->ResetIoStats();
+  Status scan = kmap_->Scan([&](RecordId, const Tuple& t) {
+    if (map_only && t[1].AsInt() != 0) return true;
+    if (dfa.Matches(t[2].AsString())) {
+      prob[static_cast<size_t>(t[0].AsInt())] += std::exp(t[3].AsDouble());
+    }
+    return true;
+  });
+  STACCATO_RETURN_NOT_OK(scan);
+  if (stats != nullptr) {
+    stats->heap_pages_read += kmap_->io_stats().page_reads;
+    stats->candidates = num_sfas_;
+    stats->selectivity = 1.0;
+  }
+  std::vector<Answer> answers;
+  for (size_t i = 0; i < num_sfas_; ++i) {
+    if (prob[i] > 0.0) answers.push_back({i, std::min(prob[i], 1.0)});
+  }
+  return RankAnswers(std::move(answers), q.num_ans);
+}
+
+Result<std::vector<Answer>> StaccatoDb::QueryBlobs(Approach approach,
+                                                   const QueryOptions& q,
+                                                   QueryStats* stats) {
+  STACCATO_ASSIGN_OR_RETURN(Dfa dfa, Dfa::Compile(q.pattern, MatchMode::kContains));
+  blobs_->ResetStats();
+
+  std::map<DocId, std::vector<uint64_t>> doc_postings;
+  bool indexed = false;
+  size_t total_postings = 0;
+  if (q.use_index && approach == Approach::kStaccato) {
+    std::string anchor;
+    auto cand = IndexCandidates(q, &anchor);
+    if (cand.ok()) {
+      doc_postings = std::move(*cand);
+      indexed = true;
+      for (const auto& [doc, posts] : doc_postings) {
+        total_postings += posts.size();
+      }
+    } else if (!cand.status().IsNotFound()) {
+      return cand.status();
+    }
+  }
+  if (!indexed) {
+    for (size_t i = 0; i < num_sfas_; ++i) doc_postings.emplace(i, std::vector<uint64_t>{});
+  }
+
+  std::vector<Answer> answers;
+  size_t pattern_horizon = q.pattern.size() + 8;
+  for (const auto& [doc, posts] : doc_postings) {
+    double p = 0.0;
+    if (indexed && q.use_projection) {
+      // Fetch only the projected portion around each posting start.
+      STACCATO_ASSIGN_OR_RETURN(Sfa sfa, LoadStaccatoSfa(doc));
+      double best = 0.0;
+      for (uint64_t packed : posts) {
+        Posting post = UnpackPosting(packed);
+        if (post.edge >= sfa.NumEdges()) continue;
+        NodeId from = sfa.edge(post.edge).from;
+        best = std::max(best, EvalProjected(sfa, dfa, from, pattern_horizon));
+      }
+      p = best;
+    } else {
+      Sfa sfa;
+      if (approach == Approach::kFullSfa) {
+        STACCATO_ASSIGN_OR_RETURN(sfa, LoadFullSfa(doc));
+      } else {
+        STACCATO_ASSIGN_OR_RETURN(sfa, LoadStaccatoSfa(doc));
+      }
+      p = EvalSfaQuery(sfa, dfa);
+    }
+    if (p > 0.0) answers.push_back({doc, p});
+  }
+  if (stats != nullptr) {
+    stats->blob_bytes_read += blobs_->bytes_read();
+    stats->candidates = doc_postings.size();
+    stats->index_postings = total_postings;
+    stats->selectivity =
+        num_sfas_ == 0 ? 0.0
+                       : static_cast<double>(doc_postings.size()) /
+                             static_cast<double>(num_sfas_);
+  }
+  return RankAnswers(std::move(answers), q.num_ans);
+}
+
+Result<std::vector<Answer>> StaccatoDb::Query(Approach approach,
+                                              const QueryOptions& q,
+                                              QueryStats* stats) {
+  Timer timer;
+  Result<std::vector<Answer>> result = [&]() -> Result<std::vector<Answer>> {
+    switch (approach) {
+      case Approach::kMap:
+        return QueryStrings(/*map_only=*/true, q, stats);
+      case Approach::kKMap:
+        return QueryStrings(/*map_only=*/false, q, stats);
+      case Approach::kFullSfa:
+      case Approach::kStaccato:
+        return QueryBlobs(approach, q, stats);
+    }
+    return Status::InvalidArgument("unknown approach");
+  }();
+  if (stats != nullptr) stats->seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Result<std::vector<Answer>> StaccatoDb::QuerySql(Approach approach,
+                                                 const std::string& sql,
+                                                 QueryStats* stats) {
+  STACCATO_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
+  if (!stmt.like.has_value()) {
+    return Status::InvalidArgument("statement has no LIKE predicate");
+  }
+  if (!stmt.equalities.empty()) {
+    return Status::NotImplemented(
+        "equality predicates require the enclosing relational schema; "
+        "filter the returned probabilistic relation instead");
+  }
+  QueryOptions q;
+  q.pattern = stmt.like->pattern;
+  return Query(approach, q, stats);
+}
+
+Result<std::set<DocId>> StaccatoDb::GroundTruthFor(const std::string& pattern) {
+  STACCATO_ASSIGN_OR_RETURN(Dfa dfa, Dfa::Compile(pattern, MatchMode::kContains));
+  std::set<DocId> truth;
+  STACCATO_RETURN_NOT_OK(truth_->Scan([&](RecordId, const Tuple& t) {
+    if (dfa.Matches(t[1].AsString())) {
+      truth.insert(static_cast<DocId>(t[0].AsInt()));
+    }
+    return true;
+  }));
+  return truth;
+}
+
+StorageReport StaccatoDb::Storage() const {
+  StorageReport r;
+  r.kmap_table_bytes = kmap_->FileBytes();
+  r.staccato_table_bytes = staccato_->FileBytes();
+  r.index_entries = index_ ? index_->size() : 0;
+  // Blob store holds both FullSFA and chunk graphs; report totals via the
+  // row counts (exact split is tracked at load time in the benches).
+  r.fullsfa_blob_bytes = blobs_->FileBytes();
+  return r;
+}
+
+void StaccatoDb::DropCaches() {
+  master_->EvictAll();
+  truth_->EvictAll();
+  kmap_->EvictAll();
+  fullsfa_->EvictAll();
+  staccato_->EvictAll();
+  staccato_graph_->EvictAll();
+  postings_->EvictAll();
+}
+
+}  // namespace staccato::rdbms

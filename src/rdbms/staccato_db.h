@@ -1,0 +1,156 @@
+// StaccatoDb: the end-to-end system of the paper. It owns the relational
+// schema of Table 5 inside the mini-RDBMS, the blob stores holding
+// serialized (Full and chunked) SFAs, the dictionary-based inverted index,
+// and the probabilistic LIKE query executor for all four approaches:
+//
+//   MAP      — the single most likely transcription per line
+//   k-MAP    — the k most likely transcriptions per line
+//   FullSFA  — the entire transducer, stored as a BLOB
+//   Staccato — the chunked approximation of Section 3
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "automata/trie.h"
+#include "metrics/metrics.h"
+#include "ocr/corpus.h"
+#include "rdbms/blob_store.h"
+#include "rdbms/btree.h"
+#include "rdbms/heap_table.h"
+#include "sfa/sfa.h"
+#include "staccato/chunking.h"
+#include "util/result.h"
+
+namespace staccato::rdbms {
+
+enum class Approach {
+  kMap,
+  kKMap,
+  kFullSfa,
+  kStaccato,
+};
+
+const char* ApproachName(Approach a);
+
+/// \brief Load-time configuration.
+struct LoadOptions {
+  size_t kmap_k = 25;            ///< k for the k-MAP table
+  StaccatoParams staccato;       ///< (m, k) for the chunked representation
+  size_t construction_threads = 0;  ///< 0 = hardware concurrency
+};
+
+/// \brief One LIKE query.
+struct QueryOptions {
+  std::string pattern;     ///< the paper's pattern language ('%pat%' implied)
+  size_t num_ans = 100;    ///< NumAns (Table 3)
+  bool use_index = false;  ///< anchored-term inverted-index acceleration
+  bool use_projection = false;  ///< fetch only the projected SFA region
+};
+
+/// \brief Execution statistics for the benches.
+struct QueryStats {
+  double seconds = 0.0;
+  uint64_t heap_pages_read = 0;
+  uint64_t blob_bytes_read = 0;
+  size_t candidates = 0;    ///< SFAs actually evaluated
+  size_t index_postings = 0;
+  double selectivity = 0.0;  ///< candidates / total SFAs
+};
+
+/// \brief Storage-size report (Table 2 / Figure 20).
+struct StorageReport {
+  uint64_t text_bytes = 0;       // k-MAP rank-0 text
+  uint64_t kmap_table_bytes = 0;
+  uint64_t fullsfa_blob_bytes = 0;
+  uint64_t staccato_blob_bytes = 0;
+  uint64_t staccato_table_bytes = 0;
+  uint64_t index_entries = 0;
+};
+
+/// \brief The database. Construct with Open(), then Load() a dataset.
+class StaccatoDb {
+ public:
+  /// Creates a database under `dir` (created if needed; files truncated).
+  static Result<std::unique_ptr<StaccatoDb>> Open(const std::string& dir);
+
+  /// Reopens a previously loaded database directory: heap files and the
+  /// blob store are opened in place, the blob record ids are recovered by
+  /// scanning the FullSFAData/StaccatoGraph tables, and the inverted index
+  /// (if it was built) is reconstructed from the persisted postings table.
+  static Result<std::unique_ptr<StaccatoDb>> OpenExisting(const std::string& dir);
+
+  /// Loads an OCR dataset: populates MasterData, GroundTruth, kMAPData,
+  /// FullSFAData, StaccatoData/StaccatoGraph per `opts`. Staccato
+  /// construction is parallelized across SFAs (it is embarrassingly
+  /// parallel, as the paper notes).
+  Status Load(const OcrDataset& dataset, const LoadOptions& opts);
+
+  /// Builds the dictionary inverted index over the Staccato representation.
+  Status BuildInvertedIndex(const std::vector<std::string>& dictionary_terms);
+
+  /// Executes a probabilistic LIKE query under the chosen approach.
+  Result<std::vector<Answer>> Query(Approach approach, const QueryOptions& q,
+                                    QueryStats* stats = nullptr);
+
+  /// Convenience: parses a single-table select-project SQL statement with a
+  /// LIKE predicate (the paper's query class) and executes it. Equality
+  /// predicates on other columns are not supported by this standalone
+  /// document store and are rejected with NotImplemented.
+  Result<std::vector<Answer>> QuerySql(Approach approach, const std::string& sql,
+                                       QueryStats* stats = nullptr);
+
+  /// Ground-truth answer set: lines whose true transcription matches.
+  Result<std::set<DocId>> GroundTruthFor(const std::string& pattern);
+
+  size_t NumSfas() const { return num_sfas_; }
+  StorageReport Storage() const;
+
+  /// Drops page/blob caches so the next query runs cold.
+  void DropCaches();
+
+  /// Access to the loaded per-line chunked SFAs (for benches that need to
+  /// inspect the representation directly).
+  Result<Sfa> LoadStaccatoSfa(DocId doc);
+  Result<Sfa> LoadFullSfa(DocId doc);
+
+  const DictionaryTrie* dictionary() const {
+    return dict_ ? &*dict_ : nullptr;
+  }
+
+ private:
+  explicit StaccatoDb(std::string dir) : dir_(std::move(dir)) {}
+
+  Result<std::vector<Answer>> QueryStrings(bool map_only, const QueryOptions& q,
+                                           QueryStats* stats);
+  Result<std::vector<Answer>> QueryBlobs(Approach approach,
+                                         const QueryOptions& q,
+                                         QueryStats* stats);
+  /// Looks up the pattern's anchor term; returns per-doc posting payloads.
+  Result<std::map<DocId, std::vector<uint64_t>>> IndexCandidates(
+      const QueryOptions& q, std::string* anchor_out);
+
+  std::string dir_;
+  size_t num_sfas_ = 0;
+
+  std::unique_ptr<HeapTable> master_;       // MasterData
+  std::unique_ptr<HeapTable> truth_;        // GroundTruth
+  std::unique_ptr<HeapTable> kmap_;         // kMAPData
+  std::unique_ptr<HeapTable> fullsfa_;      // FullSFAData
+  std::unique_ptr<HeapTable> staccato_;     // StaccatoData
+  std::unique_ptr<HeapTable> staccato_graph_;  // StaccatoGraph
+  std::unique_ptr<HeapTable> postings_;     // InvertedIndex postings table
+  std::unique_ptr<BlobStore> blobs_;
+
+  // DataKey -> RecordId of the blob-holding row, for point fetches.
+  std::vector<RecordId> fullsfa_rid_;
+  std::vector<RecordId> graph_rid_;
+
+  std::unique_ptr<BPlusTree> index_;  // term -> postings-table record
+  std::optional<DictionaryTrie> dict_;
+};
+
+}  // namespace staccato::rdbms

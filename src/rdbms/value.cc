@@ -1,0 +1,102 @@
+#include "rdbms/value.h"
+
+#include "util/strings.h"
+
+namespace staccato::rdbms {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kInt: return "INTEGER";
+    case ValueType::kDouble: return "FLOAT8";
+    case ValueType::kString: return "TEXT";
+    case ValueType::kBlobId: return "OID";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return StringPrintf("%lld", static_cast<long long>(AsInt()));
+    case ValueType::kDouble:
+      return StringPrintf("%g", AsDouble());
+    case ValueType::kString:
+      return AsString();
+    case ValueType::kBlobId:
+      return StringPrintf("oid:%llu", static_cast<unsigned long long>(AsBlobId()));
+  }
+  return "?";
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::CheckTuple(const Tuple& t) const {
+  if (t.size() != cols_.size()) {
+    return Status::InvalidArgument(
+        StringPrintf("tuple arity %zu, schema arity %zu", t.size(), cols_.size()));
+  }
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].type() != cols_[i].type) {
+      return Status::InvalidArgument(StringPrintf(
+          "column %zu (%s): expected %s, got %s", i, cols_[i].name.c_str(),
+          ValueTypeName(cols_[i].type), ValueTypeName(t[i].type())));
+    }
+  }
+  return Status::OK();
+}
+
+void Schema::EncodeTuple(const Tuple& t, BinaryWriter* w) const {
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    switch (cols_[i].type) {
+      case ValueType::kInt:
+        w->PutI64(t[i].AsInt());
+        break;
+      case ValueType::kDouble:
+        w->PutDouble(t[i].AsDouble());
+        break;
+      case ValueType::kString:
+        w->PutString(t[i].AsString());
+        break;
+      case ValueType::kBlobId:
+        w->PutU64(t[i].AsBlobId());
+        break;
+    }
+  }
+}
+
+Result<Tuple> Schema::DecodeTuple(BinaryReader* r) const {
+  Tuple t;
+  t.reserve(cols_.size());
+  for (const Column& col : cols_) {
+    switch (col.type) {
+      case ValueType::kInt: {
+        STACCATO_ASSIGN_OR_RETURN(int64_t v, r->GetI64());
+        t.push_back(Value::Int(v));
+        break;
+      }
+      case ValueType::kDouble: {
+        STACCATO_ASSIGN_OR_RETURN(double v, r->GetDouble());
+        t.push_back(Value::Double(v));
+        break;
+      }
+      case ValueType::kString: {
+        STACCATO_ASSIGN_OR_RETURN(std::string v, r->GetString());
+        t.push_back(Value::String(std::move(v)));
+        break;
+      }
+      case ValueType::kBlobId: {
+        STACCATO_ASSIGN_OR_RETURN(uint64_t v, r->GetU64());
+        t.push_back(Value::Blob(v));
+        break;
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace staccato::rdbms

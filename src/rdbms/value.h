@@ -1,0 +1,97 @@
+// Typed values and tuple schemas for the mini-RDBMS. The type system covers
+// exactly what the paper's storage schema (Table 5) needs: INTEGER, FLOAT8,
+// VARCHAR/TEXT, and OID (blob handle).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/result.h"
+#include "util/serde.h"
+
+namespace staccato::rdbms {
+
+enum class ValueType : uint8_t {
+  kInt = 0,     // INTEGER / BIGINT
+  kDouble = 1,  // FLOAT8
+  kString = 2,  // VARCHAR / TEXT
+  kBlobId = 3,  // OID — handle into the blob store
+};
+
+const char* ValueTypeName(ValueType t);
+
+/// \brief One typed cell.
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+  static Value Blob(uint64_t id) { return Value(BlobTag{id}); }
+
+  ValueType type() const {
+    switch (v_.index()) {
+      case 0: return ValueType::kInt;
+      case 1: return ValueType::kDouble;
+      case 2: return ValueType::kString;
+      default: return ValueType::kBlobId;
+    }
+  }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+  uint64_t AsBlobId() const { return std::get<BlobTag>(v_).id; }
+
+  bool operator==(const Value& o) const { return v_ == o.v_; }
+
+  std::string ToString() const;
+
+ private:
+  struct BlobTag {
+    uint64_t id;
+    bool operator==(const BlobTag& o) const { return id == o.id; }
+  };
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+  explicit Value(BlobTag v) : v_(v) {}
+
+  std::variant<int64_t, double, std::string, BlobTag> v_;
+};
+
+using Tuple = std::vector<Value>;
+
+/// \brief A named, typed column.
+struct Column {
+  std::string name;
+  ValueType type;
+};
+
+/// \brief Relation schema: ordered columns with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> cols) : cols_(std::move(cols)) {}
+
+  size_t NumColumns() const { return cols_.size(); }
+  const Column& column(size_t i) const { return cols_[i]; }
+  const std::vector<Column>& columns() const { return cols_; }
+
+  /// Index of a column by name; -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  /// Checks a tuple's arity and column types against the schema.
+  Status CheckTuple(const Tuple& t) const;
+
+  /// Tuple (de)serialization under this schema.
+  void EncodeTuple(const Tuple& t, BinaryWriter* w) const;
+  Result<Tuple> DecodeTuple(BinaryReader* r) const;
+
+ private:
+  std::vector<Column> cols_;
+};
+
+}  // namespace staccato::rdbms

@@ -1,0 +1,168 @@
+// The Stochastic Finite Automaton (SFA) data model of Kumar & Ré,
+// "Probabilistic Management of OCR Data using an RDBMS" (VLDB 2011).
+//
+// An SFA is a DAG with a unique start and final node. Each edge carries a
+// set of labeled transitions; a label is a non-empty string over the ASCII
+// alphabet and has a probability conditioned on the source node. A
+// source-to-sink labeled path emits the concatenation of its labels with
+// probability equal to the product of its transition probabilities.
+//
+// This is the *generalized* SFA of Section 3.1 (labels in Σ+ rather than Σ),
+// which subsumes the raw per-character model produced by OCR and is closed
+// under the Staccato Collapse operation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+#include "util/serde.h"
+#include "util/status.h"
+
+namespace staccato {
+
+using NodeId = uint32_t;
+using EdgeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// \brief One labeled alternative on an edge: emit `label` with conditional
+/// probability `prob` when leaving the edge's source node.
+struct Transition {
+  std::string label;
+  double prob = 0.0;
+
+  bool operator==(const Transition& o) const {
+    return label == o.label && prob == o.prob;
+  }
+};
+
+/// \brief A directed edge bundling all transitions between one node pair.
+/// Transitions are kept sorted by descending probability (ties by label) so
+/// the MAP alternative is always front().
+struct Edge {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  std::vector<Transition> transitions;
+};
+
+/// \brief Immutable SFA. Construct through SfaBuilder.
+class Sfa {
+ public:
+  Sfa() = default;
+
+  size_t NumNodes() const { return num_nodes_; }
+  size_t NumEdges() const { return edges_.size(); }
+  NodeId start() const { return start_; }
+  NodeId final() const { return final_; }
+
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+  const std::vector<EdgeId>& OutEdges(NodeId n) const { return out_[n]; }
+  const std::vector<EdgeId>& InEdges(NodeId n) const { return in_[n]; }
+
+  /// Total number of labeled transitions across all edges.
+  size_t NumTransitions() const;
+
+  /// Nodes in a topological order (start first, final last).
+  const std::vector<NodeId>& TopologicalOrder() const { return topo_; }
+
+  /// Position of each node in TopologicalOrder(); usable as a partial order.
+  const std::vector<uint32_t>& TopoIndex() const { return topo_index_; }
+
+  /// Total probability mass over all source-to-sink labeled paths, computed
+  /// by the sum-product DP. Equals 1.0 for a stochastic SFA; may be < 1
+  /// after approximation prunes strings.
+  double TotalMass() const;
+
+  /// Structural sanity checks: DAG with the stored topo order, unique
+  /// start/final, every node on some start→final path, probabilities in
+  /// (0, 1], non-empty labels. If `require_stochastic`, additionally checks
+  /// each non-final node's outgoing mass sums to 1 (±1e-6).
+  Status Validate(bool require_stochastic = false) const;
+
+  /// Exhaustively enumerates emitted strings (up to `max_paths`) and checks
+  /// the unique-path property: no string is emitted by two distinct labeled
+  /// paths. Intended for tests; cost is linear in the number of paths.
+  /// Returns InvalidArgument naming a duplicated string on violation, or
+  /// OutOfRange if the SFA has more than `max_paths` paths.
+  Status CheckUniquePaths(size_t max_paths = 1 << 20) const;
+
+  /// Enumerates all emitted (string, probability) pairs; test/debug helper.
+  /// Fails with OutOfRange if there are more than `max_paths` paths.
+  Result<std::vector<std::pair<std::string, double>>> EnumerateStrings(
+      size_t max_paths = 1 << 20) const;
+
+  /// Approximate in-memory footprint in bytes (labels + per-transition
+  /// metadata), mirroring the accounting of Table 1 in the paper.
+  size_t SizeBytes() const;
+
+  /// Binary blob encoding (the FullSFA BLOB stored in the RDBMS).
+  std::string Serialize() const;
+  static Result<Sfa> Deserialize(const std::string& blob);
+
+ private:
+  friend class SfaBuilder;
+
+  Status ComputeTopologicalOrder();
+
+  size_t num_nodes_ = 0;
+  NodeId start_ = kInvalidNode;
+  NodeId final_ = kInvalidNode;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+  std::vector<NodeId> topo_;
+  std::vector<uint32_t> topo_index_;
+};
+
+/// \brief Mutable construction interface for SFAs.
+///
+/// Usage:
+///   SfaBuilder b;
+///   NodeId s = b.AddNode(); ... b.AddTransition(s, t, "F", 0.8);
+///   b.SetStart(s); b.SetFinal(f);
+///   STACCATO_ASSIGN_OR_RETURN(Sfa sfa, b.Build());
+class SfaBuilder {
+ public:
+  NodeId AddNode();
+  /// Adds `count` nodes, returning the id of the first.
+  NodeId AddNodes(size_t count);
+
+  /// Adds one labeled alternative between `from` and `to`; transitions for
+  /// the same node pair accumulate on a single edge.
+  Status AddTransition(NodeId from, NodeId to, std::string label, double prob);
+
+  void SetStart(NodeId n) { start_ = n; }
+  void SetFinal(NodeId n) { final_ = n; }
+
+  size_t NumNodes() const { return num_nodes_; }
+
+  /// Validates and freezes into an immutable Sfa. If `require_stochastic`,
+  /// insists outgoing probabilities sum to 1 per node.
+  Result<Sfa> Build(bool require_stochastic = false);
+
+ private:
+  struct PendingEdge {
+    NodeId from, to;
+    std::vector<Transition> transitions;
+  };
+
+  size_t num_nodes_ = 0;
+  NodeId start_ = kInvalidNode;
+  NodeId final_ = kInvalidNode;
+  std::vector<PendingEdge> pending_;
+  // (from << 32 | to) -> index into pending_.
+  std::unordered_map<uint64_t, size_t> edge_index_;
+};
+
+/// Builds the simple chain SFA used by the Table-1 cost model: `length`
+/// single-character positions, each with `alternatives` equally weighted
+/// candidate labels. Useful for tests and the cost-model bench.
+Result<Sfa> MakeChainSfa(size_t length, size_t alternatives);
+
+}  // namespace staccato

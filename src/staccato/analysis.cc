@@ -1,0 +1,54 @@
+#include "staccato/analysis.h"
+
+#include <cmath>
+#include <map>
+
+#include "util/strings.h"
+
+namespace staccato {
+
+Result<double> KlFromRetainedMass(double retained_mass) {
+  if (!(retained_mass > 0.0) || retained_mass > 1.0 + 1e-9) {
+    return Status::InvalidArgument(
+        StringPrintf("retained mass %f outside (0, 1]", retained_mass));
+  }
+  return -std::log(std::min(retained_mass, 1.0));
+}
+
+Result<double> KlDivergenceByEnumeration(const Sfa& original, const Sfa& approx,
+                                         size_t max_paths) {
+  auto orig_strings = original.EnumerateStrings(max_paths);
+  if (!orig_strings.ok()) return orig_strings.status();
+  auto approx_strings = approx.EnumerateStrings(max_paths);
+  if (!approx_strings.ok()) return approx_strings.status();
+
+  std::map<std::string, double> mu;
+  for (auto& [s, p] : *orig_strings) mu[s] += p;
+
+  // The approximation restricted to X keeps original probabilities; its
+  // conditional distribution divides by Z = Σ_{x∈X} µ(x).
+  double z = 0.0;
+  for (auto& [s, p] : *approx_strings) {
+    auto it = mu.find(s);
+    if (it == mu.end()) {
+      return Status::InvalidArgument("approximation emits string not in original: '" +
+                                     s + "'");
+    }
+    if (std::fabs(it->second - p) > 1e-9) {
+      return Status::InvalidArgument(
+          "approximation changed the probability of '" + s + "'");
+    }
+    z += p;
+  }
+  if (z <= 0.0) return Status::InvalidArgument("approximation retains no mass");
+
+  // KL(µ|X ‖ µ) = Σ_x (µ(x)/Z) log((µ(x)/Z) / µ(x)) = −log Z.
+  double kl = 0.0;
+  for (auto& [s, p] : *approx_strings) {
+    double q = p / z;
+    kl += q * std::log(q / mu[s]);
+  }
+  return kl;
+}
+
+}  // namespace staccato

@@ -1,0 +1,29 @@
+// Formal-analysis utilities (Section 3.2 and Appendices C/D of the paper).
+//
+// Every approximation this library produces emits a subset X of the
+// original SFA's strings, keeping each retained string's original
+// probability (i.e. the sub-stochastic restriction of the distribution µ
+// to X). Appendix C shows the KL-optimal way to place probabilities on X
+// is the conditional µ|X, and that KL(µ|X ‖ µ) = −log Σ_{x∈X} µ(x) — so
+// comparing approximations by retained mass *is* comparing them by
+// KL divergence. These helpers make that measurable.
+#pragma once
+
+#include "sfa/sfa.h"
+#include "util/result.h"
+
+namespace staccato {
+
+/// KL(µ|X ‖ µ) computed from the retained probability mass Z = Pr_S[X]:
+/// exactly −log Z (Appendix C). Fails if mass is not in (0, 1].
+Result<double> KlFromRetainedMass(double retained_mass);
+
+/// KL divergence between an approximation's conditional distribution and
+/// the original SFA's distribution, computed by explicit enumeration of
+/// both string sets. Intended for tests and small SFAs; verifies that the
+/// approximation's strings are a subset of the original's with unchanged
+/// probabilities. Cost is linear in the number of paths.
+Result<double> KlDivergenceByEnumeration(const Sfa& original, const Sfa& approx,
+                                         size_t max_paths = 1 << 20);
+
+}  // namespace staccato

@@ -1,0 +1,552 @@
+#include "staccato/chunking.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "inference/kbest.h"
+#include "util/strings.h"
+
+namespace staccato {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Mutable stable-id graph used by the greedy loop. Node ids never change
+// across collapses, which is what makes the candidate cache sound.
+// ---------------------------------------------------------------------------
+struct MGraph {
+  struct MEdge {
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+    std::vector<Transition> trans;
+    bool alive = false;
+  };
+
+  std::vector<MEdge> edges;
+  std::vector<std::vector<EdgeId>> out, in;  // may reference dead edges
+  std::vector<bool> node_alive;
+  NodeId start = kInvalidNode;
+  NodeId final = kInvalidNode;
+  size_t alive_edges = 0;
+
+  static MGraph FromSfa(const Sfa& sfa, size_t k) {
+    MGraph g;
+    g.start = sfa.start();
+    g.final = sfa.final();
+    g.node_alive.assign(sfa.NumNodes(), true);
+    g.out.assign(sfa.NumNodes(), {});
+    g.in.assign(sfa.NumNodes(), {});
+    for (const Edge& e : sfa.edges()) {
+      MEdge me;
+      me.from = e.from;
+      me.to = e.to;
+      me.trans = e.transitions;  // already sorted by descending probability
+      if (me.trans.size() > k) me.trans.resize(k);
+      me.alive = true;
+      EdgeId id = static_cast<EdgeId>(g.edges.size());
+      g.edges.push_back(std::move(me));
+      g.out[e.from].push_back(id);
+      g.in[e.to].push_back(id);
+      ++g.alive_edges;
+    }
+    return g;
+  }
+
+  EdgeId AddEdge(NodeId from, NodeId to, std::vector<Transition> trans) {
+    MEdge me;
+    me.from = from;
+    me.to = to;
+    me.trans = std::move(trans);
+    me.alive = true;
+    EdgeId id = static_cast<EdgeId>(edges.size());
+    edges.push_back(std::move(me));
+    out[from].push_back(id);
+    in[to].push_back(id);
+    ++alive_edges;
+    return id;
+  }
+
+  void KillEdge(EdgeId id) {
+    if (edges[id].alive) {
+      edges[id].alive = false;
+      --alive_edges;
+    }
+  }
+
+  Result<Sfa> ToSfa() const {
+    std::vector<NodeId> remap(node_alive.size(), kInvalidNode);
+    SfaBuilder b;
+    for (NodeId n = 0; n < node_alive.size(); ++n) {
+      if (node_alive[n]) remap[n] = b.AddNode();
+    }
+    b.SetStart(remap[start]);
+    b.SetFinal(remap[final]);
+    for (const MEdge& e : edges) {
+      if (!e.alive) continue;
+      for (const Transition& t : e.trans) {
+        STACCATO_RETURN_NOT_OK(
+            b.AddTransition(remap[e.from], remap[e.to], t.label, t.prob));
+      }
+    }
+    return b.Build();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Graph adapters so FindMinSFA runs identically on Sfa and MGraph.
+// ---------------------------------------------------------------------------
+struct SfaView {
+  const Sfa& sfa;
+  size_t NumNodes() const { return sfa.NumNodes(); }
+  bool Alive(NodeId) const { return true; }
+  NodeId Start() const { return sfa.start(); }
+  NodeId Final() const { return sfa.final(); }
+  template <typename F>
+  void ForOut(NodeId n, F&& f) const {
+    for (EdgeId e : sfa.OutEdges(n)) f(sfa.edge(e).to);
+  }
+  template <typename F>
+  void ForIn(NodeId n, F&& f) const {
+    for (EdgeId e : sfa.InEdges(n)) f(sfa.edge(e).from);
+  }
+};
+
+struct MGraphView {
+  const MGraph& g;
+  size_t NumNodes() const { return g.node_alive.size(); }
+  bool Alive(NodeId n) const { return g.node_alive[n]; }
+  NodeId Start() const { return g.start; }
+  NodeId Final() const { return g.final; }
+  template <typename F>
+  void ForOut(NodeId n, F&& f) const {
+    for (EdgeId e : g.out[n]) {
+      if (g.edges[e].alive) f(g.edges[e].to);
+    }
+  }
+  template <typename F>
+  void ForIn(NodeId n, F&& f) const {
+    for (EdgeId e : g.in[n]) {
+      if (g.edges[e].alive) f(g.edges[e].from);
+    }
+  }
+};
+
+// Forward/backward reachable sets (inclusive of seeds).
+template <typename View>
+std::vector<bool> Descendants(const View& v, const std::set<NodeId>& seeds) {
+  std::vector<bool> vis(v.NumNodes(), false);
+  std::deque<NodeId> q(seeds.begin(), seeds.end());
+  for (NodeId n : q) vis[n] = true;
+  while (!q.empty()) {
+    NodeId n = q.front();
+    q.pop_front();
+    v.ForOut(n, [&](NodeId t) {
+      if (!vis[t]) {
+        vis[t] = true;
+        q.push_back(t);
+      }
+    });
+  }
+  return vis;
+}
+
+template <typename View>
+std::vector<bool> Ancestors(const View& v, const std::set<NodeId>& seeds) {
+  std::vector<bool> vis(v.NumNodes(), false);
+  std::deque<NodeId> q(seeds.begin(), seeds.end());
+  for (NodeId n : q) vis[n] = true;
+  while (!q.empty()) {
+    NodeId n = q.front();
+    q.pop_front();
+    v.ForIn(n, [&](NodeId t) {
+      if (!vis[t]) {
+        vis[t] = true;
+        q.push_back(t);
+      }
+    });
+  }
+  return vis;
+}
+
+// Topological index over alive nodes (Kahn). Dead nodes get UINT32_MAX.
+template <typename View>
+std::vector<uint32_t> TopoIndex(const View& v) {
+  std::vector<uint32_t> idx(v.NumNodes(), UINT32_MAX);
+  std::vector<uint32_t> indeg(v.NumNodes(), 0);
+  for (NodeId n = 0; n < v.NumNodes(); ++n) {
+    if (!v.Alive(n)) continue;
+    v.ForOut(n, [&](NodeId t) { ++indeg[t]; });
+  }
+  std::deque<NodeId> q;
+  for (NodeId n = 0; n < v.NumNodes(); ++n) {
+    if (v.Alive(n) && indeg[n] == 0) q.push_back(n);
+  }
+  uint32_t next = 0;
+  while (!q.empty()) {
+    NodeId n = q.front();
+    q.pop_front();
+    idx[n] = next++;
+    v.ForOut(n, [&](NodeId t) {
+      if (--indeg[t] == 0) q.push_back(t);
+    });
+  }
+  return idx;
+}
+
+// The core of Algorithm 1, parameterized over the graph representation.
+template <typename View>
+Result<MinSfaResult> FindMinSfaImpl(const View& v, std::set<NodeId> x) {
+  if (x.empty()) return Status::InvalidArgument("FindMinSFA: empty seed");
+  for (NodeId n : x) {
+    if (n >= v.NumNodes() || !v.Alive(n)) {
+      return Status::InvalidArgument("FindMinSFA: seed node invalid");
+    }
+  }
+  std::vector<uint32_t> topo = TopoIndex(v);
+  // Each pass strictly grows x or returns, so the loop is bounded.
+  for (size_t guard = 0; guard <= 2 * v.NumNodes() + 2; ++guard) {
+    // (a) Betweenness closure: include every node lying on a path between
+    // two members of x; this keeps the induced subgraph connected.
+    {
+      std::vector<bool> desc = Descendants(v, x);
+      std::vector<bool> anc = Ancestors(v, x);
+      bool grew = false;
+      for (NodeId n = 0; n < v.NumNodes(); ++n) {
+        if (desc[n] && anc[n] && v.Alive(n) && !x.count(n)) {
+          x.insert(n);
+          grew = true;
+        }
+      }
+      if (grew) continue;
+    }
+    // (b) Unique entry / exit nodes within x.
+    std::vector<NodeId> mins, maxs;
+    for (NodeId n : x) {
+      bool has_in_from_x = false, has_out_to_x = false;
+      v.ForIn(n, [&](NodeId p) { has_in_from_x |= x.count(p) > 0; });
+      v.ForOut(n, [&](NodeId s) { has_out_to_x |= x.count(s) > 0; });
+      if (!has_in_from_x) mins.push_back(n);
+      if (!has_out_to_x) maxs.push_back(n);
+    }
+    if (mins.size() != 1) {
+      // No unique start: add the least common ancestor (the nearest node
+      // from which every minimal element is reachable).
+      std::vector<bool> common(v.NumNodes(), true);
+      for (NodeId n : mins) {
+        std::vector<bool> anc = Ancestors(v, {n});
+        for (NodeId i = 0; i < v.NumNodes(); ++i) {
+          common[i] = common[i] && anc[i];
+        }
+      }
+      NodeId lca = kInvalidNode;
+      for (NodeId i = 0; i < v.NumNodes(); ++i) {
+        if (!common[i] || !v.Alive(i) || x.count(i)) continue;
+        if (lca == kInvalidNode || topo[i] > topo[lca]) lca = i;
+      }
+      if (lca == kInvalidNode) {
+        return Status::Internal("FindMinSFA: no common ancestor found");
+      }
+      x.insert(lca);
+      continue;
+    }
+    if (maxs.size() != 1) {
+      // No unique end: add the greatest common descendant.
+      std::vector<bool> common(v.NumNodes(), true);
+      for (NodeId n : maxs) {
+        std::vector<bool> desc = Descendants(v, {n});
+        for (NodeId i = 0; i < v.NumNodes(); ++i) {
+          common[i] = common[i] && desc[i];
+        }
+      }
+      NodeId gcd = kInvalidNode;
+      for (NodeId i = 0; i < v.NumNodes(); ++i) {
+        if (!common[i] || !v.Alive(i) || x.count(i)) continue;
+        if (gcd == kInvalidNode || topo[i] < topo[gcd]) gcd = i;
+      }
+      if (gcd == kInvalidNode) {
+        return Status::Internal("FindMinSFA: no common descendant found");
+      }
+      x.insert(gcd);
+      continue;
+    }
+    NodeId s = mins[0];
+    NodeId f = maxs[0];
+    if (s == f) {
+      return Status::InvalidArgument("FindMinSFA: degenerate single-node chunk");
+    }
+    // (c) Interior nodes must have no edges crossing the chunk boundary.
+    bool grew = false;
+    for (NodeId n : std::vector<NodeId>(x.begin(), x.end())) {
+      if (n == s || n == f) continue;
+      v.ForIn(n, [&](NodeId p) {
+        if (!x.count(p)) {
+          x.insert(p);
+          grew = true;
+        }
+      });
+      v.ForOut(n, [&](NodeId t) {
+        if (!x.count(t)) {
+          x.insert(t);
+          grew = true;
+        }
+      });
+    }
+    if (grew) continue;
+    MinSfaResult r;
+    r.nodes = std::move(x);
+    r.start = s;
+    r.final = f;
+    return r;
+  }
+  return Status::Internal("FindMinSFA did not converge");
+}
+
+// Builds the induced sub-SFA of a chunk from an MGraph and returns its
+// top-k strings plus its total conditional mass.
+struct ChunkSummary {
+  std::vector<Transition> top_k;  // top-k strings of the chunk, as transitions
+  double total_mass = 0.0;        // conditional mass of all chunk paths
+  double kept_mass = 0.0;         // conditional mass of the retained top-k
+};
+
+Result<ChunkSummary> SummarizeChunk(const MGraph& g, const MinSfaResult& chunk,
+                                    size_t k) {
+  SfaBuilder b;
+  std::map<NodeId, NodeId> remap;
+  for (NodeId n : chunk.nodes) remap[n] = b.AddNode();
+  b.SetStart(remap[chunk.start]);
+  b.SetFinal(remap[chunk.final]);
+  for (const auto& e : g.edges) {
+    if (!e.alive) continue;
+    if (!chunk.nodes.count(e.from) || !chunk.nodes.count(e.to)) continue;
+    for (const Transition& t : e.trans) {
+      STACCATO_RETURN_NOT_OK(
+          b.AddTransition(remap[e.from], remap[e.to], t.label, t.prob));
+    }
+  }
+  STACCATO_ASSIGN_OR_RETURN(Sfa sub, b.Build());
+  ChunkSummary out;
+  out.total_mass = sub.TotalMass();
+  std::vector<ScoredString> best = KBestStrings(sub, k);
+  out.top_k.reserve(best.size());
+  for (ScoredString& s : best) {
+    out.kept_mass += s.prob;
+    out.top_k.push_back({std::move(s.str), s.prob});
+  }
+  return out;
+}
+
+// Start→node and node→final path masses, used to weight a chunk's local
+// probability loss into a global retained-mass loss.
+void ComputeFlow(const MGraph& g, std::vector<double>* fwd,
+                 std::vector<double>* bwd) {
+  MGraphView v{g};
+  std::vector<uint32_t> topo = TopoIndex(v);
+  std::vector<NodeId> order;
+  for (NodeId n = 0; n < g.node_alive.size(); ++n) {
+    if (g.node_alive[n]) order.push_back(n);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](NodeId a, NodeId b) { return topo[a] < topo[b]; });
+  fwd->assign(g.node_alive.size(), 0.0);
+  bwd->assign(g.node_alive.size(), 0.0);
+  (*fwd)[g.start] = 1.0;
+  for (NodeId n : order) {
+    for (EdgeId eid : g.out[n]) {
+      const auto& e = g.edges[eid];
+      if (!e.alive) continue;
+      double p = 0.0;
+      for (const Transition& t : e.trans) p += t.prob;
+      (*fwd)[e.to] += (*fwd)[n] * p;
+    }
+  }
+  (*bwd)[g.final] = 1.0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    for (EdgeId eid : g.in[*it]) {
+      const auto& e = g.edges[eid];
+      if (!e.alive) continue;
+      double p = 0.0;
+      for (const Transition& t : e.trans) p += t.prob;
+      (*bwd)[e.from] += (*bwd)[*it] * p;
+    }
+  }
+}
+
+std::string ChunkKey(const std::set<NodeId>& nodes) {
+  std::string key;
+  key.reserve(nodes.size() * 4);
+  for (NodeId n : nodes) {
+    key.append(reinterpret_cast<const char*>(&n), sizeof(n));
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<MinSfaResult> FindMinSfa(const Sfa& sfa, const std::set<NodeId>& seed) {
+  return FindMinSfaImpl(SfaView{sfa}, seed);
+}
+
+Result<Sfa> ExtractChunk(const Sfa& sfa, const MinSfaResult& chunk) {
+  SfaBuilder b;
+  std::map<NodeId, NodeId> remap;
+  for (NodeId n : chunk.nodes) remap[n] = b.AddNode();
+  b.SetStart(remap[chunk.start]);
+  b.SetFinal(remap[chunk.final]);
+  for (const Edge& e : sfa.edges()) {
+    if (!chunk.nodes.count(e.from) || !chunk.nodes.count(e.to)) continue;
+    for (const Transition& t : e.transitions) {
+      STACCATO_RETURN_NOT_OK(
+          b.AddTransition(remap[e.from], remap[e.to], t.label, t.prob));
+    }
+  }
+  return b.Build();
+}
+
+Result<Sfa> CollapseChunk(const Sfa& sfa, const MinSfaResult& chunk, size_t k) {
+  STACCATO_ASSIGN_OR_RETURN(Sfa sub, ExtractChunk(sfa, chunk));
+  std::vector<ScoredString> best = KBestStrings(sub, k);
+  if (best.empty()) return Status::Internal("chunk emits no strings");
+  SfaBuilder b;
+  std::vector<NodeId> remap(sfa.NumNodes(), kInvalidNode);
+  for (NodeId n = 0; n < sfa.NumNodes(); ++n) {
+    bool interior = chunk.nodes.count(n) && n != chunk.start && n != chunk.final;
+    if (!interior) remap[n] = b.AddNode();
+  }
+  b.SetStart(remap[sfa.start()]);
+  b.SetFinal(remap[sfa.final()]);
+  for (const Edge& e : sfa.edges()) {
+    if (chunk.nodes.count(e.from) && chunk.nodes.count(e.to)) continue;
+    for (const Transition& t : e.transitions) {
+      STACCATO_RETURN_NOT_OK(
+          b.AddTransition(remap[e.from], remap[e.to], t.label, t.prob));
+    }
+  }
+  for (const ScoredString& s : best) {
+    STACCATO_RETURN_NOT_OK(b.AddTransition(remap[chunk.start],
+                                           remap[chunk.final], s.str, s.prob));
+  }
+  return b.Build();
+}
+
+Result<Sfa> ApproximateSfa(const Sfa& sfa, const StaccatoParams& params,
+                           ApproxStats* stats) {
+  if (params.m == 0 || params.k == 0) {
+    return Status::InvalidArgument("ApproximateSfa: m and k must be >= 1");
+  }
+  ApproxStats local;
+  local.input_edges = sfa.NumEdges();
+
+  MGraph g = MGraph::FromSfa(sfa, params.k);
+
+  struct CacheEntry {
+    MinSfaResult chunk;
+    ChunkSummary summary;
+  };
+  // Chunk cache: canonical node set -> scored chunk. Entries stay valid as
+  // long as the collapsed region does not overlap them (a collapse never
+  // creates new paths, so a chunk whose nodes are untouched resolves and
+  // scores identically on the new graph).
+  std::unordered_map<std::string, CacheEntry> cache;
+  // Triple memo: seed {x,y,z} -> chunk key. A stale hint (chunk entry was
+  // invalidated) simply triggers recomputation.
+  std::unordered_map<std::string, std::string> triple_memo;
+
+  std::vector<double> fwd, bwd;
+  while (g.alive_edges > params.m) {
+    ComputeFlow(g, &fwd, &bwd);
+    // Enumerate candidate triples {x, y, z} with alive edges (x,y), (y,z).
+    const CacheEntry* best = nullptr;
+    double best_loss = 0.0;
+    for (NodeId y = 0; y < g.node_alive.size(); ++y) {
+      if (!g.node_alive[y] || y == g.start || y == g.final) continue;
+      for (EdgeId ie : g.in[y]) {
+        if (!g.edges[ie].alive) continue;
+        for (EdgeId oe : g.out[y]) {
+          if (!g.edges[oe].alive) continue;
+          std::set<NodeId> seed{g.edges[ie].from, y, g.edges[oe].to};
+          std::string seed_key = ChunkKey(seed);
+          const CacheEntry* entry = nullptr;
+          auto memo_it =
+              params.use_candidate_cache ? triple_memo.find(seed_key)
+                                         : triple_memo.end();
+          if (memo_it != triple_memo.end()) {
+            auto it = cache.find(memo_it->second);
+            if (it != cache.end()) {
+              entry = &it->second;
+              ++local.cache_hits;
+            }
+          }
+          if (entry == nullptr) {
+            auto min_sfa = FindMinSfaImpl(MGraphView{g}, seed);
+            if (!min_sfa.ok()) continue;
+            std::string key = ChunkKey(min_sfa->nodes);
+            auto it = cache.find(key);
+            if (it == cache.end()) {
+              auto summary = SummarizeChunk(g, *min_sfa, params.k);
+              if (!summary.ok()) continue;
+              ++local.candidates_scored;
+              it = cache.emplace(key, CacheEntry{std::move(*min_sfa),
+                                                 std::move(*summary)})
+                       .first;
+            }
+            triple_memo[seed_key] = key;
+            entry = &it->second;
+          }
+          double loss = fwd[entry->chunk.start] *
+                        (entry->summary.total_mass - entry->summary.kept_mass) *
+                        bwd[entry->chunk.final];
+          if (best == nullptr || loss < best_loss) {
+            best = entry;
+            best_loss = loss;
+          }
+        }
+      }
+    }
+    if (best == nullptr) break;  // no collapsible structure remains
+
+    // Apply the collapse: kill interior nodes and intra-chunk edges, add the
+    // chunk edge with the retained strings.
+    MinSfaResult chosen = best->chunk;          // copy: cache is invalidated
+    std::vector<Transition> kept = best->summary.top_k;
+    for (EdgeId e = 0; e < g.edges.size(); ++e) {
+      if (!g.edges[e].alive) continue;
+      if (chosen.nodes.count(g.edges[e].from) && chosen.nodes.count(g.edges[e].to)) {
+        g.KillEdge(e);
+      }
+    }
+    for (NodeId n : chosen.nodes) {
+      if (n != chosen.start && n != chosen.final) g.node_alive[n] = false;
+    }
+    g.AddEdge(chosen.start, chosen.final, std::move(kept));
+    ++local.iterations;
+
+    // Invalidate cache entries overlapping the collapsed region.
+    for (auto it = cache.begin(); it != cache.end();) {
+      bool overlaps = false;
+      for (NodeId n : it->second.chunk.nodes) {
+        if (chosen.nodes.count(n)) {
+          overlaps = true;
+          break;
+        }
+      }
+      it = overlaps ? cache.erase(it) : ++it;
+    }
+    if (!params.use_candidate_cache) {
+      cache.clear();
+      triple_memo.clear();
+    }
+  }
+
+  auto out = g.ToSfa();
+  if (!out.ok()) return out.status();
+  local.output_edges = out->NumEdges();
+  local.output_transitions = out->NumTransitions();
+  local.retained_mass = out->TotalMass();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace staccato

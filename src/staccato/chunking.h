@@ -1,0 +1,69 @@
+// The Staccato approximation (Section 3.1): greedily merge regions of an
+// SFA into chunks, retaining only the top-k strings per chunk, until at
+// most m edges remain. The result is again a (generalized) SFA whose edges
+// are the chunks, so every downstream component — query evaluation,
+// serialization, indexing — operates on it unchanged.
+//
+//   m = 1 (after full collapse)  ≡ k-MAP on the whole line
+//   m = |E| (no collapse)        ≡ the full SFA (when k ≥ alternatives/edge)
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "sfa/sfa.h"
+#include "util/result.h"
+
+namespace staccato {
+
+/// \brief Knobs of the approximation (Table 3).
+struct StaccatoParams {
+  size_t m = 40;  ///< maximum number of chunks (edges) to retain
+  size_t k = 25;  ///< number of strings retained per chunk
+
+  /// Enables the candidate cache across greedy iterations (the "simple
+  /// optimization" of Section 3.1). Exposed so the ablation bench can
+  /// measure its effect.
+  bool use_candidate_cache = true;
+};
+
+/// \brief Construction statistics, reported by the Figure-8/18 benches.
+struct ApproxStats {
+  size_t input_edges = 0;
+  size_t output_edges = 0;
+  size_t output_transitions = 0;
+  double retained_mass = 0.0;   ///< Pr_S[Emit(approx)], in [0, 1]
+  size_t iterations = 0;        ///< greedy collapse steps performed
+  size_t candidates_scored = 0; ///< chunk candidates evaluated (cache misses)
+  size_t cache_hits = 0;
+};
+
+/// \brief Result of FindMinSFA (Algorithm 1): a minimal node set containing
+/// the seed that forms a valid sub-SFA, with its designated endpoints.
+struct MinSfaResult {
+  std::set<NodeId> nodes;
+  NodeId start = kInvalidNode;
+  NodeId final = kInvalidNode;
+};
+
+/// Algorithm 1. Expands `seed` to the minimal superset that forms a valid
+/// sub-SFA of `sfa`: a unique entry node, a unique exit node, and no
+/// external edges incident on interior nodes. Fails only on empty seeds.
+Result<MinSfaResult> FindMinSfa(const Sfa& sfa, const std::set<NodeId>& seed);
+
+/// Extracts the sub-SFA induced by a FindMinSfa result (probabilities are
+/// the original conditional probabilities, so path mass within the chunk is
+/// the conditional mass of traversing it).
+Result<Sfa> ExtractChunk(const Sfa& sfa, const MinSfaResult& chunk);
+
+/// Collapse: replaces the chunk's interior with a single edge
+/// (chunk.start → chunk.final) carrying the chunk's top-k strings.
+Result<Sfa> CollapseChunk(const Sfa& sfa, const MinSfaResult& chunk, size_t k);
+
+/// Algorithm 2: the full greedy approximation. Returns the chunked SFA;
+/// fills `stats` if non-null.
+Result<Sfa> ApproximateSfa(const Sfa& sfa, const StaccatoParams& params,
+                           ApproxStats* stats = nullptr);
+
+}  // namespace staccato

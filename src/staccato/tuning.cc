@@ -1,0 +1,128 @@
+#include "staccato/tuning.h"
+
+#include <algorithm>
+#include <set>
+
+#include "automata/dfa.h"
+#include "inference/kbest.h"
+#include "inference/query_eval.h"
+#include "metrics/metrics.h"
+
+namespace staccato {
+
+namespace {
+
+// Average length of the MAP string across the sample (proxy for l).
+double AverageLineLength(const TuningSample& sample) {
+  if (sample.truth.empty()) return 1.0;
+  size_t total = 0;
+  for (const std::string& s : sample.truth) total += s.size();
+  return std::max(1.0, static_cast<double>(total) /
+                           static_cast<double>(sample.truth.size()));
+}
+
+}  // namespace
+
+size_t SolveKForBudget(size_t budget_bytes, size_t num_sfas, double avg_len,
+                       size_t m, size_t max_k) {
+  if (num_sfas == 0) return 1;
+  double per_sfa = static_cast<double>(budget_bytes) / static_cast<double>(num_sfas);
+  double denom = avg_len + 16.0 * static_cast<double>(m);
+  size_t k = static_cast<size_t>(per_sfa / denom);
+  return std::clamp<size_t>(k, 1, max_k);
+}
+
+Result<double> MeasureAverageRecall(const TuningSample& sample,
+                                    const std::vector<std::string>& query_patterns,
+                                    size_t m, size_t k, size_t num_ans) {
+  if (sample.sfas.size() != sample.truth.size()) {
+    return Status::InvalidArgument("sample SFAs and truth differ in size");
+  }
+  // Approximate every SFA once, then evaluate all queries against them.
+  std::vector<Sfa> approx;
+  approx.reserve(sample.sfas.size());
+  StaccatoParams params{m, k, /*use_candidate_cache=*/true};
+  for (const Sfa& sfa : sample.sfas) {
+    STACCATO_ASSIGN_OR_RETURN(Sfa a, ApproximateSfa(sfa, params));
+    approx.push_back(std::move(a));
+  }
+  double total_recall = 0.0;
+  for (const std::string& pattern : query_patterns) {
+    STACCATO_ASSIGN_OR_RETURN(Dfa dfa, Dfa::Compile(pattern, MatchMode::kContains));
+    std::set<DocId> truth_docs;
+    for (size_t i = 0; i < sample.truth.size(); ++i) {
+      if (dfa.Matches(sample.truth[i])) truth_docs.insert(i);
+    }
+    std::vector<Answer> answers;
+    for (size_t i = 0; i < approx.size(); ++i) {
+      double p = EvalSfaQuery(approx[i], dfa);
+      if (p > 0.0) answers.push_back({i, p});
+    }
+    QualityScores q = ScoreAnswers(RankAnswers(std::move(answers), num_ans),
+                                   truth_docs);
+    total_recall += q.recall;
+  }
+  return query_patterns.empty() ? 1.0
+                                : total_recall / static_cast<double>(
+                                                     query_patterns.size());
+}
+
+Result<size_t> MeasureApproxSize(const TuningSample& sample, size_t m, size_t k) {
+  size_t bytes = 0;
+  StaccatoParams params{m, k, /*use_candidate_cache=*/true};
+  for (const Sfa& sfa : sample.sfas) {
+    STACCATO_ASSIGN_OR_RETURN(Sfa a, ApproximateSfa(sfa, params));
+    bytes += a.SizeBytes();
+  }
+  return bytes;
+}
+
+Result<TuningOutcome> TuneParameters(const TuningSample& sample,
+                                     const std::vector<std::string>& query_patterns,
+                                     const TuningConstraints& c) {
+  if (c.grid_step == 0) return Status::InvalidArgument("grid_step must be >= 1");
+  size_t full_bytes = 0;
+  for (const Sfa& sfa : sample.sfas) full_bytes += sfa.SizeBytes();
+  size_t budget = static_cast<size_t>(c.size_fraction *
+                                      static_cast<double>(full_bytes));
+  double avg_len = AverageLineLength(sample);
+
+  TuningOutcome out;
+  // Binary search the smallest m on the grid meeting the recall constraint.
+  // Recall is (empirically, Section 5.5) monotone non-decreasing in m when
+  // k rides the budget curve.
+  size_t lo = 1, hi = std::max<size_t>(1, c.max_m / c.grid_step);  // m = i*step
+  auto m_of = [&](size_t i) { return std::max<size_t>(1, i * c.grid_step); };
+  bool any_feasible = false;
+  size_t best_m = 0, best_k = 0;
+  double best_recall = 0.0;
+  while (lo <= hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    size_t m = m_of(mid);
+    size_t k = SolveKForBudget(budget, sample.sfas.size(), avg_len, m, c.max_k);
+    // Snap k *down* to the grid (snapping up would overshoot the size
+    // budget the equation just solved for).
+    if (k >= c.grid_step) k = (k / c.grid_step) * c.grid_step;
+    k = std::max<size_t>(1, k);
+    STACCATO_ASSIGN_OR_RETURN(
+        double recall, MeasureAverageRecall(sample, query_patterns, m, k, c.num_ans));
+    ++out.configurations_tried;
+    if (recall >= c.min_recall) {
+      any_feasible = true;
+      best_m = m;
+      best_k = k;
+      best_recall = recall;
+      if (mid == 0) break;
+      hi = mid - 1;  // try smaller m
+    } else {
+      lo = mid + 1;
+    }
+  }
+  out.feasible = any_feasible;
+  out.m = best_m;
+  out.k = best_k;
+  out.achieved_recall = best_recall;
+  return out;
+}
+
+}  // namespace staccato

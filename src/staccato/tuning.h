@@ -1,0 +1,69 @@
+// Automated construction of Staccato (Section 3.2, evaluated in Sec 5.5):
+// given a labeled sample of SFAs and representative queries, find the
+// smallest m (and the budget-matching k) such that a storage-size
+// constraint and an average-recall constraint are both met.
+//
+// The size model is the Table-1 formula for a chunked SFA:
+//     bytes(m, k) ≈ l·k + 16·m·k      (l = average emitted-string length)
+// which, for a fixed byte budget B, expresses k in terms of m:
+//     k(m) = B / (l + 16·m)
+// The remaining problem is a one-dimensional search on m, solved by binary
+// search over the (empirically monotone) recall-vs-m curve.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sfa/sfa.h"
+#include "staccato/chunking.h"
+#include "util/result.h"
+
+namespace staccato {
+
+/// \brief The labeled sample: per-line SFAs plus their true transcriptions.
+struct TuningSample {
+  std::vector<Sfa> sfas;
+  std::vector<std::string> truth;  ///< ground-truth string per SFA
+};
+
+/// \brief User constraints (defaults follow Section 5.5).
+struct TuningConstraints {
+  double size_fraction = 0.10;  ///< budget as fraction of FullSFA bytes
+  double min_recall = 0.90;     ///< average recall across queries
+  size_t num_ans = 100;         ///< answers retrieved per query
+  size_t grid_step = 5;         ///< granularity of the m/k grid
+  size_t max_m = 200;
+  size_t max_k = 200;
+};
+
+/// \brief Tuning result.
+struct TuningOutcome {
+  bool feasible = false;
+  size_t m = 0;
+  size_t k = 0;
+  double achieved_recall = 0.0;
+  size_t configurations_tried = 0;  ///< (m,k) points actually constructed
+};
+
+/// Average recall over `query_patterns` when the sample is approximated with
+/// (m, k). Ground truth for a query is the set of sample lines whose true
+/// transcription contains a match.
+Result<double> MeasureAverageRecall(const TuningSample& sample,
+                                    const std::vector<std::string>& query_patterns,
+                                    size_t m, size_t k, size_t num_ans);
+
+/// Measures the total approximated size (bytes) of the sample at (m, k).
+Result<size_t> MeasureApproxSize(const TuningSample& sample, size_t m, size_t k);
+
+/// The paper's tuning method: derive k from the size equation, then binary
+/// search the smallest m meeting the recall constraint.
+Result<TuningOutcome> TuneParameters(const TuningSample& sample,
+                                     const std::vector<std::string>& query_patterns,
+                                     const TuningConstraints& constraints);
+
+/// Budget-equation solve: the k that fills `budget_bytes` at a given m for a
+/// sample whose average emitted-string length is `avg_len` and size `n`.
+size_t SolveKForBudget(size_t budget_bytes, size_t num_sfas, double avg_len,
+                       size_t m, size_t max_k);
+
+}  // namespace staccato

@@ -1,0 +1,57 @@
+// Deterministic pseudo-random utilities. All generators in this library are
+// seeded explicitly so experiments are reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace staccato {
+
+/// \brief Seeded RNG wrapper with the sampling helpers the OCR simulator and
+/// workload generators need.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    std::uniform_real_distribution<double> d(0.0, 1.0);
+    return d(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool Coin(double p_true) { return UniformDouble() < p_true; }
+
+  /// Gaussian sample.
+  double Normal(double mean, double stddev) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(engine_);
+  }
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  size_t Categorical(const std::vector<double>& weights) {
+    std::discrete_distribution<size_t> d(weights.begin(), weights.end());
+    return d(engine_);
+  }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Choice(const std::vector<T>& v) {
+    return v[static_cast<size_t>(UniformInt(0, static_cast<int64_t>(v.size()) - 1))];
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace staccato

@@ -1,0 +1,55 @@
+// Result<T>: value-or-Status, the Arrow idiom for fallible constructors
+// and accessors.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace staccato {
+
+/// \brief Holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from value and from error Status keeps call sites
+  // terse: `return 42;` or `return Status::InvalidArgument(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : status_;
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueUnsafe() && { return std::move(*value_); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `alt` if this holds an error.
+  T ValueOr(T alt) const {
+    return ok() ? *value_ : std::move(alt);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace staccato

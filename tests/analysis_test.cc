@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "automata/dfa.h"
+#include "inference/query_eval.h"
+#include "ocr/generator.h"
+#include "staccato/analysis.h"
+#include "staccato/chunking.h"
+#include "util/random.h"
+
+namespace staccato {
+namespace {
+
+Result<Sfa> SmallOcrSfa(uint64_t seed, const std::string& line = "Pub Law 89") {
+  Rng rng(seed);
+  OcrNoiseModel model;
+  model.alternatives = 3;
+  return OcrLineToSfa(line, model, &rng);
+}
+
+TEST(KlTest, FromMassBasics) {
+  EXPECT_NEAR(*KlFromRetainedMass(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(*KlFromRetainedMass(0.5), std::log(2.0), 1e-12);
+  EXPECT_FALSE(KlFromRetainedMass(0.0).ok());
+  EXPECT_FALSE(KlFromRetainedMass(-0.1).ok());
+  EXPECT_FALSE(KlFromRetainedMass(1.5).ok());
+}
+
+TEST(KlTest, EnumerationMatchesClosedForm) {
+  // Appendix C: KL(mu|X || mu) = -log Z where Z is the retained mass.
+  auto sfa = SmallOcrSfa(3);
+  ASSERT_TRUE(sfa.ok());
+  for (size_t m : {2u, 5u}) {
+    for (size_t k : {1u, 3u}) {
+      ApproxStats stats;
+      auto approx = ApproximateSfa(*sfa, {m, k, true}, &stats);
+      ASSERT_TRUE(approx.ok());
+      auto kl_enum = KlDivergenceByEnumeration(*sfa, *approx);
+      ASSERT_TRUE(kl_enum.ok()) << kl_enum.status().ToString();
+      auto kl_mass = KlFromRetainedMass(stats.retained_mass);
+      ASSERT_TRUE(kl_mass.ok());
+      EXPECT_NEAR(*kl_enum, *kl_mass, 1e-6) << "m=" << m << " k=" << k;
+    }
+  }
+}
+
+TEST(KlTest, MoreMassMeansLowerKl) {
+  // The formal basis of "prefer the scheme retaining more mass" (Sec 3.2).
+  auto sfa = SmallOcrSfa(7);
+  ASSERT_TRUE(sfa.ok());
+  double prev_kl = 1e18;
+  for (size_t k : {1u, 2u, 4u, 8u}) {
+    ApproxStats stats;
+    auto approx = ApproximateSfa(*sfa, {4, k, true}, &stats);
+    ASSERT_TRUE(approx.ok());
+    auto kl = KlFromRetainedMass(stats.retained_mass);
+    ASSERT_TRUE(kl.ok());
+    EXPECT_LE(*kl, prev_kl + 1e-9);
+    prev_kl = *kl;
+  }
+}
+
+TEST(KlTest, RejectsForeignApproximation) {
+  // KL computation must detect an "approximation" inventing new strings.
+  auto a = SmallOcrSfa(1, "abc");
+  auto b = SmallOcrSfa(2, "xyz");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(KlDivergenceByEnumeration(*a, *b).ok());
+}
+
+// Proposition 3.1: per-edge top-k is the mass-optimal per-edge selection.
+// Property check: no random selection of k transitions per edge beats the
+// top-k selection on retained mass.
+TEST(Prop31Test, TopKPerEdgeIsMassOptimal) {
+  auto sfa = SmallOcrSfa(11);
+  ASSERT_TRUE(sfa.ok());
+  const size_t k = 2;
+  // Top-k mass: prune each edge to its top-k transitions.
+  auto prune = [&](const std::function<std::vector<Transition>(const Edge&)>& pick)
+      -> double {
+    SfaBuilder b;
+    b.AddNodes(sfa->NumNodes());
+    b.SetStart(sfa->start());
+    b.SetFinal(sfa->final());
+    for (const Edge& e : sfa->edges()) {
+      for (const Transition& t : pick(e)) {
+        EXPECT_TRUE(b.AddTransition(e.from, e.to, t.label, t.prob).ok());
+      }
+    }
+    auto pruned = b.Build();
+    EXPECT_TRUE(pruned.ok());
+    return pruned->TotalMass();
+  };
+  double top_mass = prune([&](const Edge& e) {
+    std::vector<Transition> keep(e.transitions.begin(),
+                                 e.transitions.begin() +
+                                     std::min<size_t>(k, e.transitions.size()));
+    return keep;
+  });
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    double rand_mass = prune([&](const Edge& e) {
+      std::vector<Transition> pool = e.transitions;
+      std::shuffle(pool.begin(), pool.end(), rng.engine());
+      pool.resize(std::min<size_t>(k, pool.size()));
+      return pool;
+    });
+    EXPECT_LE(rand_mass, top_mass + 1e-12);
+  }
+}
+
+TEST(MatrixEvalTest, MatchesVectorEvaluator) {
+  auto sfa = SmallOcrSfa(13);
+  ASSERT_TRUE(sfa.ok());
+  for (const char* pat : {"Pub", "La", "8", "\\d\\d", "P(\\x)*8", "zzz"}) {
+    auto dfa = Dfa::Compile(pat, MatchMode::kContains);
+    ASSERT_TRUE(dfa.ok());
+    EXPECT_NEAR(EvalSfaQueryMatrix(*sfa, *dfa), EvalSfaQuery(*sfa, *dfa), 1e-12)
+        << pat;
+  }
+}
+
+TEST(MatrixEvalTest, MatchesOnChunkedRepresentation) {
+  auto sfa = SmallOcrSfa(17);
+  ASSERT_TRUE(sfa.ok());
+  auto approx = ApproximateSfa(*sfa, {3, 4, true});
+  ASSERT_TRUE(approx.ok());
+  for (const char* pat : {"Pub", "aw 8", "\\d"}) {
+    auto dfa = Dfa::Compile(pat, MatchMode::kContains);
+    ASSERT_TRUE(dfa.ok());
+    EXPECT_NEAR(EvalSfaQueryMatrix(*approx, *dfa), EvalSfaQuery(*approx, *dfa),
+                1e-12)
+        << pat;
+  }
+}
+
+}  // namespace
+}  // namespace staccato

@@ -1,0 +1,121 @@
+// Differential tests: the compiled DFA vs a simple backtracking matcher
+// over the pattern AST (an independent oracle), swept over random patterns
+// and random inputs with TEST_P.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "automata/dfa.h"
+#include "automata/pattern.h"
+#include "util/random.h"
+
+namespace staccato {
+namespace {
+
+// Backtracking reference matcher: returns true if node matches s[pos..)
+// and calls cont on each possible end position.
+bool MatchNode(const PatternNode& node, const std::string& s, size_t pos,
+               const std::function<bool(size_t)>& cont, int depth = 0) {
+  if (depth > 64) return false;  // guard (patterns here are tiny)
+  switch (node.kind) {
+    case PatternNode::Kind::kChar:
+      if (pos < s.size() && node.chars.Test(s[pos])) return cont(pos + 1);
+      return false;
+    case PatternNode::Kind::kSeq: {
+      std::function<bool(size_t, size_t)> step = [&](size_t idx, size_t p) -> bool {
+        if (idx == node.children.size()) return cont(p);
+        return MatchNode(*node.children[idx], s, p,
+                         [&](size_t np) { return step(idx + 1, np); }, depth + 1);
+      };
+      return step(0, pos);
+    }
+    case PatternNode::Kind::kAlt:
+      for (const auto& child : node.children) {
+        if (MatchNode(*child, s, pos, cont, depth + 1)) return true;
+      }
+      return false;
+    case PatternNode::Kind::kStar: {
+      // Zero or more repetitions; bounded by remaining length.
+      std::function<bool(size_t)> rep = [&](size_t p) -> bool {
+        if (cont(p)) return true;
+        return MatchNode(*node.children[0], s, p,
+                         [&](size_t np) { return np > p && rep(np); },
+                         depth + 1);
+      };
+      return rep(pos);
+    }
+  }
+  return false;
+}
+
+bool OracleContains(const Pattern& pat, const std::string& s) {
+  for (size_t start = 0; start <= s.size(); ++start) {
+    if (MatchNode(pat.root(), s, start, [](size_t) { return true; })) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool OracleExact(const Pattern& pat, const std::string& s) {
+  return MatchNode(pat.root(), s, 0, [&](size_t p) { return p == s.size(); });
+}
+
+class DfaOracle : public ::testing::TestWithParam<uint64_t> {};
+
+std::string RandomPattern(Rng* rng) {
+  static const std::vector<std::string> atoms = {
+      "a", "b", "c", "1", "\\d", "\\x", "(a|b)", "(1|2|3)", "(\\x)*", "(ab|c)"};
+  size_t n = static_cast<size_t>(rng->UniformInt(1, 4));
+  std::string p;
+  for (size_t i = 0; i < n; ++i) p += rng->Choice(atoms);
+  return p;
+}
+
+std::string RandomInput(Rng* rng) {
+  static const std::string alphabet = "abc123 xy";
+  size_t n = static_cast<size_t>(rng->UniformInt(0, 8));
+  std::string s;
+  for (size_t i = 0; i < n; ++i) {
+    s.push_back(alphabet[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(alphabet.size()) - 1))]);
+  }
+  return s;
+}
+
+TEST_P(DfaOracle, ContainsAgrees) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string ptext = RandomPattern(&rng);
+    auto pat = Pattern::Parse(ptext);
+    ASSERT_TRUE(pat.ok()) << ptext;
+    auto dfa = Dfa::Compile(*pat, MatchMode::kContains);
+    ASSERT_TRUE(dfa.ok()) << ptext;
+    for (int si = 0; si < 30; ++si) {
+      std::string input = RandomInput(&rng);
+      EXPECT_EQ(dfa->Matches(input), OracleContains(*pat, input))
+          << "pattern '" << ptext << "' input '" << input << "'";
+    }
+  }
+}
+
+TEST_P(DfaOracle, ExactAgrees) {
+  Rng rng(GetParam() * 131 + 17);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string ptext = RandomPattern(&rng);
+    auto pat = Pattern::Parse(ptext);
+    ASSERT_TRUE(pat.ok()) << ptext;
+    auto dfa = Dfa::Compile(*pat, MatchMode::kExact);
+    ASSERT_TRUE(dfa.ok()) << ptext;
+    for (int si = 0; si < 30; ++si) {
+      std::string input = RandomInput(&rng);
+      EXPECT_EQ(dfa->Matches(input), OracleExact(*pat, input))
+          << "pattern '" << ptext << "' input '" << input << "'";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DfaOracle, ::testing::Range<uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace staccato

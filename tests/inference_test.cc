@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "inference/kbest.h"
+#include "inference/query_eval.h"
+#include "sfa/sfa.h"
+#include "util/random.h"
+
+namespace staccato {
+namespace {
+
+Sfa Figure1Sfa() {
+  SfaBuilder b;
+  NodeId n0 = b.AddNode(), n1 = b.AddNode(), n2 = b.AddNode(), n3 = b.AddNode(),
+         n4 = b.AddNode(), n5 = b.AddNode();
+  EXPECT_TRUE(b.AddTransition(n0, n1, "F", 0.8).ok());
+  EXPECT_TRUE(b.AddTransition(n0, n1, "T", 0.2).ok());
+  EXPECT_TRUE(b.AddTransition(n1, n2, "0", 0.6).ok());
+  EXPECT_TRUE(b.AddTransition(n1, n2, "o", 0.4).ok());
+  EXPECT_TRUE(b.AddTransition(n2, n3, " ", 0.6).ok());
+  EXPECT_TRUE(b.AddTransition(n2, n4, "r", 0.4).ok());
+  EXPECT_TRUE(b.AddTransition(n3, n4, "r", 0.8).ok());
+  EXPECT_TRUE(b.AddTransition(n3, n4, "m", 0.2).ok());
+  EXPECT_TRUE(b.AddTransition(n4, n5, "d", 0.9).ok());
+  EXPECT_TRUE(b.AddTransition(n4, n5, "3", 0.1).ok());
+  b.SetStart(n0);
+  b.SetFinal(n5);
+  return *b.Build(true);
+}
+
+TEST(KBestTest, MapIsFigure1Map) {
+  Sfa sfa = Figure1Sfa();
+  auto map = MapString(sfa);
+  ASSERT_TRUE(map.ok());
+  // Figure 1: 'F0 rd' is the most likely string with p ≈ 0.207.
+  EXPECT_EQ(map->str, "F0 rd");
+  EXPECT_NEAR(map->prob, 0.8 * 0.6 * 0.6 * 0.8 * 0.9, 1e-12);
+}
+
+TEST(KBestTest, AgreesWithEnumeration) {
+  Sfa sfa = Figure1Sfa();
+  for (size_t k : {1u, 3u, 5u, 10u, 24u, 100u}) {
+    auto fast = KBestStrings(sfa, k);
+    auto slow = KBestStringsByEnumeration(sfa, k, 1 << 16);
+    ASSERT_TRUE(slow.ok());
+    ASSERT_EQ(fast.size(), slow->size()) << "k=" << k;
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i].str, (*slow)[i].str) << "k=" << k << " i=" << i;
+      EXPECT_NEAR(fast[i].prob, (*slow)[i].prob, 1e-12);
+    }
+  }
+}
+
+TEST(KBestTest, SortedDescendingAndDistinct) {
+  Sfa sfa = Figure1Sfa();
+  auto top = KBestStrings(sfa, 24);
+  EXPECT_EQ(top.size(), 24u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].prob, top[i].prob);
+    EXPECT_NE(top[i - 1].str, top[i].str);
+  }
+}
+
+TEST(KBestTest, KLargerThanPathCount) {
+  Sfa sfa = Figure1Sfa();
+  auto top = KBestStrings(sfa, 1000);
+  EXPECT_EQ(top.size(), 24u);
+  double mass = 0;
+  for (const auto& s : top) mass += s.prob;
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST(KBestTest, ZeroKEmpty) {
+  EXPECT_TRUE(KBestStrings(Figure1Sfa(), 0).empty());
+}
+
+TEST(KBestTest, RandomSfasAgreeWithEnumeration) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random small layered DAG with unique-path safe labels (distinct chars
+    // per source node).
+    SfaBuilder b;
+    size_t layers = static_cast<size_t>(rng.UniformInt(2, 5));
+    std::vector<NodeId> prev{b.AddNode()};
+    NodeId start = prev[0];
+    for (size_t l = 0; l < layers; ++l) {
+      size_t width = static_cast<size_t>(rng.UniformInt(1, 2));
+      std::vector<NodeId> cur;
+      for (size_t w = 0; w < width; ++w) cur.push_back(b.AddNode());
+      int label = 0;
+      for (NodeId p : prev) {
+        for (NodeId c : cur) {
+          double prob = 0.3 + 0.4 * rng.UniformDouble();
+          ASSERT_TRUE(b.AddTransition(p, c, std::string(1, static_cast<char>('a' + label)),
+                                      prob)
+                          .ok());
+          ++label;
+          if (rng.Coin(0.5)) {
+            ASSERT_TRUE(b.AddTransition(p, c,
+                                        std::string(1, static_cast<char>('a' + label)),
+                                        0.1 + 0.2 * rng.UniformDouble())
+                            .ok());
+            ++label;
+          }
+        }
+      }
+      prev = cur;
+    }
+    NodeId final = b.AddNode();
+    for (NodeId p : prev) {
+      ASSERT_TRUE(b.AddTransition(p, final, "z", 0.9).ok());
+    }
+    b.SetStart(start);
+    b.SetFinal(final);
+    auto sfa = b.Build();
+    ASSERT_TRUE(sfa.ok()) << sfa.status().ToString();
+    for (size_t k : {1u, 4u, 16u}) {
+      auto fast = KBestStrings(*sfa, k);
+      auto slow = KBestStringsByEnumeration(*sfa, k, 1 << 16);
+      ASSERT_TRUE(slow.ok());
+      ASSERT_EQ(fast.size(), slow->size());
+      for (size_t i = 0; i < fast.size(); ++i) {
+        EXPECT_NEAR(fast[i].prob, (*slow)[i].prob, 1e-12);
+      }
+    }
+  }
+}
+
+// Brute-force Pr[q] by enumerating all strings.
+double BruteForceProb(const Sfa& sfa, const Dfa& dfa) {
+  auto strings = sfa.EnumerateStrings(1 << 20);
+  EXPECT_TRUE(strings.ok());
+  double p = 0;
+  for (const auto& [s, pr] : *strings) {
+    if (dfa.Matches(s)) p += pr;
+  }
+  return p;
+}
+
+TEST(QueryEvalTest, FordProbabilityMatchesPaper) {
+  Sfa sfa = Figure1Sfa();
+  auto dfa = Dfa::Compile("Ford", MatchMode::kContains);
+  ASSERT_TRUE(dfa.ok());
+  double p = EvalSfaQuery(sfa, *dfa);
+  // Figure 1(C): the claim is found with probability ≈ 0.12 (here exactly
+  // 0.8*0.4*0.4*0.9 since only one string contains 'Ford').
+  EXPECT_NEAR(p, 0.8 * 0.4 * 0.4 * 0.9, 1e-12);
+  EXPECT_NEAR(p, BruteForceProb(sfa, *dfa), 1e-12);
+}
+
+TEST(QueryEvalTest, MatchesBruteForceOnManyPatterns) {
+  Sfa sfa = Figure1Sfa();
+  for (const char* pat : {"F", "T0", "rd", "m3", "F(0|o)", "F\\x", "(\\x)*",
+                          "Fo\\x", "\\d", "F0 rd", "zzz"}) {
+    auto dfa = Dfa::Compile(pat, MatchMode::kContains);
+    ASSERT_TRUE(dfa.ok()) << pat;
+    EXPECT_NEAR(EvalSfaQuery(sfa, *dfa), BruteForceProb(sfa, *dfa), 1e-12)
+        << pat;
+  }
+}
+
+TEST(QueryEvalTest, ImpossiblePatternIsZero) {
+  Sfa sfa = Figure1Sfa();
+  auto dfa = Dfa::Compile("xyzzy", MatchMode::kContains);
+  ASSERT_TRUE(dfa.ok());
+  EXPECT_EQ(EvalSfaQuery(sfa, *dfa), 0.0);
+}
+
+TEST(QueryEvalTest, CertainPatternIsOne) {
+  Sfa sfa = Figure1Sfa();
+  // Every string starts with F or T.
+  auto dfa = Dfa::Compile("(F|T)", MatchMode::kContains);
+  ASSERT_TRUE(dfa.ok());
+  EXPECT_NEAR(EvalSfaQuery(sfa, *dfa), 1.0, 1e-12);
+}
+
+TEST(QueryEvalTest, MultiCharLabels) {
+  // Generalized SFA with string labels (as produced by Collapse).
+  SfaBuilder b;
+  NodeId a = b.AddNode(), m = b.AddNode(), f = b.AddNode();
+  ASSERT_TRUE(b.AddTransition(a, m, "Fo", 0.7).ok());
+  ASSERT_TRUE(b.AddTransition(a, m, "T0", 0.3).ok());
+  ASSERT_TRUE(b.AddTransition(m, f, "rd", 0.9).ok());
+  ASSERT_TRUE(b.AddTransition(m, f, "m3", 0.1).ok());
+  b.SetStart(a);
+  b.SetFinal(f);
+  auto sfa = b.Build(true);
+  ASSERT_TRUE(sfa.ok());
+  auto dfa = Dfa::Compile("Ford", MatchMode::kContains);
+  ASSERT_TRUE(dfa.ok());
+  EXPECT_NEAR(EvalSfaQuery(*sfa, *dfa), 0.7 * 0.9, 1e-12);
+  // Pattern straddling the label boundary.
+  auto dfa2 = Dfa::Compile("0m", MatchMode::kContains);
+  ASSERT_TRUE(dfa2.ok());
+  EXPECT_NEAR(EvalSfaQuery(*sfa, *dfa2), 0.3 * 0.1, 1e-12);
+}
+
+TEST(QueryEvalTest, StringsQuerySumsDisjointEvents) {
+  std::vector<ScoredString> strings = {
+      {"the Ford car", 0.5}, {"the F0rd car", 0.3}, {"a Ford too", 0.1}};
+  auto dfa = Dfa::Compile("Ford", MatchMode::kContains);
+  ASSERT_TRUE(dfa.ok());
+  EXPECT_NEAR(EvalStringsQuery(strings, *dfa), 0.6, 1e-12);
+}
+
+TEST(QueryEvalTest, StringsQueryEmptyIsZero) {
+  auto dfa = Dfa::Compile("x", MatchMode::kContains);
+  ASSERT_TRUE(dfa.ok());
+  EXPECT_EQ(EvalStringsQuery({}, *dfa), 0.0);
+}
+
+TEST(QueryEvalTest, WorkCountScalesWithDfaStates) {
+  Sfa sfa = Figure1Sfa();
+  auto small = Dfa::Compile("F", MatchMode::kContains);
+  auto big = Dfa::Compile("F0 rd", MatchMode::kContains);
+  ASSERT_TRUE(small.ok() && big.ok());
+  EXPECT_LT(CountEvalWork(sfa, *small), CountEvalWork(sfa, *big));
+}
+
+TEST(QueryEvalTest, ChainSfaExactProbability) {
+  // Chain of 5 positions, 4 alternatives each (a..d uniform). The pattern
+  // 'aa' must appear in two consecutive positions.
+  auto chain = MakeChainSfa(5, 4);
+  ASSERT_TRUE(chain.ok());
+  auto dfa = Dfa::Compile("aa", MatchMode::kContains);
+  ASSERT_TRUE(dfa.ok());
+  EXPECT_NEAR(EvalSfaQuery(*chain, *dfa), BruteForceProb(*chain, *dfa), 1e-12);
+}
+
+}  // namespace
+}  // namespace staccato

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "automata/dfa.h"
+#include "inference/kbest.h"
+#include "ocr/confusion.h"
+#include "ocr/corpus.h"
+#include "ocr/generator.h"
+#include "util/random.h"
+
+namespace staccato {
+namespace {
+
+TEST(ConfusionTest, KnownClassesPresent) {
+  auto has = [](char c, char alt) {
+    const auto& v = ConfusablesFor(c);
+    return std::find(v.begin(), v.end(), alt) != v.end();
+  };
+  EXPECT_TRUE(has('o', '0'));
+  EXPECT_TRUE(has('0', 'o'));
+  EXPECT_TRUE(has('l', '1'));
+  EXPECT_TRUE(has('5', 'S'));
+  EXPECT_TRUE(has('2', 'Z'));
+}
+
+TEST(ConfusionTest, FallbackNeverEmpty) {
+  for (int i = 0; i < 95; ++i) {
+    char c = static_cast<char>(' ' + i);
+    EXPECT_FALSE(ConfusablesFor(c).empty()) << "char " << c;
+  }
+}
+
+TEST(ConfusionTest, SegmentationSplits) {
+  EXPECT_EQ(SegmentationSplit('m'), "rn");
+  EXPECT_EQ(SegmentationSplit('w'), "vv");
+  EXPECT_EQ(SegmentationSplit('x'), "");
+}
+
+TEST(GeneratorTest, ProducesValidStochasticSfa) {
+  Rng rng(1);
+  OcrNoiseModel model;
+  auto sfa = OcrLineToSfa("Public Law 89 approved", model, &rng);
+  ASSERT_TRUE(sfa.ok()) << sfa.status().ToString();
+  EXPECT_TRUE(sfa->Validate(/*require_stochastic=*/true).ok());
+  EXPECT_NEAR(sfa->TotalMass(), 1.0, 1e-9);
+}
+
+TEST(GeneratorTest, UniquePathsAcrossSeeds) {
+  OcrNoiseModel model;
+  model.alternatives = 2;
+  model.p_branch = 0.8;  // stress the diamond construction
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    auto sfa = OcrLineToSfa("mud dim", model, &rng);
+    ASSERT_TRUE(sfa.ok());
+    Status st = sfa->CheckUniquePaths(1 << 22);
+    EXPECT_TRUE(st.ok()) << "seed " << seed << ": " << st.ToString();
+  }
+}
+
+TEST(GeneratorTest, MapErrorsAppearAtExpectedRate) {
+  OcrNoiseModel model;
+  model.p_error = 0.25;
+  model.p_branch = 0.0;
+  Rng rng(7);
+  std::string line(200, 'e');
+  for (size_t i = 0; i < line.size(); i += 2) line[i] = 'a';
+  auto sfa = OcrLineToSfa(line, model, &rng);
+  ASSERT_TRUE(sfa.ok());
+  auto map = MapString(*sfa);
+  ASSERT_TRUE(map.ok());
+  ASSERT_EQ(map->str.size(), line.size());
+  size_t errors = 0;
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (map->str[i] != line[i]) ++errors;
+  }
+  double rate = static_cast<double>(errors) / static_cast<double>(line.size());
+  EXPECT_GT(rate, 0.10);
+  EXPECT_LT(rate, 0.45);
+}
+
+TEST(GeneratorTest, ZeroErrorGivesPerfectMap) {
+  OcrNoiseModel model;
+  model.p_error = 0.0;
+  model.p_branch = 0.0;
+  Rng rng(3);
+  auto sfa = OcrLineToSfa("exact transcription", model, &rng);
+  ASSERT_TRUE(sfa.ok());
+  auto map = MapString(*sfa);
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->str, "exact transcription");
+}
+
+TEST(GeneratorTest, TruthAlwaysRepresented) {
+  // The true transcription must be emitted with non-zero probability even
+  // when the MAP is wrong.
+  OcrNoiseModel model;
+  model.p_error = 0.5;
+  model.p_branch = 0.0;
+  model.alternatives = 6;
+  Rng rng(9);
+  std::string truth = "Ford";
+  auto sfa = OcrLineToSfa(truth, model, &rng);
+  ASSERT_TRUE(sfa.ok());
+  auto strings = sfa->EnumerateStrings(1 << 22);
+  ASSERT_TRUE(strings.ok());
+  bool found = false;
+  for (const auto& [s, p] : *strings) {
+    if (s == truth) {
+      found = true;
+      EXPECT_GT(p, 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GeneratorTest, RejectsBadInput) {
+  OcrNoiseModel model;
+  Rng rng(1);
+  EXPECT_FALSE(OcrLineToSfa("", model, &rng).ok());
+  EXPECT_FALSE(OcrLineToSfa("tab\tline", model, &rng).ok());
+  OcrNoiseModel bad;
+  bad.alternatives = 1;
+  EXPECT_FALSE(OcrLineToSfa("x", bad, &rng).ok());
+}
+
+TEST(CorpusTest, ShapeMatchesSpec) {
+  CorpusSpec spec;
+  spec.kind = DatasetKind::kCongressActs;
+  spec.num_pages = 3;
+  spec.lines_per_page = 10;
+  Corpus corpus = GenerateCorpus(spec);
+  EXPECT_EQ(corpus.name, "CA");
+  EXPECT_EQ(corpus.lines.size(), 30u);
+  EXPECT_EQ(corpus.page_of_line.size(), 30u);
+  EXPECT_EQ(corpus.page_of_line.front(), 0u);
+  EXPECT_EQ(corpus.page_of_line.back(), 2u);
+  for (const std::string& line : corpus.lines) {
+    EXPECT_FALSE(line.empty());
+    for (char c : line) EXPECT_TRUE(IsAlphabetChar(c));
+  }
+}
+
+TEST(CorpusTest, Deterministic) {
+  CorpusSpec spec;
+  spec.seed = 99;
+  Corpus a = GenerateCorpus(spec);
+  Corpus b = GenerateCorpus(spec);
+  EXPECT_EQ(a.lines, b.lines);
+}
+
+TEST(CorpusTest, QueriesHaveGroundTruth) {
+  // Every Table-6 query must have at least one true answer in a
+  // moderately sized corpus.
+  for (DatasetKind kind : {DatasetKind::kCongressActs, DatasetKind::kLiterature,
+                           DatasetKind::kDbPapers}) {
+    CorpusSpec spec;
+    spec.kind = kind;
+    spec.num_pages = 8;
+    spec.lines_per_page = 40;
+    Corpus corpus = GenerateCorpus(spec);
+    for (const std::string& query : DatasetQueries(kind)) {
+      auto dfa = Dfa::Compile(query, MatchMode::kContains);
+      ASSERT_TRUE(dfa.ok()) << query;
+      size_t truth = 0;
+      for (const std::string& line : corpus.lines) {
+        if (dfa->Matches(line)) ++truth;
+      }
+      EXPECT_GT(truth, 0u) << DatasetName(kind) << " query '" << query << "'";
+    }
+  }
+}
+
+TEST(OcrDatasetTest, EndToEnd) {
+  CorpusSpec spec;
+  spec.num_pages = 2;
+  spec.lines_per_page = 5;
+  OcrNoiseModel model;
+  model.alternatives = 6;
+  auto ds = GenerateOcrDataset(spec, model);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->sfas.size(), ds->corpus.lines.size());
+  EXPECT_GT(ds->TotalSfaBytes(), ds->TotalTextBytes() * 10)
+      << "SFA representation should blow up well beyond the plain text";
+  for (const Sfa& sfa : ds->sfas) {
+    EXPECT_TRUE(sfa.Validate(true).ok());
+  }
+}
+
+TEST(DatasetQueriesTest, SevenPerDataset) {
+  for (DatasetKind kind : {DatasetKind::kCongressActs, DatasetKind::kLiterature,
+                           DatasetKind::kDbPapers}) {
+    EXPECT_EQ(DatasetQueries(kind).size(), 7u);
+  }
+}
+
+}  // namespace
+}  // namespace staccato

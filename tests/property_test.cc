@@ -1,0 +1,161 @@
+// Parameterized property tests: invariants that must hold for every
+// (seed, m, k) combination, swept with TEST_P / INSTANTIATE_TEST_SUITE_P.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "automata/dfa.h"
+#include "inference/kbest.h"
+#include "inference/query_eval.h"
+#include "ocr/generator.h"
+#include "staccato/analysis.h"
+#include "staccato/chunking.h"
+#include "util/random.h"
+
+namespace staccato {
+namespace {
+
+struct ApproxCase {
+  uint64_t seed;
+  size_t m;
+  size_t k;
+};
+
+void PrintTo(const ApproxCase& c, std::ostream* os) {
+  *os << "seed=" << c.seed << " m=" << c.m << " k=" << c.k;
+}
+
+class ApproximationProperties : public ::testing::TestWithParam<ApproxCase> {
+ protected:
+  Result<Sfa> MakeSfa() const {
+    Rng rng(GetParam().seed);
+    OcrNoiseModel model;
+    model.alternatives = 3;
+    model.p_branch = 0.3;
+    return OcrLineToSfa("Law 89 act", model, &rng);
+  }
+};
+
+TEST_P(ApproximationProperties, EmitsSubsetWithOriginalProbabilities) {
+  auto sfa = MakeSfa();
+  ASSERT_TRUE(sfa.ok());
+  ApproxStats stats;
+  auto approx = ApproximateSfa(*sfa, {GetParam().m, GetParam().k, true}, &stats);
+  ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+
+  auto orig = sfa->EnumerateStrings(1 << 22);
+  auto kept = approx->EnumerateStrings(1 << 22);
+  ASSERT_TRUE(orig.ok() && kept.ok());
+  std::map<std::string, double> mu;
+  for (auto& [s, p] : *orig) mu[s] += p;
+  double mass = 0;
+  for (auto& [s, p] : *kept) {
+    auto it = mu.find(s);
+    ASSERT_NE(it, mu.end()) << "invented string: " << s;
+    EXPECT_NEAR(it->second, p, 1e-9);
+    mass += p;
+  }
+  EXPECT_LE(mass, 1.0 + 1e-9);
+  EXPECT_NEAR(mass, stats.retained_mass, 1e-9);
+}
+
+TEST_P(ApproximationProperties, RespectsEdgeAndPathBudgets) {
+  auto sfa = MakeSfa();
+  ASSERT_TRUE(sfa.ok());
+  auto approx = ApproximateSfa(*sfa, {GetParam().m, GetParam().k, true});
+  ASSERT_TRUE(approx.ok());
+  EXPECT_LE(approx->NumEdges(), std::max<size_t>(GetParam().m, 1));
+  for (const Edge& e : approx->edges()) {
+    EXPECT_LE(e.transitions.size(), GetParam().k);
+  }
+  EXPECT_TRUE(approx->Validate().ok());
+}
+
+TEST_P(ApproximationProperties, PreservesUniquePaths) {
+  auto sfa = MakeSfa();
+  ASSERT_TRUE(sfa.ok());
+  auto approx = ApproximateSfa(*sfa, {GetParam().m, GetParam().k, true});
+  ASSERT_TRUE(approx.ok());
+  EXPECT_TRUE(approx->CheckUniquePaths(1 << 22).ok());
+}
+
+TEST_P(ApproximationProperties, QueryProbabilityIsLowerBound) {
+  auto sfa = MakeSfa();
+  ASSERT_TRUE(sfa.ok());
+  auto approx = ApproximateSfa(*sfa, {GetParam().m, GetParam().k, true});
+  ASSERT_TRUE(approx.ok());
+  for (const char* pat : {"Law", "8", "\\d\\d", "a(\\x)*t"}) {
+    auto dfa = Dfa::Compile(pat, MatchMode::kContains);
+    ASSERT_TRUE(dfa.ok());
+    EXPECT_LE(EvalSfaQuery(*approx, *dfa), EvalSfaQuery(*sfa, *dfa) + 1e-9)
+        << pat;
+  }
+}
+
+TEST_P(ApproximationProperties, SerializationRoundTrips) {
+  auto sfa = MakeSfa();
+  ASSERT_TRUE(sfa.ok());
+  auto approx = ApproximateSfa(*sfa, {GetParam().m, GetParam().k, true});
+  ASSERT_TRUE(approx.ok());
+  auto back = Sfa::Deserialize(approx->Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumEdges(), approx->NumEdges());
+  EXPECT_NEAR(back->TotalMass(), approx->TotalMass(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ApproximationProperties,
+    ::testing::Values(ApproxCase{1, 1, 1}, ApproxCase{1, 1, 4},
+                      ApproxCase{1, 3, 2}, ApproxCase{2, 5, 1},
+                      ApproxCase{2, 8, 3}, ApproxCase{3, 2, 8},
+                      ApproxCase{3, 100, 2}, ApproxCase{4, 4, 4},
+                      ApproxCase{5, 6, 2}, ApproxCase{6, 3, 3}));
+
+// ---------------------------------------------------------------------------
+// Query evaluator agreement across implementations, swept over seeds.
+// ---------------------------------------------------------------------------
+class EvaluatorAgreement : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EvaluatorAgreement, VectorMatrixAndBruteForceAgree) {
+  Rng rng(GetParam());
+  OcrNoiseModel model;
+  model.alternatives = 3;
+  model.p_branch = 0.25;
+  auto sfa = OcrLineToSfa("U.S.C. 21", model, &rng);
+  ASSERT_TRUE(sfa.ok());
+  auto strings = sfa->EnumerateStrings(1 << 22);
+  ASSERT_TRUE(strings.ok());
+  for (const char* pat :
+       {"U.S", "\\d", "C. 2\\d", "(U|V)", "S(\\x)*1", "absent"}) {
+    auto dfa = Dfa::Compile(pat, MatchMode::kContains);
+    ASSERT_TRUE(dfa.ok());
+    double brute = 0;
+    for (const auto& [s, p] : *strings) {
+      if (dfa->Matches(s)) brute += p;
+    }
+    EXPECT_NEAR(EvalSfaQuery(*sfa, *dfa), brute, 1e-9) << pat;
+    EXPECT_NEAR(EvalSfaQueryMatrix(*sfa, *dfa), brute, 1e-9) << pat;
+  }
+}
+
+TEST_P(EvaluatorAgreement, KBestAgreesWithEnumeration) {
+  Rng rng(GetParam() * 31 + 7);
+  OcrNoiseModel model;
+  model.alternatives = 4;
+  auto sfa = OcrLineToSfa("lineage", model, &rng);
+  ASSERT_TRUE(sfa.ok());
+  auto slow = KBestStringsByEnumeration(*sfa, 20, 1 << 22);
+  ASSERT_TRUE(slow.ok());
+  auto fast = KBestStrings(*sfa, 20);
+  ASSERT_EQ(fast.size(), slow->size());
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i].prob, (*slow)[i].prob, 1e-12) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvaluatorAgreement,
+                         ::testing::Range<uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace staccato

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "rdbms/blob_store.h"
+#include "rdbms/btree.h"
+#include "rdbms/heap_table.h"
+#include "rdbms/page.h"
+#include "rdbms/value.h"
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace staccato::rdbms {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  auto dir = std::filesystem::temp_directory_path() / "staccato_rdbms_test";
+  std::filesystem::create_directories(dir);
+  return (dir / name).string();
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Int(-5).AsInt(), -5);
+  EXPECT_EQ(Value::Double(0.5).AsDouble(), 0.5);
+  EXPECT_EQ(Value::String("x").AsString(), "x");
+  EXPECT_EQ(Value::Blob(9).AsBlobId(), 9u);
+  EXPECT_EQ(Value::Int(1).type(), ValueType::kInt);
+  EXPECT_EQ(Value::Blob(1).type(), ValueType::kBlobId);
+  EXPECT_NE(Value::Int(1), Value::Double(1.0));
+}
+
+TEST(SchemaTest, CheckTuple) {
+  Schema s({{"a", ValueType::kInt}, {"b", ValueType::kString}});
+  EXPECT_TRUE(s.CheckTuple({Value::Int(1), Value::String("x")}).ok());
+  EXPECT_FALSE(s.CheckTuple({Value::Int(1)}).ok());
+  EXPECT_FALSE(s.CheckTuple({Value::String("x"), Value::Int(1)}).ok());
+  EXPECT_EQ(s.FindColumn("b"), 1);
+  EXPECT_EQ(s.FindColumn("zz"), -1);
+}
+
+TEST(SchemaTest, TupleRoundTrip) {
+  Schema s({{"i", ValueType::kInt},
+            {"d", ValueType::kDouble},
+            {"t", ValueType::kString},
+            {"o", ValueType::kBlobId}});
+  Tuple in = {Value::Int(-42), Value::Double(2.5), Value::String("hello world"),
+              Value::Blob(777)};
+  BinaryWriter w;
+  s.EncodeTuple(in, &w);
+  BinaryReader r(w.buffer());
+  auto out = s.DecodeTuple(&r);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, in);
+}
+
+TEST(SlottedPageTest, InsertAndGet) {
+  SlottedPage page;
+  auto s1 = page.Insert("hello");
+  auto s2 = page.Insert("world!");
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_EQ(*page.Get(*s1), "hello");
+  EXPECT_EQ(*page.Get(*s2), "world!");
+  EXPECT_EQ(page.NumSlots(), 2u);
+}
+
+TEST(SlottedPageTest, FillsUntilFull) {
+  SlottedPage page;
+  std::string rec(100, 'x');
+  size_t count = 0;
+  while (page.Fits(rec.size())) {
+    ASSERT_TRUE(page.Insert(rec).ok());
+    ++count;
+  }
+  EXPECT_GT(count, 70u);
+  EXPECT_TRUE(page.Insert(rec).status().IsOutOfRange());
+  // Everything still readable.
+  for (uint16_t i = 0; i < page.NumSlots(); ++i) {
+    EXPECT_EQ(page.Get(i)->size(), rec.size());
+  }
+}
+
+TEST(SlottedPageTest, RejectsOversized) {
+  SlottedPage page;
+  std::string rec(kPageSize, 'x');
+  EXPECT_TRUE(page.Insert(rec).status().IsInvalidArgument());
+}
+
+TEST(SlottedPageTest, GetBadSlotFails) {
+  SlottedPage page;
+  EXPECT_TRUE(page.Get(0).status().IsNotFound());
+}
+
+TEST(HeapTableTest, InsertScanGet) {
+  Schema schema({{"k", ValueType::kInt}, {"v", ValueType::kString}});
+  auto table = HeapTable::Create(TempPath("t1.tbl"), schema);
+  ASSERT_TRUE(table.ok());
+  std::vector<RecordId> rids;
+  for (int i = 0; i < 1000; ++i) {
+    auto rid = (*table)->Insert(
+        {Value::Int(i), Value::String(StringPrintf("row-%d", i))});
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(*rid);
+  }
+  EXPECT_EQ((*table)->NumTuples(), 1000u);
+  EXPECT_GT((*table)->NumPages(), 1u);
+  // Point lookups.
+  auto t500 = (*table)->Get(rids[500]);
+  ASSERT_TRUE(t500.ok());
+  EXPECT_EQ((*t500)[1].AsString(), "row-500");
+  // Full scan sees every row in order.
+  int expect = 0;
+  ASSERT_TRUE((*table)
+                  ->Scan([&](RecordId, const Tuple& t) {
+                    EXPECT_EQ(t[0].AsInt(), expect++);
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(expect, 1000);
+}
+
+TEST(HeapTableTest, ScanEarlyStop) {
+  Schema schema({{"k", ValueType::kInt}});
+  auto table = HeapTable::Create(TempPath("t2.tbl"), schema);
+  ASSERT_TRUE(table.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*table)->Insert({Value::Int(i)}).ok());
+  }
+  int seen = 0;
+  ASSERT_TRUE(
+      (*table)->Scan([&](RecordId, const Tuple&) { return ++seen < 10; }).ok());
+  EXPECT_EQ(seen, 10);
+}
+
+TEST(HeapTableTest, PersistsAcrossReopen) {
+  Schema schema({{"k", ValueType::kInt}, {"v", ValueType::kString}});
+  std::string path = TempPath("t3.tbl");
+  {
+    auto table = HeapTable::Create(path, schema);
+    ASSERT_TRUE(table.ok());
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE((*table)->Insert({Value::Int(i), Value::String("abc")}).ok());
+    }
+    ASSERT_TRUE((*table)->Flush().ok());
+  }
+  auto reopened = HeapTable::Open(path, schema);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->NumTuples(), 500u);
+  int count = 0;
+  ASSERT_TRUE((*reopened)
+                  ->Scan([&](RecordId, const Tuple& t) {
+                    EXPECT_EQ(t[1].AsString(), "abc");
+                    ++count;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(count, 500);
+}
+
+TEST(HeapTableTest, BufferPoolEviction) {
+  Schema schema({{"k", ValueType::kInt}, {"v", ValueType::kString}});
+  // Tiny pool of 2 pages forces eviction traffic.
+  auto table = HeapTable::Create(TempPath("t4.tbl"), schema, /*pool_pages=*/2);
+  ASSERT_TRUE(table.ok());
+  std::string payload(500, 'p');
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE((*table)->Insert({Value::Int(i), Value::String(payload)}).ok());
+  }
+  EXPECT_GT((*table)->NumPages(), 10u);
+  // Scanning with a cold-ish pool must still return every tuple intact.
+  int count = 0;
+  ASSERT_TRUE((*table)
+                  ->Scan([&](RecordId, const Tuple& t) {
+                    EXPECT_EQ(t[1].AsString(), payload);
+                    ++count;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(count, 200);
+  EXPECT_GT((*table)->io_stats().page_misses, 0u);
+}
+
+TEST(BlobStoreTest, PutGetRoundTrip) {
+  auto store = BlobStore::Create(TempPath("b1.dat"));
+  ASSERT_TRUE(store.ok());
+  auto id1 = (*store)->Put("first blob");
+  auto id2 = (*store)->Put(std::string(100000, 'z'));
+  auto id3 = (*store)->Put("");
+  ASSERT_TRUE(id1.ok() && id2.ok() && id3.ok());
+  EXPECT_EQ(*(*store)->Get(*id1), "first blob");
+  EXPECT_EQ((*store)->Get(*id2)->size(), 100000u);
+  EXPECT_EQ(*(*store)->Get(*id3), "");
+  EXPECT_TRUE((*store)->Get(999999999).status().IsNotFound());
+}
+
+TEST(BlobStoreTest, TracksBytesRead) {
+  auto store = BlobStore::Create(TempPath("b2.dat"));
+  ASSERT_TRUE(store.ok());
+  auto id = (*store)->Put(std::string(1000, 'a'));
+  ASSERT_TRUE(id.ok());
+  (*store)->ResetStats();
+  ASSERT_TRUE((*store)->Get(*id).ok());
+  EXPECT_EQ((*store)->bytes_read(), 1000u + sizeof(uint64_t));
+}
+
+TEST(BPlusTreeTest, InsertLookup) {
+  BPlusTree tree;
+  tree.Insert("beta", 2);
+  tree.Insert("alpha", 1);
+  tree.Insert("gamma", 3);
+  EXPECT_EQ(tree.Lookup("alpha"), std::vector<uint64_t>{1});
+  EXPECT_EQ(tree.Lookup("beta"), std::vector<uint64_t>{2});
+  EXPECT_TRUE(tree.Lookup("zeta").empty());
+  EXPECT_EQ(tree.size(), 3u);
+}
+
+TEST(BPlusTreeTest, Duplicates) {
+  BPlusTree tree;
+  for (uint64_t i = 0; i < 50; ++i) tree.Insert("dup", i);
+  tree.Insert("other", 99);
+  auto vals = tree.Lookup("dup");
+  EXPECT_EQ(vals.size(), 50u);
+}
+
+TEST(BPlusTreeTest, ManyKeysSplitCorrectly) {
+  BPlusTree tree;
+  Rng rng(4);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 5000; ++i) {
+    keys.push_back(StringPrintf("key-%05d", static_cast<int>(rng.UniformInt(0, 99999))));
+    tree.Insert(keys.back(), static_cast<uint64_t>(i));
+  }
+  EXPECT_GT(tree.height(), 1);
+  // Every inserted key must be findable.
+  for (const std::string& k : keys) {
+    EXPECT_FALSE(tree.Lookup(k).empty()) << k;
+  }
+  // Full scan is sorted and complete.
+  std::string prev;
+  size_t n = 0;
+  tree.ScanAll([&](const std::string& k, uint64_t) {
+    EXPECT_GE(k, prev);
+    prev = k;
+    ++n;
+    return true;
+  });
+  EXPECT_EQ(n, 5000u);
+}
+
+TEST(BPlusTreeTest, DuplicateRunStraddlingLeaves) {
+  BPlusTree tree;
+  // Surround a large duplicate run with other keys so the run splits
+  // across leaves.
+  for (int i = 0; i < 200; ++i) tree.Insert(StringPrintf("a%03d", i), 0);
+  for (uint64_t i = 0; i < 300; ++i) tree.Insert("mmm", i);
+  for (int i = 0; i < 200; ++i) tree.Insert(StringPrintf("z%03d", i), 0);
+  EXPECT_EQ(tree.Lookup("mmm").size(), 300u);
+}
+
+TEST(BPlusTreeTest, ScanRange) {
+  BPlusTree tree;
+  for (int i = 0; i < 100; ++i) {
+    tree.Insert(StringPrintf("k%03d", i), static_cast<uint64_t>(i));
+  }
+  std::vector<uint64_t> seen;
+  tree.ScanRange("k010", "k020", [&](const std::string&, uint64_t v) {
+    seen.push_back(v);
+    return true;
+  });
+  ASSERT_EQ(seen.size(), 10u);
+  EXPECT_EQ(seen.front(), 10u);
+  EXPECT_EQ(seen.back(), 19u);
+}
+
+TEST(BPlusTreeTest, NumDistinctKeys) {
+  BPlusTree tree;
+  for (uint64_t i = 0; i < 10; ++i) tree.Insert("a", i);
+  tree.Insert("b", 0);
+  EXPECT_EQ(tree.NumDistinctKeys(), 2u);
+}
+
+}  // namespace
+}  // namespace staccato::rdbms

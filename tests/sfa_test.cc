@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "sfa/sfa.h"
+#include "util/random.h"
+
+namespace staccato {
+namespace {
+
+// The Figure-1 SFA of the paper: OCR of the word "Ford".
+Sfa MakeFigure1Sfa() {
+  SfaBuilder b;
+  NodeId n0 = b.AddNode(), n1 = b.AddNode(), n2 = b.AddNode(), n3 = b.AddNode(),
+         n4 = b.AddNode(), n5 = b.AddNode();
+  EXPECT_TRUE(b.AddTransition(n0, n1, "F", 0.8).ok());
+  EXPECT_TRUE(b.AddTransition(n0, n1, "T", 0.2).ok());
+  EXPECT_TRUE(b.AddTransition(n1, n2, "0", 0.6).ok());
+  EXPECT_TRUE(b.AddTransition(n1, n2, "o", 0.4).ok());
+  EXPECT_TRUE(b.AddTransition(n2, n3, " ", 0.6).ok());
+  EXPECT_TRUE(b.AddTransition(n2, n4, "r", 0.4).ok());
+  EXPECT_TRUE(b.AddTransition(n3, n4, "r", 0.8).ok());
+  EXPECT_TRUE(b.AddTransition(n3, n4, "m", 0.2).ok());
+  EXPECT_TRUE(b.AddTransition(n4, n5, "d", 0.9).ok());
+  EXPECT_TRUE(b.AddTransition(n4, n5, "3", 0.1).ok());
+  b.SetStart(n0);
+  b.SetFinal(n5);
+  auto sfa = b.Build(/*require_stochastic=*/true);
+  EXPECT_TRUE(sfa.ok()) << sfa.status().ToString();
+  return *sfa;
+}
+
+TEST(SfaBuilderTest, BuildsFigure1) {
+  Sfa sfa = MakeFigure1Sfa();
+  EXPECT_EQ(sfa.NumNodes(), 6u);
+  EXPECT_EQ(sfa.NumEdges(), 6u);
+  EXPECT_EQ(sfa.NumTransitions(), 10u);
+  EXPECT_EQ(sfa.start(), 0u);
+  EXPECT_EQ(sfa.final(), 5u);
+}
+
+TEST(SfaBuilderTest, RejectsMissingEndpoints) {
+  SfaBuilder b;
+  b.AddNode();
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(SfaBuilderTest, RejectsOutOfRangeNode) {
+  SfaBuilder b;
+  NodeId n = b.AddNode();
+  EXPECT_TRUE(b.AddTransition(n, 99, "a", 1.0).IsInvalidArgument());
+}
+
+TEST(SfaBuilderTest, RejectsEmptyLabel) {
+  SfaBuilder b;
+  NodeId a = b.AddNode(), c = b.AddNode();
+  EXPECT_TRUE(b.AddTransition(a, c, "", 1.0).IsInvalidArgument());
+}
+
+TEST(SfaBuilderTest, RejectsCycle) {
+  SfaBuilder b;
+  NodeId a = b.AddNode(), c = b.AddNode();
+  ASSERT_TRUE(b.AddTransition(a, c, "x", 0.5).ok());
+  ASSERT_TRUE(b.AddTransition(c, a, "y", 0.5).ok());
+  b.SetStart(a);
+  b.SetFinal(c);
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(SfaBuilderTest, RejectsUnreachableNode) {
+  SfaBuilder b;
+  NodeId a = b.AddNode(), c = b.AddNode();
+  b.AddNode();  // dangling
+  ASSERT_TRUE(b.AddTransition(a, c, "x", 1.0).ok());
+  b.SetStart(a);
+  b.SetFinal(c);
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(SfaBuilderTest, RejectsNonStochasticWhenRequired) {
+  SfaBuilder b;
+  NodeId a = b.AddNode(), c = b.AddNode();
+  ASSERT_TRUE(b.AddTransition(a, c, "x", 0.5).ok());
+  b.SetStart(a);
+  b.SetFinal(c);
+  EXPECT_FALSE(b.Build(/*require_stochastic=*/true).ok());
+  SfaBuilder b2;
+  NodeId a2 = b2.AddNode(), c2 = b2.AddNode();
+  ASSERT_TRUE(b2.AddTransition(a2, c2, "x", 0.5).ok());
+  b2.SetStart(a2);
+  b2.SetFinal(c2);
+  EXPECT_TRUE(b2.Build(/*require_stochastic=*/false).ok());
+}
+
+TEST(SfaTest, TotalMassIsOneForStochastic) {
+  Sfa sfa = MakeFigure1Sfa();
+  EXPECT_NEAR(sfa.TotalMass(), 1.0, 1e-9);
+}
+
+TEST(SfaTest, TopologicalOrderStartsAndEndsCorrectly) {
+  Sfa sfa = MakeFigure1Sfa();
+  EXPECT_EQ(sfa.TopologicalOrder().front(), sfa.start());
+  EXPECT_EQ(sfa.TopologicalOrder().back(), sfa.final());
+  for (const Edge& e : sfa.edges()) {
+    EXPECT_LT(sfa.TopoIndex()[e.from], sfa.TopoIndex()[e.to]);
+  }
+}
+
+TEST(SfaTest, EnumerateStringsMatchesPaper) {
+  Sfa sfa = MakeFigure1Sfa();
+  auto strings = sfa.EnumerateStrings();
+  ASSERT_TRUE(strings.ok());
+  // 2*2*(1*2 + 1)*2 = 24 labeled paths.
+  EXPECT_EQ(strings->size(), 24u);
+  double f0_rd = 0, ford = 0;
+  for (const auto& [s, p] : *strings) {
+    if (s == "F0 rd") f0_rd = p;
+    if (s == "Ford") ford = p;
+  }
+  // Figure 1: 'F0 rd' ≈ 0.21 (the MAP), 'Ford' ≈ 0.12.
+  EXPECT_NEAR(f0_rd, 0.8 * 0.6 * 0.6 * 0.8 * 0.9, 1e-12);
+  EXPECT_NEAR(ford, 0.8 * 0.4 * 0.4 * 0.9, 1e-12);
+}
+
+TEST(SfaTest, UniquePathsHoldsForFigure1) {
+  EXPECT_TRUE(MakeFigure1Sfa().CheckUniquePaths().ok());
+}
+
+TEST(SfaTest, UniquePathViolationDetected) {
+  SfaBuilder b;
+  NodeId a = b.AddNode(), m = b.AddNode(), c = b.AddNode();
+  ASSERT_TRUE(b.AddTransition(a, c, "xy", 0.5).ok());
+  ASSERT_TRUE(b.AddTransition(a, m, "x", 0.5).ok());
+  ASSERT_TRUE(b.AddTransition(m, c, "y", 1.0).ok());
+  b.SetStart(a);
+  b.SetFinal(c);
+  auto sfa = b.Build();
+  ASSERT_TRUE(sfa.ok());
+  EXPECT_TRUE(sfa->CheckUniquePaths().IsInvalidArgument());
+}
+
+TEST(SfaTest, SerializeRoundTrip) {
+  Sfa sfa = MakeFigure1Sfa();
+  std::string blob = sfa.Serialize();
+  auto back = Sfa::Deserialize(blob);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->NumNodes(), sfa.NumNodes());
+  EXPECT_EQ(back->NumEdges(), sfa.NumEdges());
+  EXPECT_EQ(back->NumTransitions(), sfa.NumTransitions());
+  EXPECT_NEAR(back->TotalMass(), 1.0, 1e-9);
+  auto a = sfa.EnumerateStrings();
+  auto b = back->EnumerateStrings();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(SfaTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Sfa::Deserialize("not a blob").ok());
+  EXPECT_FALSE(Sfa::Deserialize("").ok());
+  std::string blob = MakeFigure1Sfa().Serialize();
+  blob.resize(blob.size() / 2);
+  EXPECT_FALSE(Sfa::Deserialize(blob).ok());
+}
+
+TEST(SfaTest, DeserializeRejectsTrailingBytes) {
+  std::string blob = MakeFigure1Sfa().Serialize();
+  blob += "junk";
+  EXPECT_TRUE(Sfa::Deserialize(blob).status().IsCorruption());
+}
+
+TEST(SfaTest, SizeBytesAccounting) {
+  Sfa sfa = MakeFigure1Sfa();
+  // 10 transitions, each 1 label byte + 16 metadata bytes.
+  EXPECT_EQ(sfa.SizeBytes(), 10u * 17u);
+}
+
+TEST(ChainSfaTest, ShapeAndMass) {
+  auto chain = MakeChainSfa(10, 4);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->NumNodes(), 11u);
+  EXPECT_EQ(chain->NumEdges(), 10u);
+  EXPECT_EQ(chain->NumTransitions(), 40u);
+  EXPECT_NEAR(chain->TotalMass(), 1.0, 1e-9);
+  EXPECT_TRUE(chain->CheckUniquePaths(1000).IsOutOfRange())
+      << "4^10 paths exceed the enumeration cap";
+}
+
+TEST(ChainSfaTest, RejectsBadParams) {
+  EXPECT_FALSE(MakeChainSfa(0, 4).ok());
+  EXPECT_FALSE(MakeChainSfa(4, 0).ok());
+  EXPECT_FALSE(MakeChainSfa(4, 99).ok());
+}
+
+TEST(SfaTest, DeserializeFuzzNeverCrashes) {
+  // Single-byte corruptions of a valid blob must either round-trip to a
+  // valid SFA or fail cleanly with an error Status — never crash or hang.
+  std::string blob = MakeFigure1Sfa().Serialize();
+  Rng rng(2024);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string corrupt = blob;
+    size_t pos = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(corrupt.size()) - 1));
+    corrupt[pos] = static_cast<char>(rng.UniformInt(0, 255));
+    auto result = Sfa::Deserialize(corrupt);
+    if (result.ok()) {
+      EXPECT_TRUE(result->Validate().ok() || !result->Validate().ok());
+    }
+  }
+  // Random garbage of various lengths.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage(static_cast<size_t>(rng.UniformInt(0, 200)), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.UniformInt(0, 255));
+    (void)Sfa::Deserialize(garbage);
+  }
+  SUCCEED();
+}
+
+TEST(SfaTest, TransitionsSortedByProbability) {
+  Sfa sfa = MakeFigure1Sfa();
+  for (const Edge& e : sfa.edges()) {
+    for (size_t i = 1; i < e.transitions.size(); ++i) {
+      EXPECT_GE(e.transitions[i - 1].prob, e.transitions[i].prob);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace staccato

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "rdbms/sql.h"
+
+namespace staccato::rdbms {
+namespace {
+
+TEST(SqlTest, ParsesPaperQuery) {
+  auto stmt = ParseSelect(
+      "SELECT DocID, Loss FROM Claims "
+      "WHERE Year = 2010 AND DocData LIKE '%Ford%';");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->select_columns,
+            (std::vector<std::string>{"DocID", "Loss"}));
+  EXPECT_EQ(stmt->table, "Claims");
+  ASSERT_EQ(stmt->equalities.size(), 1u);
+  EXPECT_EQ(stmt->equalities[0].column, "Year");
+  EXPECT_EQ(stmt->equalities[0].value, "2010");
+  ASSERT_TRUE(stmt->like.has_value());
+  EXPECT_EQ(stmt->like->column, "DocData");
+  EXPECT_EQ(stmt->like->pattern, "Ford");
+  EXPECT_FALSE(stmt->like->anchored_left);
+  EXPECT_FALSE(stmt->like->anchored_right);
+}
+
+TEST(SqlTest, SelectStar) {
+  auto stmt = ParseSelect("select * from T where D like '%x%'");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select_columns, (std::vector<std::string>{"*"}));
+  EXPECT_EQ(stmt->table, "T");
+}
+
+TEST(SqlTest, CaseInsensitiveKeywords) {
+  auto stmt = ParseSelect("SeLeCt a FrOm t WhErE b LiKe '%p%'");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select_columns[0], "a");
+}
+
+TEST(SqlTest, AnchoredLike) {
+  auto stmt = ParseSelect("SELECT a FROM t WHERE b LIKE 'Ford%'");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->like->anchored_left);
+  EXPECT_FALSE(stmt->like->anchored_right);
+  EXPECT_EQ(stmt->like->pattern, "Ford");
+}
+
+TEST(SqlTest, NoWhereClause) {
+  auto stmt = ParseSelect("SELECT a FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(stmt->like.has_value());
+  EXPECT_TRUE(stmt->equalities.empty());
+}
+
+TEST(SqlTest, MultipleEqualities) {
+  auto stmt = ParseSelect(
+      "SELECT a FROM t WHERE x = 1 AND y = 'two' AND d LIKE '%p%'");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->equalities.size(), 2u);
+  EXPECT_EQ(stmt->equalities[1].value, "two");
+}
+
+TEST(SqlTest, Rejections) {
+  EXPECT_FALSE(ParseSelect("").ok());
+  EXPECT_FALSE(ParseSelect("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a WHERE b = 1").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE b LIKE missing_quotes").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE b LIKE '%'").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE b LIKE '%x%' extra").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE b ~ 'x'").ok());
+  EXPECT_FALSE(
+      ParseSelect("SELECT a FROM t WHERE b LIKE '%x%' AND c LIKE '%y%'").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE b LIKE 'unterminated").ok());
+}
+
+}  // namespace
+}  // namespace staccato::rdbms

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "inference/kbest.h"
+#include "inference/query_eval.h"
+#include "ocr/generator.h"
+#include "staccato/chunking.h"
+#include "util/random.h"
+
+namespace staccato {
+namespace {
+
+// The Figure-3 SFA: emits exactly "aef" and "abcd".
+Sfa Figure3Sfa() {
+  SfaBuilder b;
+  NodeId n0 = b.AddNode(), n1 = b.AddNode(), n2 = b.AddNode(), n3 = b.AddNode(),
+         n4 = b.AddNode(), n5 = b.AddNode();
+  EXPECT_TRUE(b.AddTransition(n0, n1, "a", 1.0).ok());
+  EXPECT_TRUE(b.AddTransition(n1, n2, "b", 0.6).ok());
+  EXPECT_TRUE(b.AddTransition(n2, n3, "c", 1.0).ok());
+  EXPECT_TRUE(b.AddTransition(n3, n5, "d", 1.0).ok());
+  EXPECT_TRUE(b.AddTransition(n1, n4, "e", 0.4).ok());
+  EXPECT_TRUE(b.AddTransition(n4, n5, "f", 1.0).ok());
+  b.SetStart(n0);
+  b.SetFinal(n5);
+  return *b.Build(true);
+}
+
+std::map<std::string, double> StringsOf(const Sfa& sfa) {
+  auto e = sfa.EnumerateStrings(1 << 22);
+  EXPECT_TRUE(e.ok()) << e.status().ToString();
+  std::map<std::string, double> out;
+  if (!e.ok()) return out;
+  for (auto& [s, p] : *e) out[s] += p;
+  return out;
+}
+
+TEST(FindMinSfaTest, GoodMergeStaysSmall) {
+  // Successive edges (1,2),(2,3): seed {1,2,3} is already a valid sub-SFA.
+  Sfa sfa = Figure3Sfa();
+  auto r = FindMinSfa(sfa, {1, 2, 3});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->nodes, std::set<NodeId>({1, 2, 3}));
+  EXPECT_EQ(r->start, 1u);
+  EXPECT_EQ(r->final, 3u);
+}
+
+TEST(FindMinSfaTest, BadMergeExpandsToGreatestCommonDescendant) {
+  // Sibling edges (1,2),(1,4): no unique end node; Algorithm 1 finds the
+  // greatest common descendant (node 5) and pulls in the path node 3.
+  Sfa sfa = Figure3Sfa();
+  auto r = FindMinSfa(sfa, {1, 2, 4});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->nodes, std::set<NodeId>({1, 2, 3, 4, 5}));
+  EXPECT_EQ(r->start, 1u);
+  EXPECT_EQ(r->final, 5u);
+}
+
+TEST(FindMinSfaTest, NoUniqueStartUsesLeastCommonAncestor) {
+  // Figure 12(A): seed {3,4,5} has two minimal nodes (3 and 4); the LCA is
+  // node 1 and the in-between node 2 is pulled in.
+  Sfa sfa = Figure3Sfa();
+  auto r = FindMinSfa(sfa, {3, 4, 5});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->nodes, std::set<NodeId>({1, 2, 3, 4, 5}));
+  EXPECT_EQ(r->start, 1u);
+  EXPECT_EQ(r->final, 5u);
+}
+
+TEST(FindMinSfaTest, ExternalEdgeOnInteriorNodePullsEndpoint) {
+  // Figure 12(C): seed {0,1,2} has interior node 1 with external edge (1,4).
+  Sfa sfa = Figure3Sfa();
+  auto r = FindMinSfa(sfa, {0, 1, 2});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Pulling in node 4 forces the GCD expansion to node 5 (and node 3).
+  EXPECT_EQ(r->nodes, std::set<NodeId>({0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(r->start, 0u);
+  EXPECT_EQ(r->final, 5u);
+}
+
+TEST(FindMinSfaTest, RejectsEmptySeed) {
+  Sfa sfa = Figure3Sfa();
+  EXPECT_FALSE(FindMinSfa(sfa, {}).ok());
+}
+
+TEST(CollapseTest, GoodMergePreservesStrings) {
+  Sfa sfa = Figure3Sfa();
+  auto chunk = FindMinSfa(sfa, {1, 2, 3});
+  ASSERT_TRUE(chunk.ok());
+  auto collapsed = CollapseChunk(sfa, *chunk, /*k=*/2);
+  ASSERT_TRUE(collapsed.ok()) << collapsed.status().ToString();
+  // Figure 3(B): new edge (1,3) emits "bc"; the SFA still emits only aef
+  // and abcd.
+  EXPECT_EQ(StringsOf(*collapsed), StringsOf(sfa));
+  EXPECT_EQ(collapsed->NumEdges(), 5u);
+}
+
+TEST(CollapseTest, BadMergeViaMinSfaPreservesStrings) {
+  Sfa sfa = Figure3Sfa();
+  auto chunk = FindMinSfa(sfa, {1, 2, 4});
+  ASSERT_TRUE(chunk.ok());
+  auto collapsed = CollapseChunk(sfa, *chunk, /*k=*/2);
+  ASSERT_TRUE(collapsed.ok());
+  // Figure 3(D): the whole middle collapses to edge (1,5) emitting ef, bcd.
+  EXPECT_EQ(StringsOf(*collapsed), StringsOf(sfa));
+  EXPECT_EQ(collapsed->NumEdges(), 2u);
+}
+
+TEST(CollapseTest, TopKPruningKeepsHighestMass) {
+  Sfa sfa = Figure3Sfa();
+  auto chunk = FindMinSfa(sfa, {1, 2, 4});
+  ASSERT_TRUE(chunk.ok());
+  auto collapsed = CollapseChunk(sfa, *chunk, /*k=*/1);
+  ASSERT_TRUE(collapsed.ok());
+  auto strings = StringsOf(*collapsed);
+  // Only the higher-probability branch ("bcd", p = 0.6) survives.
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_NEAR(strings.begin()->second, 0.6, 1e-12);
+  EXPECT_EQ(strings.begin()->first, "abcd");
+}
+
+TEST(ApproximateTest, M1EqualsKMap) {
+  // With m = 1 the whole SFA collapses to one edge holding the top-k
+  // strings — exactly the k-MAP representation.
+  Sfa sfa = Figure3Sfa();
+  for (size_t k : {1u, 2u}) {
+    auto approx = ApproximateSfa(sfa, {1, k, true});
+    ASSERT_TRUE(approx.ok());
+    EXPECT_EQ(approx->NumEdges(), 1u);
+    auto top = KBestStrings(sfa, k);
+    auto strings = StringsOf(*approx);
+    ASSERT_EQ(strings.size(), top.size());
+    for (const auto& s : top) {
+      ASSERT_TRUE(strings.count(s.str)) << s.str;
+      EXPECT_NEAR(strings[s.str], s.prob, 1e-12);
+    }
+  }
+}
+
+TEST(ApproximateTest, LargeMKeepsEverything) {
+  Sfa sfa = Figure3Sfa();
+  auto approx = ApproximateSfa(sfa, {100, 100, true});
+  ASSERT_TRUE(approx.ok());
+  EXPECT_EQ(StringsOf(*approx), StringsOf(sfa));
+}
+
+TEST(ApproximateTest, EmittedStringsAreSubsetWithSameProbs) {
+  Rng rng(5);
+  OcrNoiseModel model;
+  model.alternatives = 3;
+  auto sfa = OcrLineToSfa("Pub Law 89", model, &rng);
+  ASSERT_TRUE(sfa.ok());
+  auto original = StringsOf(*sfa);
+  for (size_t m : {1u, 3u, 6u}) {
+    for (size_t k : {1u, 2u, 4u}) {
+      ApproxStats stats;
+      auto approx = ApproximateSfa(*sfa, {m, k, true}, &stats);
+      ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+      EXPECT_LE(approx->NumEdges(), m);
+      auto kept = StringsOf(*approx);
+      double mass = 0;
+      for (const auto& [s, p] : kept) {
+        auto it = original.find(s);
+        ASSERT_NE(it, original.end())
+            << "approximation invented string '" << s << "'";
+        EXPECT_NEAR(it->second, p, 1e-9);
+        mass += p;
+      }
+      EXPECT_NEAR(stats.retained_mass, mass, 1e-9);
+      EXPECT_LE(mass, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(ApproximateTest, RetainedMassGrowsWithK) {
+  Rng rng(11);
+  OcrNoiseModel model;
+  model.alternatives = 4;
+  auto sfa = OcrLineToSfa("United States", model, &rng);
+  ASSERT_TRUE(sfa.ok());
+  double prev = -1;
+  for (size_t k : {1u, 2u, 4u, 8u}) {
+    ApproxStats stats;
+    auto approx = ApproximateSfa(*sfa, {5, k, true}, &stats);
+    ASSERT_TRUE(approx.ok());
+    EXPECT_GE(stats.retained_mass, prev - 1e-9);
+    prev = stats.retained_mass;
+  }
+}
+
+TEST(ApproximateTest, UniquePathsPreserved) {
+  Rng rng(13);
+  OcrNoiseModel model;
+  model.alternatives = 3;
+  model.p_branch = 0.5;  // force diamonds
+  auto sfa = OcrLineToSfa("firm words", model, &rng);
+  ASSERT_TRUE(sfa.ok());
+  ASSERT_TRUE(sfa->CheckUniquePaths().ok());
+  auto approx = ApproximateSfa(*sfa, {4, 3, true});
+  ASSERT_TRUE(approx.ok());
+  EXPECT_TRUE(approx->CheckUniquePaths().ok());
+}
+
+TEST(ApproximateTest, CacheDoesNotChangeResult) {
+  Rng rng(17);
+  OcrNoiseModel model;
+  model.alternatives = 3;
+  auto sfa = OcrLineToSfa("Sec. 4 act", model, &rng);
+  ASSERT_TRUE(sfa.ok());
+  auto with_cache = ApproximateSfa(*sfa, {3, 2, true});
+  auto without_cache = ApproximateSfa(*sfa, {3, 2, false});
+  ASSERT_TRUE(with_cache.ok() && without_cache.ok());
+  EXPECT_EQ(StringsOf(*with_cache), StringsOf(*without_cache));
+}
+
+TEST(ApproximateTest, StatsAreConsistent) {
+  Rng rng(19);
+  OcrNoiseModel model;
+  model.alternatives = 3;
+  auto sfa = OcrLineToSfa("lineage data", model, &rng);
+  ASSERT_TRUE(sfa.ok());
+  ApproxStats stats;
+  auto approx = ApproximateSfa(*sfa, {4, 2, true}, &stats);
+  ASSERT_TRUE(approx.ok());
+  EXPECT_EQ(stats.input_edges, sfa->NumEdges());
+  EXPECT_EQ(stats.output_edges, approx->NumEdges());
+  EXPECT_GT(stats.iterations, 0u);
+  EXPECT_GT(stats.candidates_scored, 0u);
+}
+
+TEST(ApproximateTest, RejectsZeroParams) {
+  Sfa sfa = Figure3Sfa();
+  EXPECT_FALSE(ApproximateSfa(sfa, {0, 5, true}).ok());
+  EXPECT_FALSE(ApproximateSfa(sfa, {5, 0, true}).ok());
+}
+
+TEST(ApproximateTest, QueryProbabilityNeverExceedsFullSfa) {
+  // Pruning can only remove matching strings, so Pr[q] on the
+  // approximation is a lower bound of Pr[q] on the full SFA.
+  Rng rng(23);
+  OcrNoiseModel model;
+  model.alternatives = 4;
+  auto sfa = OcrLineToSfa("Trio system", model, &rng);
+  ASSERT_TRUE(sfa.ok());
+  auto dfa = Dfa::Compile("Trio", MatchMode::kContains);
+  ASSERT_TRUE(dfa.ok());
+  double full = EvalSfaQuery(*sfa, *dfa);
+  for (size_t m : {1u, 4u, 8u}) {
+    auto approx = ApproximateSfa(*sfa, {m, 3, true});
+    ASSERT_TRUE(approx.ok());
+    EXPECT_LE(EvalSfaQuery(*approx, *dfa), full + 1e-9);
+  }
+}
+
+TEST(ExtractChunkTest, ChunkIsValidSfa) {
+  Sfa sfa = Figure3Sfa();
+  auto chunk = FindMinSfa(sfa, {1, 2, 4});
+  ASSERT_TRUE(chunk.ok());
+  auto sub = ExtractChunk(sfa, *chunk);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_TRUE(sub->Validate().ok());
+  auto strings = StringsOf(*sub);
+  ASSERT_EQ(strings.size(), 2u);
+  EXPECT_NEAR(strings["bcd"], 0.6, 1e-12);
+  EXPECT_NEAR(strings["ef"], 0.4, 1e-12);
+}
+
+}  // namespace
+}  // namespace staccato

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "ocr/corpus.h"
+#include "staccato/tuning.h"
+
+namespace staccato {
+namespace {
+
+TuningSample MakeSample() {
+  CorpusSpec spec;
+  spec.kind = DatasetKind::kCongressActs;
+  spec.num_pages = 1;
+  spec.lines_per_page = 20;
+  OcrNoiseModel noise;
+  noise.alternatives = 16;
+  auto ds = GenerateOcrDataset(spec, noise);
+  EXPECT_TRUE(ds.ok());
+  return TuningSample{ds->sfas, ds->corpus.lines};
+}
+
+TEST(SolveKTest, BudgetEquation) {
+  // k = B/n / (l + 16 m): doubling the budget doubles k; growing m shrinks k.
+  size_t k1 = SolveKForBudget(100000, 10, 50.0, 10, 1000);
+  size_t k2 = SolveKForBudget(200000, 10, 50.0, 10, 1000);
+  size_t k3 = SolveKForBudget(100000, 10, 50.0, 40, 1000);
+  EXPECT_NEAR(static_cast<double>(k2), 2.0 * static_cast<double>(k1), 2.0);
+  EXPECT_LT(k3, k1);
+  EXPECT_GE(SolveKForBudget(0, 10, 50.0, 10, 1000), 1u);  // clamped to >= 1
+  EXPECT_LE(SolveKForBudget(1ull << 40, 10, 50.0, 1, 77), 77u);  // max_k cap
+}
+
+TEST(TuningTest, RecallMeasurementSane) {
+  TuningSample sample = MakeSample();
+  auto low = MeasureAverageRecall(sample, {"President"}, 1, 1, 100);
+  auto high = MeasureAverageRecall(sample, {"President"}, 50, 10, 100);
+  ASSERT_TRUE(low.ok() && high.ok());
+  EXPECT_GE(*high, *low - 1e-9);
+  EXPECT_LE(*high, 1.0 + 1e-9);
+}
+
+TEST(TuningTest, SizeGrowsWithParameters) {
+  TuningSample sample = MakeSample();
+  auto small = MeasureApproxSize(sample, 5, 2);
+  auto large = MeasureApproxSize(sample, 20, 8);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_LT(*small, *large);
+}
+
+TEST(TuningTest, FindsFeasiblePoint) {
+  TuningSample sample = MakeSample();
+  TuningConstraints c;
+  c.size_fraction = 0.30;  // generous budget
+  c.min_recall = 0.50;     // easy target
+  c.grid_step = 5;
+  c.max_m = 40;
+  c.max_k = 40;
+  auto outcome = TuneParameters(sample, {"President", "Commission"}, c);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->feasible);
+  EXPECT_GE(outcome->achieved_recall, c.min_recall);
+  EXPECT_GT(outcome->m, 0u);
+  EXPECT_GT(outcome->k, 0u);
+  EXPECT_GT(outcome->configurations_tried, 0u);
+  EXPECT_LE(outcome->configurations_tried, 8u) << "binary search, not a scan";
+}
+
+TEST(TuningTest, ReportsInfeasible) {
+  TuningSample sample = MakeSample();
+  TuningConstraints c;
+  c.size_fraction = 0.0001;  // absurd budget
+  c.min_recall = 0.99;
+  c.max_m = 20;
+  c.max_k = 20;
+  auto outcome = TuneParameters(sample, {"U.S.C. 2\\d\\d\\d"}, c);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->feasible);
+}
+
+TEST(TuningTest, RejectsBadInput) {
+  TuningSample sample = MakeSample();
+  TuningConstraints c;
+  c.grid_step = 0;
+  EXPECT_FALSE(TuneParameters(sample, {"x"}, c).ok());
+  TuningSample mismatched;
+  mismatched.sfas = sample.sfas;
+  EXPECT_FALSE(MeasureAverageRecall(mismatched, {"x"}, 5, 5, 100).ok());
+}
+
+TEST(TuningTest, EmptyQueriesIsPerfectRecall) {
+  TuningSample sample = MakeSample();
+  auto recall = MeasureAverageRecall(sample, {}, 5, 5, 100);
+  ASSERT_TRUE(recall.ok());
+  EXPECT_EQ(*recall, 1.0);
+}
+
+}  // namespace
+}  // namespace staccato
