@@ -48,6 +48,15 @@ int main() {
   printf("\nQuery: '%s'  (left anchor term: '%s')\n", query.c_str(),
          pattern->AnchorTerm().c_str());
 
+  // The planner's view of the two physical alternatives.
+  for (bool use_index : {false, true}) {
+    rdbms::QueryOptions q;
+    q.pattern = query;
+    q.use_index = use_index;
+    auto pq = (*wb)->Prepare(Approach::kStaccato, q);
+    if (pq.ok()) printf("\n%s", pq->Explain().c_str());
+  }
+
   auto scan = (*wb)->Run(Approach::kStaccato, query, 100, /*use_index=*/false);
   auto indexed = (*wb)->Run(Approach::kStaccato, query, 100, /*use_index=*/true);
   if (!scan.ok() || !indexed.ok()) {

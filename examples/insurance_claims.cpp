@@ -11,7 +11,7 @@
 
 #include "eval/workbench.h"
 #include "ocr/generator.h"
-#include "rdbms/sql.h"
+#include "rdbms/session.h"
 #include "rdbms/staccato_db.h"
 #include "util/random.h"
 #include "util/strings.h"
@@ -72,20 +72,38 @@ int main() {
     return 1;
   }
 
+  // The paper's statement runs verbatim through the prepared-query engine:
+  // the Year equality filters candidates on MasterData (claims are dated
+  // 2010 + page, so Year = 2010 keeps the first page of forms) before any
+  // SFA is fetched or evaluated.
   const std::string sql =
       "SELECT DocID, Loss FROM Claims "
       "WHERE Year = 2010 AND DocData LIKE '%Ford%';";
   printf("\nSQL: %s\n", sql.c_str());
-  auto stmt = rdbms::ParseSelect(sql);
-  if (!stmt.ok() || !stmt->like.has_value()) {
-    fprintf(stderr, "SQL parse failed\n");
+  rdbms::Session session(db->get());
+  auto prepared = session.PrepareSql(rdbms::Approach::kStaccato, sql);
+  if (!prepared.ok()) {
+    fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
     return 1;
   }
-  printf("     (parsed: table=%s, LIKE column=%s, pattern='%s')\n\n",
-         stmt->table.c_str(), stmt->like->column.c_str(),
-         stmt->like->pattern.c_str());
+  printf("\n%s\n", prepared->Explain().c_str());
+  QueryStats sql_stats;
+  auto year_2010 = prepared->Execute(&sql_stats);
+  if (!year_2010.ok()) {
+    fprintf(stderr, "%s\n", year_2010.status().ToString().c_str());
+    return 1;
+  }
+  printf("Year = 2010 claims matching 'Ford' (of %zu candidate forms):\n",
+         sql_stats.candidates);
+  for (const Answer& ans : *year_2010) {
+    printf("  DocID %3llu  Pr = %.3g  %s\n",
+           static_cast<unsigned long long>(ans.doc), ans.prob,
+           ds.corpus.lines[ans.doc].substr(0, 44).c_str());
+  }
+  printf("  (plan: %s)\n", sql_stats.plan_summary.c_str());
 
-  auto truth = (*db)->GroundTruthFor(stmt->like->pattern);
+  const std::string& pattern = prepared->plan().pattern;
+  auto truth = (*db)->GroundTruthFor(pattern);
   printf("Ground truth: %zu claims actually mention 'Ford'\n\n", truth->size());
 
   printf("%-10s %8s %8s %8s %10s\n", "approach", "found", "recall", "prec",
@@ -93,7 +111,7 @@ int main() {
   for (Approach a : {Approach::kMap, Approach::kKMap, Approach::kFullSfa,
                      Approach::kStaccato}) {
     QueryOptions q;
-    q.pattern = stmt->like->pattern;
+    q.pattern = pattern;
     QueryStats stats;
     auto answers = (*db)->Query(a, q, &stats);
     if (!answers.ok()) continue;
@@ -107,7 +125,7 @@ int main() {
 
   printf("\nTop Staccato answers (probabilistic relation):\n");
   QueryOptions q;
-  q.pattern = stmt->like->pattern;
+  q.pattern = pattern;
   auto answers = (*db)->Query(Approach::kStaccato, q);
   int shown = 0;
   for (const Answer& ans : *answers) {

@@ -36,13 +36,19 @@ Result<std::unique_ptr<Workbench>> Workbench::Create(const WorkbenchSpec& spec) 
         BuildDictionaryFromCorpus(wb->dataset_.corpus.lines);
     STACCATO_RETURN_NOT_OK(wb->db_->BuildInvertedIndex(dict));
   }
+  // Experiments default to serial evaluation so the paper's timing
+  // comparisons are undisturbed; Run's eval_threads opts into parallelism.
+  wb->session_ = std::make_unique<Session>(
+      wb->db_.get(), rdbms::SessionOptions{/*eval_threads=*/1,
+                                           /*num_ans=*/100});
   return wb;
 }
 
 Result<ExperimentRow> Workbench::Run(Approach approach,
                                      const std::string& pattern,
                                      size_t num_ans, bool use_index,
-                                     bool use_projection) {
+                                     bool use_projection,
+                                     size_t eval_threads) {
   ExperimentRow row;
   row.pattern = pattern;
   row.approach = approach;
@@ -51,9 +57,11 @@ Result<ExperimentRow> Workbench::Run(Approach approach,
   q.num_ans = num_ans;
   q.use_index = use_index;
   q.use_projection = use_projection;
+  q.eval_threads = eval_threads;
+  STACCATO_ASSIGN_OR_RETURN(PreparedQuery pq, session_->Prepare(approach, q));
   db_->DropCaches();
   STACCATO_ASSIGN_OR_RETURN(std::vector<Answer> answers,
-                            db_->Query(approach, q, &row.stats));
+                            pq.Execute(&row.stats));
   STACCATO_ASSIGN_OR_RETURN(std::set<DocId> truth, db_->GroundTruthFor(pattern));
   row.quality = ScoreAnswers(answers, truth);
   row.truth_size = truth.size();

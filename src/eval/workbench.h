@@ -9,6 +9,7 @@
 
 #include "metrics/metrics.h"
 #include "ocr/corpus.h"
+#include "rdbms/session.h"
 #include "rdbms/staccato_db.h"
 #include "util/result.h"
 
@@ -16,8 +17,10 @@ namespace staccato::eval {
 
 using rdbms::Approach;
 using rdbms::LoadOptions;
+using rdbms::PreparedQuery;
 using rdbms::QueryOptions;
 using rdbms::QueryStats;
+using rdbms::Session;
 using rdbms::StaccatoDb;
 
 /// \brief Everything a bench needs to describe a dataset + representation.
@@ -44,19 +47,29 @@ class Workbench {
  public:
   static Result<std::unique_ptr<Workbench>> Create(const WorkbenchSpec& spec);
 
-  /// Runs one query and scores it against ground truth.
+  /// Runs one query through the session layer (Prepare + Execute) and
+  /// scores it against ground truth. `eval_threads` feeds the parallel
+  /// Eval stage (1 = serial, which is also the session default for 0).
   Result<ExperimentRow> Run(Approach approach, const std::string& pattern,
                             size_t num_ans = 100, bool use_index = false,
-                            bool use_projection = false);
+                            bool use_projection = false,
+                            size_t eval_threads = 1);
+
+  /// Prepares a query for repeated execution against this dataset.
+  Result<PreparedQuery> Prepare(Approach approach, const QueryOptions& q) {
+    return session_->Prepare(approach, q);
+  }
 
   const OcrDataset& dataset() const { return dataset_; }
   StaccatoDb& db() { return *db_; }
+  Session& session() { return *session_; }
   const WorkbenchSpec& spec() const { return spec_; }
 
  private:
   WorkbenchSpec spec_;
   OcrDataset dataset_;
   std::unique_ptr<StaccatoDb> db_;
+  std::unique_ptr<Session> session_;
 };
 
 /// Makes a fresh scratch directory under the system temp dir.

@@ -6,9 +6,11 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "automata/trie.h"
+#include "metrics/metrics.h"
 #include "sfa/sfa.h"
 
 namespace staccato {
@@ -36,5 +38,16 @@ using PostingMap = std::map<TermId, std::vector<Posting>>;
 /// [edge:24][path:16][offset:24].
 uint64_t PackPosting(const Posting& p);
 Posting UnpackPosting(uint64_t v);
+
+/// \brief Plan-consumable result of an inverted-index probe: the candidate
+/// documents for one anchor term, each with the packed postings recording
+/// where the term starts inside that document's SFA. Produced by the
+/// CandidateGen operator and consumed by the Fetch/Eval stages (projection
+/// needs the posting start locations).
+struct CandidateSet {
+  std::string anchor;  ///< the dictionary term that was probed
+  std::map<DocId, std::vector<uint64_t>> postings;
+  size_t total_postings = 0;
+};
 
 }  // namespace staccato

@@ -24,6 +24,17 @@ struct RecordId {
   }
 };
 
+/// 64-bit encoding of a RecordId ([page:48][slot:16]), used to store record
+/// addresses as B+-tree payloads. Pack and Unpack must stay inverses; both
+/// live here so the bit layout has a single owner.
+inline uint64_t PackRecordId(RecordId rid) {
+  return (static_cast<uint64_t>(rid.page) << 16) | rid.slot;
+}
+inline RecordId UnpackRecordId(uint64_t v) {
+  return RecordId{static_cast<uint32_t>(v >> 16),
+                  static_cast<uint16_t>(v & 0xFFFF)};
+}
+
 /// \brief One 8 KiB slotted page.
 ///
 /// Layout:

@@ -1,0 +1,433 @@
+#include "rdbms/plan.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <thread>
+
+#include "automata/pattern.h"
+#include "indexing/projection.h"
+#include "inference/query_eval.h"
+#include "util/strings.h"
+
+namespace staccato::rdbms {
+
+namespace {
+
+/// Coerces an equality literal (kept as written by the SQL parser) to the
+/// type of the MasterData column it compares against.
+Result<Value> CoerceLiteral(const EqualityPredicate& eq, ValueType type) {
+  switch (type) {
+    case ValueType::kInt: {
+      char* end = nullptr;
+      long long v = std::strtoll(eq.value.c_str(), &end, 10);
+      if (end == eq.value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("equality literal '" + eq.value +
+                                       "' is not an integer (column " +
+                                       eq.column + ")");
+      }
+      return Value::Int(v);
+    }
+    case ValueType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(eq.value.c_str(), &end);
+      if (end == eq.value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("equality literal '" + eq.value +
+                                       "' is not a number (column " +
+                                       eq.column + ")");
+      }
+      return Value::Double(v);
+    }
+    case ValueType::kString:
+      return Value::String(eq.value);
+    case ValueType::kBlobId:
+      return Status::InvalidArgument("cannot compare blob column " +
+                                     eq.column);
+  }
+  return Status::InvalidArgument("unknown column type");
+}
+
+size_t ResolveThreads(size_t requested, size_t default_threads) {
+  size_t t = requested == 0 ? default_threads : requested;
+  if (t == 0) t = std::max(1u, std::thread::hardware_concurrency());
+  return t;
+}
+
+}  // namespace
+
+const char* ApproachName(Approach a) {
+  switch (a) {
+    case Approach::kMap: return "MAP";
+    case Approach::kKMap: return "k-MAP";
+    case Approach::kFullSfa: return "FullSFA";
+    case Approach::kStaccato: return "STACCATO";
+  }
+  return "?";
+}
+
+const char* CandidateSourceName(CandidateSource s) {
+  switch (s) {
+    case CandidateSource::kFullScan: return "full-scan";
+    case CandidateSource::kIndexProbe: return "index-probe";
+  }
+  return "?";
+}
+
+const char* FetchMethodName(FetchMethod f) {
+  switch (f) {
+    case FetchMethod::kNone: return "none";
+    case FetchMethod::kFullBlob: return "blob";
+    case FetchMethod::kProjection: return "projection";
+  }
+  return "?";
+}
+
+const char* EvalStrategyName(EvalStrategy e) {
+  switch (e) {
+    case EvalStrategy::kStrings: return "string-match";
+    case EvalStrategy::kSfaDp: return "sfa-dp";
+  }
+  return "?";
+}
+
+Result<PlanSpec> BuildPlan(const PlanContext& ctx, Approach approach,
+                           const QueryOptions& q, size_t default_threads) {
+  PlanSpec plan;
+  plan.approach = approach;
+  plan.pattern = q.pattern;
+  plan.num_ans = q.num_ans;
+
+  // The pattern must compile; Prepare reuses the DFA, the planner only
+  // needs the parse for the anchor term.
+  STACCATO_ASSIGN_OR_RETURN(Pattern pat, Pattern::Parse(q.pattern));
+
+  // Bind equality predicates against the MasterData schema.
+  if (ctx.master == nullptr && !q.equalities.empty()) {
+    return Status::InvalidArgument("no MasterData table to filter on");
+  }
+  for (const EqualityPredicate& eq : q.equalities) {
+    int idx = ctx.master->schema().FindColumn(eq.column);
+    if (idx < 0) {
+      return Status::InvalidArgument("unknown MasterData column '" +
+                                     eq.column + "' in equality predicate");
+    }
+    ValueType type = ctx.master->schema().column(static_cast<size_t>(idx)).type;
+    STACCATO_ASSIGN_OR_RETURN(Value bound, CoerceLiteral(eq, type));
+    plan.equalities.push_back({eq.column, idx, std::move(bound)});
+  }
+
+  // Candidate generation: the inverted index serves the Staccato
+  // representation; a pattern without a dictionary anchor falls back to a
+  // full scan (same silent fallback the legacy path had).
+  if (q.use_index && approach == Approach::kStaccato) {
+    if (ctx.index == nullptr || ctx.dict == nullptr) {
+      return Status::InvalidArgument("inverted index not built");
+    }
+    std::string anchor = pat.AnchorTerm();
+    if (!anchor.empty() && ctx.dict->Find(anchor) != kInvalidTerm) {
+      plan.source = CandidateSource::kIndexProbe;
+      plan.anchor = anchor;
+    }
+  }
+
+  switch (approach) {
+    case Approach::kMap:
+      plan.map_only = true;
+      [[fallthrough]];
+    case Approach::kKMap:
+      plan.fetch = FetchMethod::kNone;
+      plan.eval = EvalStrategy::kStrings;
+      plan.eval_threads = 1;  // one pass over kMAPData; nothing to fan out
+      break;
+    case Approach::kFullSfa:
+    case Approach::kStaccato:
+      plan.fetch = plan.source == CandidateSource::kIndexProbe &&
+                           q.use_projection
+                       ? FetchMethod::kProjection
+                       : FetchMethod::kFullBlob;
+      plan.eval = EvalStrategy::kSfaDp;
+      plan.eval_threads = ResolveThreads(q.eval_threads, default_threads);
+      break;
+  }
+  return plan;
+}
+
+Result<CandidateSet> ProbeIndex(const PlanContext& ctx,
+                                const std::string& anchor) {
+  CandidateSet set;
+  set.anchor = anchor;
+  for (uint64_t packed : ctx.index->Lookup(anchor)) {
+    STACCATO_ASSIGN_OR_RETURN(Tuple t,
+                              ctx.postings->Get(UnpackRecordId(packed)));
+    set.postings[static_cast<DocId>(t[1].AsInt())].push_back(
+        static_cast<uint64_t>(t[2].AsInt()));
+    ++set.total_postings;
+  }
+  return set;
+}
+
+namespace {
+
+/// The Filter operator: docs whose MasterData row satisfies every bound
+/// equality. Returns an empty vector when the plan has no predicates (all
+/// docs pass); `any_filter` distinguishes the two cases.
+Result<std::vector<char>> EqualityBitmap(const PlanContext& ctx,
+                                         const PlanSpec& plan,
+                                         QueryStats* stats) {
+  std::vector<char> allowed;
+  if (plan.equalities.empty()) return allowed;
+  allowed.assign(ctx.num_sfas, 0);
+  ctx.master->ResetIoStats();
+  STACCATO_RETURN_NOT_OK(ctx.master->Scan([&](RecordId, const Tuple& t) {
+    for (const BoundEquality& eq : plan.equalities) {
+      if (t[static_cast<size_t>(eq.column_index)] != eq.value) return true;
+    }
+    size_t key = static_cast<size_t>(t[0].AsInt());
+    if (key < allowed.size()) allowed[key] = 1;
+    return true;
+  }));
+  if (stats != nullptr) {
+    stats->heap_pages_read += ctx.master->io_stats().page_reads;
+  }
+  return allowed;
+}
+
+/// Strings Eval: one scan over kMAPData accumulating per-doc match mass.
+Result<std::vector<Answer>> ExecuteStrings(const PlanContext& ctx,
+                                           const PlanSpec& plan,
+                                           const Dfa& dfa,
+                                           const std::vector<char>& allowed,
+                                           QueryStats* stats) {
+  const bool filtered = !plan.equalities.empty();
+  std::vector<double> prob(ctx.num_sfas, 0.0);
+  ctx.kmap->ResetIoStats();
+  STACCATO_RETURN_NOT_OK(ctx.kmap->Scan([&](RecordId, const Tuple& t) {
+    size_t key = static_cast<size_t>(t[0].AsInt());
+    if (filtered && (key >= allowed.size() || !allowed[key])) return true;
+    if (plan.map_only && t[1].AsInt() != 0) return true;
+    if (dfa.Matches(t[2].AsString())) {
+      prob[key] += std::exp(t[3].AsDouble());
+    }
+    return true;
+  }));
+  size_t candidates = ctx.num_sfas;
+  if (filtered) {
+    candidates = static_cast<size_t>(
+        std::count(allowed.begin(), allowed.end(), 1));
+  }
+  if (stats != nullptr) {
+    stats->heap_pages_read += ctx.kmap->io_stats().page_reads;
+    stats->candidates = candidates;
+    stats->selectivity = ctx.num_sfas == 0
+                             ? 0.0
+                             : static_cast<double>(candidates) /
+                                   static_cast<double>(ctx.num_sfas);
+    stats->threads_used = 1;
+  }
+  std::vector<Answer> answers;
+  for (size_t i = 0; i < ctx.num_sfas; ++i) {
+    if (prob[i] > 0.0) answers.push_back({i, std::min(prob[i], 1.0)});
+  }
+  return RankAnswers(std::move(answers), plan.num_ans);
+}
+
+struct SfaCandidate {
+  DocId doc = 0;
+  std::vector<uint64_t> postings;  // packed; empty on the full-scan path
+  std::string blob;                // serialized SFA
+};
+
+/// Projection Eval for one candidate: deserialize, then score the region
+/// around each posting start; the best region bounds the match probability.
+Result<double> EvalProjectedCandidate(const SfaCandidate& cand,
+                                      const Dfa& dfa, size_t horizon) {
+  STACCATO_ASSIGN_OR_RETURN(Sfa sfa, Sfa::Deserialize(cand.blob));
+  double best = 0.0;
+  for (uint64_t packed : cand.postings) {
+    Posting post = UnpackPosting(packed);
+    if (post.edge >= sfa.NumEdges()) continue;
+    NodeId from = sfa.edge(post.edge).from;
+    best = std::max(best, EvalProjected(sfa, dfa, from, horizon));
+  }
+  return best;
+}
+
+/// SFA Eval: Fetch (serial blob reads; the storage layer is single-
+/// threaded) then the embarrassingly parallel DP stage. Per-candidate
+/// results are gathered positionally, so the ranked answers are
+/// bit-identical for any thread count.
+Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
+                                        const PlanSpec& plan, const Dfa& dfa,
+                                        const std::vector<char>& allowed,
+                                        QueryStats* stats) {
+  const bool filtered = !plan.equalities.empty();
+  const bool full = plan.approach == Approach::kFullSfa;
+  const std::vector<RecordId>& rids = full ? *ctx.fullsfa_rid : *ctx.graph_rid;
+  HeapTable* blob_table = full ? ctx.fullsfa : ctx.staccato_graph;
+
+  // CandidateGen.
+  std::vector<SfaCandidate> cands;
+  size_t total_postings = 0;
+  if (plan.source == CandidateSource::kIndexProbe) {
+    STACCATO_ASSIGN_OR_RETURN(CandidateSet set, ProbeIndex(ctx, plan.anchor));
+    total_postings = set.total_postings;
+    cands.reserve(set.postings.size());
+    for (auto& [doc, posts] : set.postings) {
+      if (filtered && (doc >= allowed.size() || !allowed[doc])) continue;
+      cands.push_back({doc, std::move(posts), {}});
+    }
+  } else {
+    cands.reserve(ctx.num_sfas);
+    for (DocId doc = 0; doc < ctx.num_sfas; ++doc) {
+      if (filtered && (doc >= allowed.size() || !allowed[doc])) continue;
+      cands.push_back({doc, {}, {}});
+    }
+  }
+
+  ctx.blobs->ResetStats();
+  auto fetch_one = [&](SfaCandidate& cand) -> Status {
+    if (cand.doc >= rids.size()) return Status::NotFound("no such DataKey");
+    STACCATO_ASSIGN_OR_RETURN(Tuple t, blob_table->Get(rids[cand.doc]));
+    STACCATO_ASSIGN_OR_RETURN(cand.blob, ctx.blobs->Get(t[1].AsBlobId()));
+    return Status::OK();
+  };
+  const size_t horizon = plan.pattern.size() + 8;
+  auto eval_one = [&](const SfaCandidate& cand) -> Result<double> {
+    if (plan.fetch == FetchMethod::kProjection) {
+      return EvalProjectedCandidate(cand, dfa, horizon);
+    }
+    STACCATO_ASSIGN_OR_RETURN(
+        std::vector<double> p,
+        EvalSerializedSfaBatch({&cand.blob}, dfa, /*threads=*/1));
+    return p[0];
+  };
+
+  size_t threads = std::max<size_t>(1, plan.eval_threads);
+  threads = std::min(threads, cands.empty() ? size_t{1} : cands.size());
+  std::vector<double> prob(cands.size(), 0.0);
+  if (threads <= 1) {
+    // Stream: fetch, evaluate, and release one candidate at a time, so
+    // peak memory is a single serialized SFA (the legacy profile).
+    for (size_t i = 0; i < cands.size(); ++i) {
+      STACCATO_RETURN_NOT_OK(fetch_one(cands[i]));
+      STACCATO_ASSIGN_OR_RETURN(prob[i], eval_one(cands[i]));
+      cands[i].blob = std::string();
+    }
+  } else {
+    // Parallel: the storage layer is single-threaded, so Fetch stays a
+    // serial pass that materializes the candidate blobs; the DP stage then
+    // fans out. (Trades memory — all candidate blobs at once — for the
+    // parallel speedup the caller asked for.)
+    for (SfaCandidate& cand : cands) STACCATO_RETURN_NOT_OK(fetch_one(cand));
+    if (plan.fetch == FetchMethod::kProjection) {
+      std::vector<Status> errors(threads, Status::OK());
+      std::atomic<size_t> next{0};
+      auto worker = [&](size_t tid) {
+        while (true) {
+          size_t i = next.fetch_add(1);
+          if (i >= cands.size()) return;
+          auto r = EvalProjectedCandidate(cands[i], dfa, horizon);
+          if (!r.ok()) {
+            errors[tid] = r.status();
+            return;
+          }
+          prob[i] = *r;
+        }
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+      for (auto& t : pool) t.join();
+      for (const Status& st : errors) STACCATO_RETURN_NOT_OK(st);
+    } else {
+      std::vector<const std::string*> blobs;
+      blobs.reserve(cands.size());
+      for (const SfaCandidate& cand : cands) blobs.push_back(&cand.blob);
+      STACCATO_ASSIGN_OR_RETURN(prob,
+                                EvalSerializedSfaBatch(blobs, dfa, threads));
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->blob_bytes_read += ctx.blobs->bytes_read();
+    stats->candidates = cands.size();
+    stats->index_postings = total_postings;
+    stats->selectivity = ctx.num_sfas == 0
+                             ? 0.0
+                             : static_cast<double>(cands.size()) /
+                                   static_cast<double>(ctx.num_sfas);
+    stats->threads_used = threads;
+  }
+
+  std::vector<Answer> answers;
+  for (size_t i = 0; i < cands.size(); ++i) {
+    if (prob[i] > 0.0) answers.push_back({cands[i].doc, prob[i]});
+  }
+  return RankAnswers(std::move(answers), plan.num_ans);
+}
+
+}  // namespace
+
+Result<std::vector<Answer>> ExecutePlan(const PlanContext& ctx,
+                                        const PlanSpec& plan, const Dfa& dfa,
+                                        QueryStats* stats) {
+  if (stats != nullptr) {
+    stats->used_index = plan.source == CandidateSource::kIndexProbe;
+    stats->used_projection = plan.fetch == FetchMethod::kProjection;
+    stats->plan_summary = PlanSummary(plan);
+    stats->threads_used = 1;
+  }
+  STACCATO_ASSIGN_OR_RETURN(std::vector<char> allowed,
+                            EqualityBitmap(ctx, plan, stats));
+  switch (plan.eval) {
+    case EvalStrategy::kStrings:
+      return ExecuteStrings(ctx, plan, dfa, allowed, stats);
+    case EvalStrategy::kSfaDp:
+      return ExecuteSfas(ctx, plan, dfa, allowed, stats);
+  }
+  return Status::InvalidArgument("unknown eval strategy");
+}
+
+std::string ExplainPlan(const PlanSpec& plan) {
+  std::string out = StringPrintf("QueryPlan approach=%s pattern='%s'\n",
+                                 ApproachName(plan.approach),
+                                 plan.pattern.c_str());
+  out += StringPrintf("  -> CandidateGen source=%s",
+                      CandidateSourceName(plan.source));
+  if (plan.source == CandidateSource::kIndexProbe) {
+    out += StringPrintf(" anchor='%s'", plan.anchor.c_str());
+  }
+  out += "\n";
+  for (const BoundEquality& eq : plan.equalities) {
+    out += StringPrintf("  -> Filter %s = %s\n", eq.column.c_str(),
+                        eq.value.ToString().c_str());
+  }
+  if (plan.fetch != FetchMethod::kNone) {
+    out += StringPrintf("  -> Fetch method=%s\n", FetchMethodName(plan.fetch));
+  }
+  out += StringPrintf("  -> Eval strategy=%s threads=%zu\n",
+                      EvalStrategyName(plan.eval), plan.eval_threads);
+  out += StringPrintf("  -> TopK num_ans=%zu\n", plan.num_ans);
+  return out;
+}
+
+std::string PlanSummary(const PlanSpec& plan) {
+  std::string out = CandidateSourceName(plan.source);
+  if (!plan.equalities.empty()) {
+    out += StringPrintf(">filter(%zu)", plan.equalities.size());
+  }
+  if (plan.fetch != FetchMethod::kNone) {
+    out += ">";
+    out += FetchMethodName(plan.fetch);
+  }
+  out += ">";
+  out += EvalStrategyName(plan.eval);
+  if (plan.eval == EvalStrategy::kSfaDp) {
+    out += StringPrintf("[t=%zu]", plan.eval_threads);
+  }
+  out += StringPrintf(">top-%zu", plan.num_ans);
+  return out;
+}
+
+}  // namespace staccato::rdbms

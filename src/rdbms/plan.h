@@ -1,0 +1,163 @@
+// Physical query plans for the prepared-query engine.
+//
+// A probabilistic LIKE query runs as a fixed pipeline of physical
+// operators:
+//
+//   CandidateGen -> [Filter] -> Fetch -> Eval -> TopK
+//
+//   CandidateGen  enumerates candidate documents, either by full scan or
+//                 by probing the dictionary inverted index with the
+//                 pattern's anchor term (returns a CandidateSet).
+//   Filter        drops candidates whose MasterData row fails an equality
+//                 predicate (`Year = 2010`).
+//   Fetch         materializes the representation: nothing for the string
+//                 approaches (they evaluate during the kMAPData scan), the
+//                 serialized SFA blob, or only the projected region around
+//                 each posting.
+//   Eval          scores each candidate: DFA match over stored strings, or
+//                 the DFAxSFA dynamic program. The SFA stage can fan out
+//                 over a thread pool; results are positionally gathered so
+//                 answers are bit-identical to serial execution.
+//   TopK          ranks by probability and keeps NumAns answers.
+//
+// `BuildPlan` chooses the operators once, at prepare time; `ExecutePlan`
+// can then run the same plan many times. `ExplainPlan` renders the chosen
+// shape as stable text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "automata/trie.h"
+#include "indexing/postings.h"
+#include "metrics/metrics.h"
+#include "rdbms/blob_store.h"
+#include "rdbms/btree.h"
+#include "rdbms/heap_table.h"
+#include "rdbms/sql.h"
+#include "util/result.h"
+
+namespace staccato::rdbms {
+
+enum class Approach {
+  kMap,
+  kKMap,
+  kFullSfa,
+  kStaccato,
+};
+
+const char* ApproachName(Approach a);
+
+/// \brief One LIKE query, as the user states it (logical description).
+struct QueryOptions {
+  std::string pattern;     ///< the paper's pattern language ('%pat%' implied)
+  size_t num_ans = 100;    ///< NumAns (Table 3)
+  bool use_index = false;  ///< anchored-term inverted-index acceleration
+  bool use_projection = false;  ///< fetch only the projected SFA region
+  /// Equality predicates over MasterData columns (`Year = 2010`); filters
+  /// candidates before any SFA is fetched or evaluated.
+  std::vector<EqualityPredicate> equalities;
+  /// Workers for the parallel Eval stage. 1 = serial; 0 = inherit the
+  /// session default (which itself defaults to serial for the legacy
+  /// StaccatoDb::Query path and hardware concurrency for Sessions).
+  size_t eval_threads = 0;
+};
+
+/// \brief Execution statistics for the benches.
+struct QueryStats {
+  double seconds = 0.0;
+  uint64_t heap_pages_read = 0;
+  uint64_t blob_bytes_read = 0;
+  size_t candidates = 0;    ///< SFAs actually evaluated
+  size_t index_postings = 0;
+  double selectivity = 0.0;  ///< candidates / total SFAs
+  // Chosen plan shape, so benches can report what actually executed.
+  bool used_index = false;
+  bool used_projection = false;
+  size_t threads_used = 1;    ///< workers in the Eval stage
+  std::string plan_summary;   ///< one-line operator pipeline
+};
+
+enum class CandidateSource { kFullScan, kIndexProbe };
+enum class FetchMethod { kNone, kFullBlob, kProjection };
+enum class EvalStrategy { kStrings, kSfaDp };
+
+const char* CandidateSourceName(CandidateSource s);
+const char* FetchMethodName(FetchMethod f);
+const char* EvalStrategyName(EvalStrategy e);
+
+/// \brief An equality predicate resolved against the MasterData schema:
+/// column position and the literal coerced to the column's type.
+struct BoundEquality {
+  std::string column;  ///< column name, as written
+  int column_index = -1;
+  Value value;
+};
+
+/// \brief A resolved physical plan. Immutable once built; executing it many
+/// times always runs the same operators.
+struct PlanSpec {
+  Approach approach = Approach::kMap;
+  CandidateSource source = CandidateSource::kFullScan;
+  FetchMethod fetch = FetchMethod::kNone;
+  EvalStrategy eval = EvalStrategy::kStrings;
+  bool map_only = false;  ///< strings eval: restrict to the rank-0 row
+  std::string pattern;
+  std::string anchor;  ///< dictionary term probed; set iff kIndexProbe
+  size_t num_ans = 100;
+  size_t eval_threads = 1;  ///< resolved worker count (>= 1)
+  std::vector<BoundEquality> equalities;
+};
+
+/// \brief Everything the executor needs from the database: borrowed views
+/// of the storage layer. Plans never own storage.
+struct PlanContext {
+  HeapTable* master = nullptr;    // MasterData (equality predicates)
+  HeapTable* kmap = nullptr;      // kMAPData (string approaches)
+  HeapTable* postings = nullptr;  // inverted-index postings relation
+  HeapTable* fullsfa = nullptr;   // FullSFAData (blob-holding rows)
+  HeapTable* staccato_graph = nullptr;  // StaccatoGraph (blob-holding rows)
+  BlobStore* blobs = nullptr;
+  BPlusTree* index = nullptr;               // may be null (no index built)
+  const DictionaryTrie* dict = nullptr;     // may be null
+  const std::vector<RecordId>* fullsfa_rid = nullptr;
+  const std::vector<RecordId>* graph_rid = nullptr;
+  size_t num_sfas = 0;
+};
+
+/// Resolves a logical query into a physical plan: picks index probe vs full
+/// scan, projection vs whole-blob fetch, the eval strategy, the worker
+/// count, and binds equality literals against the MasterData schema.
+/// `default_threads` is used when `q.eval_threads == 0` (0 = hardware
+/// concurrency). Fails on unknown columns, type-mismatched literals, or
+/// `use_index` without a built index.
+Result<PlanSpec> BuildPlan(const PlanContext& ctx, Approach approach,
+                           const QueryOptions& q, size_t default_threads);
+
+/// Runs the plan's operator pipeline. Repeated calls with the same plan and
+/// DFA return identical answers regardless of `eval_threads`.
+Result<std::vector<Answer>> ExecutePlan(const PlanContext& ctx,
+                                        const PlanSpec& plan, const Dfa& dfa,
+                                        QueryStats* stats);
+
+/// Probes the inverted index with `anchor` (CandidateGen, index flavor).
+/// The caller guarantees ctx.index/ctx.dict are present.
+Result<CandidateSet> ProbeIndex(const PlanContext& ctx,
+                                const std::string& anchor);
+
+/// Multi-line operator-tree rendering, stable across executions:
+///
+///   QueryPlan approach=STACCATO pattern='Ford'
+///     -> CandidateGen source=index-probe anchor='ford'
+///     -> Filter Year = 2010
+///     -> Fetch method=projection
+///     -> Eval strategy=sfa-dp threads=4
+///     -> TopK num_ans=100
+std::string ExplainPlan(const PlanSpec& plan);
+
+/// Compact one-line shape for QueryStats::plan_summary, e.g.
+/// "index-probe>filter>projection>sfa-dp[t=4]>top-100".
+std::string PlanSummary(const PlanSpec& plan);
+
+}  // namespace staccato::rdbms

@@ -1,0 +1,48 @@
+#include "rdbms/session.h"
+
+#include "rdbms/sql.h"
+#include "rdbms/staccato_db.h"
+#include "util/timer.h"
+
+namespace staccato::rdbms {
+
+PreparedQuery::PreparedQuery(StaccatoDb* db, PlanSpec plan, Dfa dfa)
+    : db_(db), plan_(std::move(plan)), dfa_(std::move(dfa)) {}
+
+Result<PreparedQuery> Session::Prepare(Approach approach,
+                                       const QueryOptions& q) {
+  PlanContext ctx = db_->MakePlanContext();
+  STACCATO_ASSIGN_OR_RETURN(PlanSpec plan,
+                            BuildPlan(ctx, approach, q, opts_.eval_threads));
+  STACCATO_ASSIGN_OR_RETURN(Dfa dfa,
+                            Dfa::Compile(q.pattern, MatchMode::kContains));
+  return PreparedQuery(db_, std::move(plan), std::move(dfa));
+}
+
+Result<PreparedQuery> Session::PrepareSql(Approach approach,
+                                          const std::string& sql) {
+  STACCATO_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
+  if (!stmt.like.has_value()) {
+    return Status::InvalidArgument("statement has no LIKE predicate");
+  }
+  QueryOptions q;
+  q.pattern = stmt.like->pattern;
+  q.num_ans = opts_.num_ans;
+  q.equalities = stmt.equalities;
+  return Prepare(approach, q);
+}
+
+Result<std::vector<Answer>> PreparedQuery::Execute(QueryStats* stats) const {
+  Timer timer;
+  Result<std::vector<Answer>> result =
+      ExecutePlan(db_->MakePlanContext(), plan_, dfa_, stats);
+  if (stats != nullptr) stats->seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Result<Cursor> PreparedQuery::Open(QueryStats* stats) const {
+  STACCATO_ASSIGN_OR_RETURN(std::vector<Answer> answers, Execute(stats));
+  return Cursor(std::move(answers));
+}
+
+}  // namespace staccato::rdbms

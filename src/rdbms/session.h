@@ -1,0 +1,117 @@
+// The prepared-query surface of the engine.
+//
+// A Session borrows a StaccatoDb and turns logical queries (pattern +
+// options, or the paper's SQL) into PreparedQuery objects:
+//
+//   Session session(db.get());
+//   STACCATO_ASSIGN_OR_RETURN(
+//       PreparedQuery pq,
+//       session.PrepareSql(Approach::kStaccato,
+//                          "SELECT DocID FROM Claims "
+//                          "WHERE Year = 2010 AND DocData LIKE '%Ford%';"));
+//   puts(pq.Explain().c_str());
+//   auto answers = pq.Execute();       // repeatable; plan + DFA reused
+//
+// Prepare compiles the pattern DFA once, binds equality literals against
+// the MasterData schema, and freezes a physical plan (plan.h). Execute
+// runs the plan; Open streams the ranked answers through a Cursor. The
+// legacy StaccatoDb::Query / QuerySql calls are thin wrappers over this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "rdbms/plan.h"
+#include "util/result.h"
+
+namespace staccato::rdbms {
+
+class StaccatoDb;
+class PreparedQuery;
+class Cursor;
+
+/// \brief Session-wide defaults applied at prepare time.
+struct SessionOptions {
+  /// Default Eval-stage workers when QueryOptions::eval_threads == 0.
+  /// 0 = hardware concurrency (sessions are parallel by default).
+  size_t eval_threads = 0;
+  /// Default NumAns for SQL statements (SQL has no NumAns syntax).
+  size_t num_ans = 100;
+};
+
+/// \brief Prepared-query factory over one database.
+class Session {
+ public:
+  explicit Session(StaccatoDb* db, SessionOptions opts = {})
+      : db_(db), opts_(opts) {}
+
+  /// Compiles + plans a pattern query. The returned PreparedQuery remains
+  /// valid as long as the database outlives it.
+  Result<PreparedQuery> Prepare(Approach approach, const QueryOptions& q);
+
+  /// Parses the paper's SQL subset (single-table select-project with one
+  /// LIKE and any number of equality predicates) and prepares it.
+  Result<PreparedQuery> PrepareSql(Approach approach, const std::string& sql);
+
+  StaccatoDb* db() const { return db_; }
+  const SessionOptions& options() const { return opts_; }
+
+ private:
+  StaccatoDb* db_;
+  SessionOptions opts_;
+};
+
+/// \brief A compiled, planned, repeatedly executable query.
+class PreparedQuery {
+ public:
+  /// Runs the plan and returns the ranked answers. Thread-count changes
+  /// never change the answers, only the wall clock.
+  Result<std::vector<Answer>> Execute(QueryStats* stats = nullptr) const;
+
+  /// Executes and wraps the ranked answers in a streaming cursor.
+  Result<Cursor> Open(QueryStats* stats = nullptr) const;
+
+  /// Stable text rendering of the physical plan.
+  std::string Explain() const { return ExplainPlan(plan_); }
+
+  const PlanSpec& plan() const { return plan_; }
+  const Dfa& dfa() const { return dfa_; }
+
+  /// Re-binds the answer budget without re-planning.
+  void set_num_ans(size_t n) { plan_.num_ans = n; }
+  /// Re-binds the Eval worker count without re-planning (>= 1).
+  void set_eval_threads(size_t t) { plan_.eval_threads = t == 0 ? 1 : t; }
+
+ private:
+  friend class Session;
+  PreparedQuery(StaccatoDb* db, PlanSpec plan, Dfa dfa);
+
+  StaccatoDb* db_;
+  PlanSpec plan_;
+  Dfa dfa_;
+};
+
+/// \brief Forward-only iteration over one execution's ranked answers.
+class Cursor {
+ public:
+  /// Advances to the next answer; false at end of stream.
+  bool Next(Answer* out) {
+    if (pos_ >= answers_.size()) return false;
+    *out = answers_[pos_++];
+    return true;
+  }
+
+  size_t position() const { return pos_; }
+  size_t size() const { return answers_.size(); }
+
+ private:
+  friend class PreparedQuery;
+  explicit Cursor(std::vector<Answer> answers)
+      : answers_(std::move(answers)) {}
+
+  std::vector<Answer> answers_;
+  size_t pos_ = 0;
+};
+
+}  // namespace staccato::rdbms

@@ -1,7 +1,5 @@
 #include "rdbms/staccato_db.h"
 
-#include "rdbms/sql.h"
-
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -10,19 +8,23 @@
 
 #include "automata/dfa.h"
 #include "indexing/index_builder.h"
-#include "indexing/projection.h"
 #include "inference/kbest.h"
-#include "inference/query_eval.h"
+#include "rdbms/session.h"
 #include "util/strings.h"
-#include "util/timer.h"
 
 namespace staccato::rdbms {
 
 namespace {
 
+// Documents carry a synthetic publication year (Table 5's enclosing
+// relational context, e.g. Claims.Year in the paper's running example):
+// page p of a corpus is dated kBaseYear + p.
+constexpr int64_t kBaseYear = 2010;
+
 Schema MasterSchema() {
   return Schema({{"DataKey", ValueType::kInt},
                  {"DocName", ValueType::kString},
+                 {"Year", ValueType::kInt},
                  {"SFANum", ValueType::kInt}});
 }
 Schema TruthSchema() {
@@ -53,24 +55,7 @@ Schema PostingsSchema() {
                  {"Posting", ValueType::kInt}});
 }
 
-uint64_t PackRid(RecordId rid) {
-  return (static_cast<uint64_t>(rid.page) << 16) | rid.slot;
-}
-RecordId UnpackRid(uint64_t v) {
-  return RecordId{static_cast<uint32_t>(v >> 16), static_cast<uint16_t>(v & 0xFFFF)};
-}
-
 }  // namespace
-
-const char* ApproachName(Approach a) {
-  switch (a) {
-    case Approach::kMap: return "MAP";
-    case Approach::kKMap: return "k-MAP";
-    case Approach::kFullSfa: return "FullSFA";
-    case Approach::kStaccato: return "STACCATO";
-  }
-  return "?";
-}
 
 Result<std::unique_ptr<StaccatoDb>> StaccatoDb::Open(const std::string& dir) {
   std::error_code ec;
@@ -147,7 +132,7 @@ Result<std::unique_ptr<StaccatoDb>> StaccatoDb::OpenExisting(
     db->dict_.emplace(std::move(trie));
     db->index_ = std::make_unique<BPlusTree>();
     STACCATO_RETURN_NOT_OK(db->postings_->Scan([&](RecordId rid, const Tuple& t) {
-      db->index_->Insert(t[0].AsString(), PackRid(rid));
+      db->index_->Insert(t[0].AsString(), PackRecordId(rid));
       return true;
     }));
   }
@@ -189,11 +174,13 @@ Status StaccatoDb::Load(const OcrDataset& dataset, const LoadOptions& opts) {
   graph_rid_.resize(n);
   for (size_t i = 0; i < n; ++i) {
     int64_t key = static_cast<int64_t>(i);
+    uint32_t page = dataset.corpus.page_of_line[i];
     std::string doc_name = StringPrintf(
-        "%s-page-%u", dataset.corpus.name.c_str(), dataset.corpus.page_of_line[i]);
+        "%s-page-%u", dataset.corpus.name.c_str(), page);
     STACCATO_RETURN_NOT_OK(
         master_
             ->Insert({Value::Int(key), Value::String(doc_name),
+                      Value::Int(kBaseYear + page),
                       Value::Int(static_cast<int64_t>(i))})
             .status());
     STACCATO_RETURN_NOT_OK(
@@ -264,7 +251,7 @@ Status StaccatoDb::BuildInvertedIndex(
             postings_->Insert({Value::String(dict_->term(term)),
                                Value::Int(static_cast<int64_t>(i)),
                                Value::Int(static_cast<int64_t>(PackPosting(p)))}));
-        index_->Insert(dict_->term(term), PackRid(rid));
+        index_->Insert(dict_->term(term), PackRecordId(rid));
       }
     }
   }
@@ -285,153 +272,39 @@ Result<Sfa> StaccatoDb::LoadFullSfa(DocId doc) {
   return Sfa::Deserialize(blob);
 }
 
-Result<std::map<DocId, std::vector<uint64_t>>> StaccatoDb::IndexCandidates(
-    const QueryOptions& q, std::string* anchor_out) {
-  if (index_ == nullptr || !dict_) {
-    return Status::InvalidArgument("inverted index not built");
-  }
-  STACCATO_ASSIGN_OR_RETURN(Pattern pat, Pattern::Parse(q.pattern));
-  std::string anchor = pat.AnchorTerm();
-  if (anchor.empty() || dict_->Find(anchor) == kInvalidTerm) {
-    return Status::NotFound("pattern has no dictionary anchor term: '" +
-                            q.pattern + "'");
-  }
-  *anchor_out = anchor;
-  std::vector<uint64_t> rids = index_->Lookup(anchor);
-  std::map<DocId, std::vector<uint64_t>> docs;
-  for (uint64_t packed : rids) {
-    STACCATO_ASSIGN_OR_RETURN(Tuple t, postings_->Get(UnpackRid(packed)));
-    docs[static_cast<DocId>(t[1].AsInt())].push_back(
-        static_cast<uint64_t>(t[2].AsInt()));
-  }
-  return docs;
-}
-
-Result<std::vector<Answer>> StaccatoDb::QueryStrings(bool map_only,
-                                                     const QueryOptions& q,
-                                                     QueryStats* stats) {
-  STACCATO_ASSIGN_OR_RETURN(Dfa dfa, Dfa::Compile(q.pattern, MatchMode::kContains));
-  std::vector<double> prob(num_sfas_, 0.0);
-  kmap_->ResetIoStats();
-  Status scan = kmap_->Scan([&](RecordId, const Tuple& t) {
-    if (map_only && t[1].AsInt() != 0) return true;
-    if (dfa.Matches(t[2].AsString())) {
-      prob[static_cast<size_t>(t[0].AsInt())] += std::exp(t[3].AsDouble());
-    }
-    return true;
-  });
-  STACCATO_RETURN_NOT_OK(scan);
-  if (stats != nullptr) {
-    stats->heap_pages_read += kmap_->io_stats().page_reads;
-    stats->candidates = num_sfas_;
-    stats->selectivity = 1.0;
-  }
-  std::vector<Answer> answers;
-  for (size_t i = 0; i < num_sfas_; ++i) {
-    if (prob[i] > 0.0) answers.push_back({i, std::min(prob[i], 1.0)});
-  }
-  return RankAnswers(std::move(answers), q.num_ans);
-}
-
-Result<std::vector<Answer>> StaccatoDb::QueryBlobs(Approach approach,
-                                                   const QueryOptions& q,
-                                                   QueryStats* stats) {
-  STACCATO_ASSIGN_OR_RETURN(Dfa dfa, Dfa::Compile(q.pattern, MatchMode::kContains));
-  blobs_->ResetStats();
-
-  std::map<DocId, std::vector<uint64_t>> doc_postings;
-  bool indexed = false;
-  size_t total_postings = 0;
-  if (q.use_index && approach == Approach::kStaccato) {
-    std::string anchor;
-    auto cand = IndexCandidates(q, &anchor);
-    if (cand.ok()) {
-      doc_postings = std::move(*cand);
-      indexed = true;
-      for (const auto& [doc, posts] : doc_postings) {
-        total_postings += posts.size();
-      }
-    } else if (!cand.status().IsNotFound()) {
-      return cand.status();
-    }
-  }
-  if (!indexed) {
-    for (size_t i = 0; i < num_sfas_; ++i) doc_postings.emplace(i, std::vector<uint64_t>{});
-  }
-
-  std::vector<Answer> answers;
-  size_t pattern_horizon = q.pattern.size() + 8;
-  for (const auto& [doc, posts] : doc_postings) {
-    double p = 0.0;
-    if (indexed && q.use_projection) {
-      // Fetch only the projected portion around each posting start.
-      STACCATO_ASSIGN_OR_RETURN(Sfa sfa, LoadStaccatoSfa(doc));
-      double best = 0.0;
-      for (uint64_t packed : posts) {
-        Posting post = UnpackPosting(packed);
-        if (post.edge >= sfa.NumEdges()) continue;
-        NodeId from = sfa.edge(post.edge).from;
-        best = std::max(best, EvalProjected(sfa, dfa, from, pattern_horizon));
-      }
-      p = best;
-    } else {
-      Sfa sfa;
-      if (approach == Approach::kFullSfa) {
-        STACCATO_ASSIGN_OR_RETURN(sfa, LoadFullSfa(doc));
-      } else {
-        STACCATO_ASSIGN_OR_RETURN(sfa, LoadStaccatoSfa(doc));
-      }
-      p = EvalSfaQuery(sfa, dfa);
-    }
-    if (p > 0.0) answers.push_back({doc, p});
-  }
-  if (stats != nullptr) {
-    stats->blob_bytes_read += blobs_->bytes_read();
-    stats->candidates = doc_postings.size();
-    stats->index_postings = total_postings;
-    stats->selectivity =
-        num_sfas_ == 0 ? 0.0
-                       : static_cast<double>(doc_postings.size()) /
-                             static_cast<double>(num_sfas_);
-  }
-  return RankAnswers(std::move(answers), q.num_ans);
+PlanContext StaccatoDb::MakePlanContext() {
+  PlanContext ctx;
+  ctx.master = master_.get();
+  ctx.kmap = kmap_.get();
+  ctx.postings = postings_.get();
+  ctx.fullsfa = fullsfa_.get();
+  ctx.staccato_graph = staccato_graph_.get();
+  ctx.blobs = blobs_.get();
+  ctx.index = index_.get();
+  ctx.dict = dict_ ? &*dict_ : nullptr;
+  ctx.fullsfa_rid = &fullsfa_rid_;
+  ctx.graph_rid = &graph_rid_;
+  ctx.num_sfas = num_sfas_;
+  return ctx;
 }
 
 Result<std::vector<Answer>> StaccatoDb::Query(Approach approach,
                                               const QueryOptions& q,
                                               QueryStats* stats) {
-  Timer timer;
-  Result<std::vector<Answer>> result = [&]() -> Result<std::vector<Answer>> {
-    switch (approach) {
-      case Approach::kMap:
-        return QueryStrings(/*map_only=*/true, q, stats);
-      case Approach::kKMap:
-        return QueryStrings(/*map_only=*/false, q, stats);
-      case Approach::kFullSfa:
-      case Approach::kStaccato:
-        return QueryBlobs(approach, q, stats);
-    }
-    return Status::InvalidArgument("unknown approach");
-  }();
-  if (stats != nullptr) stats->seconds = timer.ElapsedSeconds();
-  return result;
+  // The one-shot path stays serial unless the caller asks for workers, so
+  // legacy timing comparisons (MAP filescan vs FullSFA) are undisturbed.
+  Session session(this, SessionOptions{/*eval_threads=*/1, q.num_ans});
+  STACCATO_ASSIGN_OR_RETURN(PreparedQuery pq, session.Prepare(approach, q));
+  return pq.Execute(stats);
 }
 
 Result<std::vector<Answer>> StaccatoDb::QuerySql(Approach approach,
                                                  const std::string& sql,
                                                  QueryStats* stats) {
-  STACCATO_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
-  if (!stmt.like.has_value()) {
-    return Status::InvalidArgument("statement has no LIKE predicate");
-  }
-  if (!stmt.equalities.empty()) {
-    return Status::NotImplemented(
-        "equality predicates require the enclosing relational schema; "
-        "filter the returned probabilistic relation instead");
-  }
-  QueryOptions q;
-  q.pattern = stmt.like->pattern;
-  return Query(approach, q, stats);
+  Session session(this, SessionOptions{/*eval_threads=*/1, /*num_ans=*/100});
+  STACCATO_ASSIGN_OR_RETURN(PreparedQuery pq,
+                            session.PrepareSql(approach, sql));
+  return pq.Execute(stats);
 }
 
 Result<std::set<DocId>> StaccatoDb::GroundTruthFor(const std::string& pattern) {

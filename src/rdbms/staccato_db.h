@@ -9,7 +9,6 @@
 //   Staccato — the chunked approximation of Section 3
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -21,44 +20,21 @@
 #include "rdbms/blob_store.h"
 #include "rdbms/btree.h"
 #include "rdbms/heap_table.h"
+#include "rdbms/plan.h"
 #include "sfa/sfa.h"
 #include "staccato/chunking.h"
 #include "util/result.h"
 
 namespace staccato::rdbms {
 
-enum class Approach {
-  kMap,
-  kKMap,
-  kFullSfa,
-  kStaccato,
-};
-
-const char* ApproachName(Approach a);
+// Approach, QueryOptions, and QueryStats live in rdbms/plan.h (the query
+// model shared by the planner, the session layer, and this facade).
 
 /// \brief Load-time configuration.
 struct LoadOptions {
   size_t kmap_k = 25;            ///< k for the k-MAP table
   StaccatoParams staccato;       ///< (m, k) for the chunked representation
   size_t construction_threads = 0;  ///< 0 = hardware concurrency
-};
-
-/// \brief One LIKE query.
-struct QueryOptions {
-  std::string pattern;     ///< the paper's pattern language ('%pat%' implied)
-  size_t num_ans = 100;    ///< NumAns (Table 3)
-  bool use_index = false;  ///< anchored-term inverted-index acceleration
-  bool use_projection = false;  ///< fetch only the projected SFA region
-};
-
-/// \brief Execution statistics for the benches.
-struct QueryStats {
-  double seconds = 0.0;
-  uint64_t heap_pages_read = 0;
-  uint64_t blob_bytes_read = 0;
-  size_t candidates = 0;    ///< SFAs actually evaluated
-  size_t index_postings = 0;
-  double selectivity = 0.0;  ///< candidates / total SFAs
 };
 
 /// \brief Storage-size report (Table 2 / Figure 20).
@@ -93,13 +69,16 @@ class StaccatoDb {
   Status BuildInvertedIndex(const std::vector<std::string>& dictionary_terms);
 
   /// Executes a probabilistic LIKE query under the chosen approach.
+  /// Thin wrapper over Session::Prepare + PreparedQuery::Execute; use a
+  /// Session (rdbms/session.h) to amortize parsing, DFA compilation, and
+  /// planning across repeated executions.
   Result<std::vector<Answer>> Query(Approach approach, const QueryOptions& q,
                                     QueryStats* stats = nullptr);
 
   /// Convenience: parses a single-table select-project SQL statement with a
   /// LIKE predicate (the paper's query class) and executes it. Equality
-  /// predicates on other columns are not supported by this standalone
-  /// document store and are rejected with NotImplemented.
+  /// predicates (`Year = 2010`) filter candidates on MasterData columns
+  /// before any SFA is fetched. Thin wrapper over Session::PrepareSql.
   Result<std::vector<Answer>> QuerySql(Approach approach, const std::string& sql,
                                        QueryStats* stats = nullptr);
 
@@ -122,16 +101,13 @@ class StaccatoDb {
   }
 
  private:
+  friend class Session;
+  friend class PreparedQuery;
+
   explicit StaccatoDb(std::string dir) : dir_(std::move(dir)) {}
 
-  Result<std::vector<Answer>> QueryStrings(bool map_only, const QueryOptions& q,
-                                           QueryStats* stats);
-  Result<std::vector<Answer>> QueryBlobs(Approach approach,
-                                         const QueryOptions& q,
-                                         QueryStats* stats);
-  /// Looks up the pattern's anchor term; returns per-doc posting payloads.
-  Result<std::map<DocId, std::vector<uint64_t>>> IndexCandidates(
-      const QueryOptions& q, std::string* anchor_out);
+  /// Borrowed storage views for the planner/executor (rdbms/plan.h).
+  PlanContext MakePlanContext();
 
   std::string dir_;
   size_t num_sfas_ = 0;

@@ -46,6 +46,7 @@ class Value {
   uint64_t AsBlobId() const { return std::get<BlobTag>(v_).id; }
 
   bool operator==(const Value& o) const { return v_ == o.v_; }
+  bool operator!=(const Value& o) const { return !(*this == o); }
 
   std::string ToString() const;
 

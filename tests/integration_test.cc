@@ -169,6 +169,14 @@ TEST(IntegrationTest, QuerySqlMatchesDirectQuery) {
     EXPECT_EQ((*via_sql)[i].doc, (*direct)[i].doc);
     EXPECT_EQ((*via_sql)[i].prob, (*direct)[i].prob);
   }
+  // The paper's query shape with an equality predicate now executes
+  // end-to-end (Year is a MasterData column; page 0 is dated 2010).
+  auto filtered = (*wb)->db().QuerySql(
+      Approach::kStaccato,
+      "SELECT DataKey FROM Docs WHERE Year = 2010 AND "
+      "DocData LIKE '%President%';");
+  ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+  EXPECT_LE(filtered->size(), direct->size());
   // Unsupported shapes are rejected cleanly.
   EXPECT_TRUE((*wb)->db()
                   .QuerySql(Approach::kMap, "SELECT a FROM t")
@@ -176,10 +184,10 @@ TEST(IntegrationTest, QuerySqlMatchesDirectQuery) {
                   .IsInvalidArgument());
   EXPECT_TRUE((*wb)->db()
                   .QuerySql(Approach::kMap,
-                            "SELECT a FROM t WHERE Year = 2010 AND "
+                            "SELECT a FROM t WHERE NoSuchColumn = 1 AND "
                             "DocData LIKE '%x%'")
                   .status()
-                  .IsNotImplemented());
+                  .IsInvalidArgument());
 }
 
 TEST(IntegrationTest, ReopenedDatabaseAnswersIdentically) {

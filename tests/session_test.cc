@@ -1,0 +1,264 @@
+// Tests for the prepared-query engine: Session / PreparedQuery / Cursor
+// over the physical plans of rdbms/plan.h.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "eval/workbench.h"
+#include "rdbms/session.h"
+#include "rdbms/staccato_db.h"
+
+namespace staccato {
+namespace {
+
+using eval::Workbench;
+using eval::WorkbenchSpec;
+using rdbms::Approach;
+using rdbms::Cursor;
+using rdbms::PreparedQuery;
+using rdbms::QueryOptions;
+using rdbms::QueryStats;
+using rdbms::Session;
+using rdbms::SessionOptions;
+
+constexpr size_t kLinesPerPage = 30;  // docs [0, 30) are page 0 / Year 2010
+
+WorkbenchSpec SmallSpec(bool index = false) {
+  WorkbenchSpec spec;
+  spec.corpus.kind = DatasetKind::kCongressActs;
+  spec.corpus.num_pages = 2;
+  spec.corpus.lines_per_page = kLinesPerPage;
+  spec.corpus.seed = 1234;
+  spec.noise.alternatives = 8;
+  spec.load.kmap_k = 10;
+  spec.load.staccato = {20, 10, true};
+  spec.build_index = index;
+  return spec;
+}
+
+void ExpectSameAnswers(const std::vector<Answer>& a,
+                       const std::vector<Answer>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].doc, b[i].doc) << "rank " << i;
+    EXPECT_EQ(a[i].prob, b[i].prob) << "rank " << i;  // bit-identical
+  }
+}
+
+TEST(SessionTest, PrepareExecuteReuseMatchesLegacyQuery) {
+  auto wb = Workbench::Create(SmallSpec());
+  ASSERT_TRUE(wb.ok()) << wb.status().ToString();
+  Session session(&(*wb)->db());
+  QueryOptions q;
+  q.pattern = "President";
+  for (Approach a : {Approach::kMap, Approach::kKMap, Approach::kFullSfa,
+                     Approach::kStaccato}) {
+    auto pq = session.Prepare(a, q);
+    ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+    auto first = pq->Execute();
+    auto second = pq->Execute();  // the same plan, re-run
+    auto legacy = (*wb)->db().Query(a, q);
+    ASSERT_TRUE(first.ok() && second.ok() && legacy.ok());
+    ExpectSameAnswers(*first, *second);
+    ExpectSameAnswers(*first, *legacy);
+  }
+}
+
+TEST(SessionTest, ExplainIsStableAndDescribesThePlan) {
+  auto wb = Workbench::Create(SmallSpec(/*index=*/true));
+  ASSERT_TRUE(wb.ok()) << wb.status().ToString();
+  Session session(&(*wb)->db());
+
+  QueryOptions scan_q;
+  scan_q.pattern = "President";
+  scan_q.eval_threads = 1;
+  auto scan_pq = session.Prepare(Approach::kFullSfa, scan_q);
+  ASSERT_TRUE(scan_pq.ok());
+  std::string scan_explain = scan_pq->Explain();
+  EXPECT_NE(scan_explain.find("full-scan"), std::string::npos) << scan_explain;
+  EXPECT_NE(scan_explain.find("Fetch method=blob"), std::string::npos);
+  EXPECT_NE(scan_explain.find("sfa-dp"), std::string::npos);
+  EXPECT_NE(scan_explain.find("TopK num_ans=100"), std::string::npos);
+
+  QueryOptions idx_q;
+  idx_q.pattern = "President";
+  idx_q.use_index = true;
+  idx_q.use_projection = true;
+  idx_q.eval_threads = 4;
+  auto idx_pq = session.Prepare(Approach::kStaccato, idx_q);
+  ASSERT_TRUE(idx_pq.ok());
+  std::string before = idx_pq->Explain();
+  EXPECT_NE(before.find("index-probe"), std::string::npos) << before;
+  EXPECT_NE(before.find("anchor='president'"), std::string::npos) << before;
+  EXPECT_NE(before.find("Fetch method=projection"), std::string::npos);
+  EXPECT_NE(before.find("threads=4"), std::string::npos);
+
+  // Executing must not change the rendered plan.
+  ASSERT_TRUE(idx_pq->Execute().ok());
+  ASSERT_TRUE(idx_pq->Execute().ok());
+  EXPECT_EQ(idx_pq->Explain(), before);
+}
+
+TEST(SessionTest, EqualityPredicateFiltersCandidates) {
+  auto wb = Workbench::Create(SmallSpec());
+  ASSERT_TRUE(wb.ok()) << wb.status().ToString();
+  Session session(&(*wb)->db());
+
+  const std::string sql =
+      "SELECT DataKey FROM Docs WHERE Year = 2010 AND "
+      "DocData LIKE '%President%';";
+  auto pq = session.PrepareSql(Approach::kStaccato, sql);
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+  EXPECT_NE(pq->Explain().find("Filter Year = 2010"), std::string::npos)
+      << pq->Explain();
+  QueryStats stats;
+  auto filtered = pq->Execute(&stats);
+  ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+  EXPECT_EQ(stats.candidates, kLinesPerPage);  // only page 0 is dated 2010
+  for (const Answer& ans : *filtered) {
+    EXPECT_LT(ans.doc, kLinesPerPage) << "doc from the wrong year retrieved";
+  }
+
+  // The filtered answer set is exactly the unfiltered one restricted to
+  // page 0 (per-doc probabilities are independent of the filter).
+  QueryOptions q;
+  q.pattern = "President";
+  auto all = (*wb)->db().Query(Approach::kStaccato, q);
+  ASSERT_TRUE(all.ok());
+  std::vector<Answer> expected;
+  for (const Answer& ans : *all) {
+    if (ans.doc < kLinesPerPage) expected.push_back(ans);
+  }
+  ExpectSameAnswers(*filtered, expected);
+
+  // String-typed equality binds against DocName.
+  auto by_name = session.PrepareSql(
+      Approach::kMap,
+      "SELECT * FROM Docs WHERE DocName = 'CA-page-1' AND "
+      "DocData LIKE '%President%'");
+  ASSERT_TRUE(by_name.ok()) << by_name.status().ToString();
+  auto page1 = by_name->Execute();
+  ASSERT_TRUE(page1.ok());
+  for (const Answer& ans : *page1) EXPECT_GE(ans.doc, kLinesPerPage);
+
+  // Prepare-time rejection: unknown column, type-mismatched literal.
+  EXPECT_TRUE(session
+                  .PrepareSql(Approach::kMap,
+                              "SELECT * FROM t WHERE Nope = 1 AND "
+                              "D LIKE '%x%'")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(session
+                  .PrepareSql(Approach::kMap,
+                              "SELECT * FROM t WHERE Year = 'abc' AND "
+                              "D LIKE '%x%'")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SessionTest, PaperExampleSqlExecutesEndToEnd) {
+  auto wb = Workbench::Create(SmallSpec());
+  ASSERT_TRUE(wb.ok());
+  Session session(&(*wb)->db());
+  // The motivating statement of Section 2.1, verbatim. (This corpus has no
+  // Fords, so the answer set is empty — but the full pipeline runs.)
+  auto pq = session.PrepareSql(Approach::kStaccato,
+                               "SELECT DocID, Loss FROM Claims "
+                               "WHERE Year = 2010 AND DocData LIKE '%Ford%';");
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+  QueryStats stats;
+  auto answers = pq->Execute(&stats);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  EXPECT_EQ(stats.candidates, kLinesPerPage);
+  EXPECT_FALSE(stats.plan_summary.empty());
+}
+
+TEST(SessionTest, CursorStreamsTheRankedAnswers) {
+  auto wb = Workbench::Create(SmallSpec());
+  ASSERT_TRUE(wb.ok());
+  Session session(&(*wb)->db());
+  QueryOptions q;
+  q.pattern = "President";
+  auto pq = session.Prepare(Approach::kKMap, q);
+  ASSERT_TRUE(pq.ok());
+  auto reference = pq->Execute();
+  ASSERT_TRUE(reference.ok());
+  ASSERT_FALSE(reference->empty());
+
+  auto cursor = pq->Open();
+  ASSERT_TRUE(cursor.ok());
+  EXPECT_EQ(cursor->size(), reference->size());
+  Answer ans;
+  size_t i = 0;
+  while (cursor->Next(&ans)) {
+    ASSERT_LT(i, reference->size());
+    EXPECT_EQ(ans.doc, (*reference)[i].doc);
+    EXPECT_EQ(ans.prob, (*reference)[i].prob);
+    ++i;
+  }
+  EXPECT_EQ(i, reference->size());
+  EXPECT_FALSE(cursor->Next(&ans)) << "exhausted cursor must stay exhausted";
+}
+
+TEST(SessionTest, ParallelEvalBitIdenticalToSerial) {
+  auto wb = Workbench::Create(SmallSpec(/*index=*/true));
+  ASSERT_TRUE(wb.ok());
+  Session session(&(*wb)->db());
+  struct Case {
+    Approach approach;
+    bool use_index;
+    bool use_projection;
+  };
+  for (const Case& c : {Case{Approach::kFullSfa, false, false},
+                        Case{Approach::kStaccato, false, false},
+                        Case{Approach::kStaccato, true, false},
+                        Case{Approach::kStaccato, true, true}}) {
+    QueryOptions q;
+    q.pattern = "President";
+    q.use_index = c.use_index;
+    q.use_projection = c.use_projection;
+
+    q.eval_threads = 1;
+    auto serial_pq = session.Prepare(c.approach, q);
+    ASSERT_TRUE(serial_pq.ok());
+    QueryStats serial_stats;
+    auto serial = serial_pq->Execute(&serial_stats);
+    ASSERT_TRUE(serial.ok());
+    EXPECT_EQ(serial_stats.threads_used, 1u);
+
+    q.eval_threads = 4;
+    auto par_pq = session.Prepare(c.approach, q);
+    ASSERT_TRUE(par_pq.ok());
+    QueryStats par_stats;
+    auto parallel = par_pq->Execute(&par_stats);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_GT(par_stats.threads_used, 1u);
+    EXPECT_NE(par_stats.plan_summary.find("[t=4]"), std::string::npos)
+        << par_stats.plan_summary;
+    EXPECT_EQ(par_stats.candidates, serial_stats.candidates);
+
+    ExpectSameAnswers(*serial, *parallel);
+  }
+}
+
+TEST(SessionTest, SessionDefaultsToParallelEval) {
+  auto wb = Workbench::Create(SmallSpec());
+  ASSERT_TRUE(wb.ok());
+  // eval_threads = 0 in both the session options and the query inherits
+  // hardware concurrency at prepare time.
+  Session session(&(*wb)->db(), SessionOptions{});
+  QueryOptions q;
+  q.pattern = "President";
+  auto pq = session.Prepare(Approach::kStaccato, q);
+  ASSERT_TRUE(pq.ok());
+  EXPECT_GE(pq->plan().eval_threads, 1u);
+  auto answers = pq->Execute();
+  ASSERT_TRUE(answers.ok());
+  auto legacy = (*wb)->db().Query(Approach::kStaccato, q);
+  ASSERT_TRUE(legacy.ok());
+  ExpectSameAnswers(*answers, *legacy);
+}
+
+}  // namespace
+}  // namespace staccato
