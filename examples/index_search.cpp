@@ -48,13 +48,19 @@ int main() {
   printf("\nQuery: '%s'  (left anchor term: '%s')\n", query.c_str(),
          pattern->AnchorTerm().c_str());
 
-  // The planner's view of the two physical alternatives.
-  for (bool use_index : {false, true}) {
+  // The planner's view of the two physical alternatives (pinned), then
+  // what the cost model picks on its own.
+  for (rdbms::IndexMode mode :
+       {rdbms::IndexMode::kNever, rdbms::IndexMode::kForce,
+        rdbms::IndexMode::kAuto}) {
     rdbms::QueryOptions q;
     q.pattern = query;
-    q.use_index = use_index;
+    q.index_mode = mode;
     auto pq = (*wb)->Prepare(Approach::kStaccato, q);
-    if (pq.ok()) printf("\n%s", pq->Explain().c_str());
+    if (pq.ok()) {
+      printf("\nindex_mode=%s:\n%s", rdbms::IndexModeName(mode),
+             pq->Explain().c_str());
+    }
   }
 
   auto scan = (*wb)->Run(Approach::kStaccato, query, 100, /*use_index=*/false);

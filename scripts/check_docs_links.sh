@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Verifies that every relative markdown link in README.md and docs/*.md
+# points at a file that exists (anchors and external URLs are skipped).
+# Run from anywhere; resolves links relative to the file containing them.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+for f in README.md docs/*.md; do
+  [ -f "$f" ] || continue
+  dir=$(dirname "$f")
+  # Extract the (target) of every [text](target) link.
+  while IFS= read -r link; do
+    case "$link" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    target="${link%%#*}"
+    [ -z "$target" ] && continue
+    if [ ! -e "$dir/$target" ]; then
+      echo "BROKEN LINK: $f -> $link"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "All documentation links resolve."
+fi
+exit "$fail"

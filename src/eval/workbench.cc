@@ -55,7 +55,10 @@ Result<ExperimentRow> Workbench::Run(Approach approach,
   QueryOptions q;
   q.pattern = pattern;
   q.num_ans = num_ans;
-  q.use_index = use_index;
+  // Benches measure the path they name, so the boolean pins the candidate
+  // source; cost-based choice (kAuto) is exercised via session()/Prepare.
+  q.index_mode =
+      use_index ? rdbms::IndexMode::kForce : rdbms::IndexMode::kNever;
   q.use_projection = use_projection;
   q.eval_threads = eval_threads;
   STACCATO_ASSIGN_OR_RETURN(PreparedQuery pq, session_->Prepare(approach, q));

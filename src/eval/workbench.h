@@ -50,6 +50,9 @@ class Workbench {
   /// Runs one query through the session layer (Prepare + Execute) and
   /// scores it against ground truth. `eval_threads` feeds the parallel
   /// Eval stage (1 = serial, which is also the session default for 0).
+  /// `use_index` pins the candidate source (IndexMode::kForce / kNever) so
+  /// a bench row measures the path it names; use session().Prepare with
+  /// the default IndexMode::kAuto to exercise the cost-based choice.
   Result<ExperimentRow> Run(Approach approach, const std::string& pattern,
                             size_t num_ans = 100, bool use_index = false,
                             bool use_projection = false,

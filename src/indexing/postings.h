@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "automata/trie.h"
@@ -48,6 +49,21 @@ struct CandidateSet {
   std::string anchor;  ///< the dictionary term that was probed
   std::map<DocId, std::vector<uint64_t>> postings;
   size_t total_postings = 0;
+
+  /// Distinct candidate documents (what the Eval stage actually pays for).
+  size_t NumDocs() const { return postings.size(); }
 };
+
+/// \brief Per-term index statistics, maintained at index-construction time
+/// and consumed by the cost-based planner: how many postings a term has and
+/// how many distinct documents they fall in. Selectivity estimation from
+/// posting lengths needs no I/O at prepare time.
+struct TermStats {
+  size_t postings = 0;  ///< total start locations recorded for the term
+  size_t docs = 0;      ///< distinct documents containing those postings
+};
+
+/// Term -> TermStats for every indexed dictionary term.
+using TermStatsMap = std::unordered_map<std::string, TermStats>;
 
 }  // namespace staccato

@@ -29,6 +29,12 @@ class BlobStore {
   /// Reads a blob back.
   Result<std::string> Get(BlobId id);
 
+  /// Pushes buffered writes to disk. Call before another handle truncates
+  /// or reopens the same file.
+  void Flush() {
+    if (file_ != nullptr) fflush(file_);
+  }
+
   uint64_t FileBytes() const { return end_; }
   uint64_t bytes_read() const { return bytes_read_; }
   void ResetStats() { bytes_read_ = 0; }

@@ -84,22 +84,36 @@ const BPlusTree::Node* BPlusTree::FindLeaf(const std::string& key) const {
   return node;
 }
 
-std::vector<uint64_t> BPlusTree::Lookup(const std::string& key) const {
-  std::vector<uint64_t> out;
+void BPlusTree::VisitKey(const std::string& key,
+                         const std::function<bool(uint64_t)>& fn) const {
   const Node* leaf = FindLeaf(key);
   while (leaf != nullptr) {
     auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
-    size_t pos = static_cast<size_t>(it - leaf->keys.begin());
-    bool advanced = false;
-    for (size_t i = pos; i < leaf->keys.size(); ++i) {
-      if (leaf->keys[i] != key) return out;
-      out.push_back(leaf->values[i]);
-      advanced = true;
+    for (size_t i = static_cast<size_t>(it - leaf->keys.begin());
+         i < leaf->keys.size(); ++i) {
+      if (leaf->keys[i] != key) return;
+      if (!fn(leaf->values[i])) return;
     }
-    if (!advanced && pos < leaf->keys.size()) return out;
-    leaf = leaf->next;
+    leaf = leaf->next;  // a duplicate run may spill into the next leaf
   }
+}
+
+std::vector<uint64_t> BPlusTree::Lookup(const std::string& key) const {
+  std::vector<uint64_t> out;
+  VisitKey(key, [&](uint64_t v) {
+    out.push_back(v);
+    return true;
+  });
   return out;
+}
+
+size_t BPlusTree::CountKey(const std::string& key) const {
+  size_t n = 0;
+  VisitKey(key, [&](uint64_t) {
+    ++n;
+    return true;
+  });
+  return n;
 }
 
 void BPlusTree::ScanRange(

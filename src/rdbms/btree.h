@@ -22,6 +22,10 @@ class BPlusTree {
   /// the tree traversal.
   std::vector<uint64_t> Lookup(const std::string& key) const;
 
+  /// Number of entries stored under `key`, without materializing the
+  /// values. The planner's posting-count estimates use this.
+  size_t CountKey(const std::string& key) const;
+
   /// Visits entries with lo <= key < hi; callback returns false to stop.
   void ScanRange(const std::string& lo, const std::string& hi,
                  const std::function<bool(const std::string&, uint64_t)>& fn) const;
@@ -58,6 +62,12 @@ class BPlusTree {
                                           uint64_t value);
 
   const Node* FindLeaf(const std::string& key) const;
+
+  // Visits every value stored under `key`, following the leaf chain across
+  // duplicate runs; callback returns false to stop. Lookup and CountKey
+  // share this walk.
+  void VisitKey(const std::string& key,
+                const std::function<bool(uint64_t)>& fn) const;
 
   std::unique_ptr<Node> root_;
   size_t size_ = 0;

@@ -18,6 +18,10 @@ namespace {
 /// Coerces an equality literal (kept as written by the SQL parser) to the
 /// type of the MasterData column it compares against.
 Result<Value> CoerceLiteral(const EqualityPredicate& eq, ValueType type) {
+  if (eq.quoted && (type == ValueType::kInt || type == ValueType::kDouble)) {
+    return Status::InvalidArgument("string literal '" + eq.value +
+                                   "' compared to numeric column " + eq.column);
+  }
   switch (type) {
     case ValueType::kInt: {
       char* end = nullptr;
@@ -54,7 +58,125 @@ size_t ResolveThreads(size_t requested, size_t default_threads) {
   return t;
 }
 
+// ---- Cost model ------------------------------------------------------------
+//
+// Costs are abstract units where 1.0 is one sequential 8 KiB page read.
+// The constants only have to rank the scan and index paths of the same
+// query correctly; they are not wall-clock predictions.
+
+/// A B+-tree descent plus one heap point Get (random, not sequential).
+constexpr double kPointReadCost = 2.0;
+/// DFAxSFA dynamic-programming cost per serialized blob byte.
+constexpr double kEvalCostPerByte = 1.0 / 256.0;
+/// Projection evaluates only the region around each posting instead of the
+/// whole transducer.
+constexpr double kProjectionEvalDiscount = 0.1;
+/// DFA match over one stored transcription string.
+constexpr double kStringMatchCostPerTuple = 1.0 / 64.0;
+/// Selectivity guess per equality predicate (no histograms; System R's
+/// classic 1/10).
+constexpr double kEqualityDefaultSelectivity = 0.1;
+
+size_t EstimateSurvivors(size_t rows, double selectivity) {
+  if (rows == 0) return 0;
+  return static_cast<size_t>(
+      std::max(1.0, std::ceil(static_cast<double>(rows) * selectivity)));
+}
+
 }  // namespace
+
+CostEstimate EstimateCost(const PlanContext& ctx, Approach approach,
+                          bool use_projection, size_t num_equalities,
+                          const std::string& anchor) {
+  CostEstimate est;
+  est.table_cardinality = ctx.num_sfas;
+  est.equality_selectivity =
+      std::pow(kEqualityDefaultSelectivity, static_cast<double>(num_equalities));
+  // Filtering costs one MasterData filescan to build the bitmap.
+  const double filter_io =
+      num_equalities > 0 && ctx.master != nullptr
+          ? static_cast<double>(ctx.master->NumPages())
+          : 0.0;
+
+  // Average serialized-SFA size, from blob-store totals. The store holds
+  // one full and one chunked transducer per document; the mixed average is
+  // crude but cancels out of the scan-vs-index comparison, which fetches
+  // the same representation either way.
+  const size_t num_blobs = 2 * ctx.num_sfas;
+  const double avg_blob_bytes =
+      ctx.blobs == nullptr || num_blobs == 0
+          ? 0.0
+          : static_cast<double>(ctx.blobs->FileBytes()) /
+                static_cast<double>(num_blobs);
+
+  // Full-scan path.
+  est.scan.feasible = true;
+  est.scan.candidates =
+      EstimateSurvivors(ctx.num_sfas, est.equality_selectivity);
+  if (approach == Approach::kMap || approach == Approach::kKMap) {
+    // One pass over kMAPData; no blob fetches.
+    est.scan.io_cost =
+        filter_io +
+        (ctx.kmap != nullptr ? static_cast<double>(ctx.kmap->NumPages()) : 0.0);
+    est.scan.eval_cost =
+        (ctx.kmap != nullptr ? static_cast<double>(ctx.kmap->NumTuples())
+                             : 0.0) *
+        kStringMatchCostPerTuple;
+  } else {
+    const double cand = static_cast<double>(est.scan.candidates);
+    est.scan.fetch_bytes = cand * avg_blob_bytes;
+    est.scan.io_cost = filter_io + cand * kPointReadCost +
+                       est.scan.fetch_bytes / kPageSize;
+    est.scan.eval_cost = cand * avg_blob_bytes * kEvalCostPerByte;
+  }
+  est.scan.total = est.scan.io_cost + est.scan.eval_cost;
+
+  // Index-probe path: only the Staccato representation is indexed, and the
+  // anchor must have resolved against the dictionary.
+  if (approach == Approach::kStaccato && !anchor.empty() &&
+      ctx.index != nullptr) {
+    if (ctx.term_stats != nullptr) {
+      auto it = ctx.term_stats->find(anchor);
+      if (it != ctx.term_stats->end()) {
+        est.anchor_postings = it->second.postings;
+        est.anchor_docs = it->second.docs;
+      }
+    } else {
+      // No maintained stats: posting length from the B+-tree, distinct-doc
+      // count bounded by it.
+      est.anchor_postings = ctx.index->CountKey(anchor);
+      est.anchor_docs = std::min(est.anchor_postings, ctx.num_sfas);
+    }
+    est.index.feasible = true;
+    est.index.candidates =
+        EstimateSurvivors(est.anchor_docs, est.equality_selectivity);
+    const double cand = static_cast<double>(est.index.candidates);
+    est.index.fetch_bytes = cand * avg_blob_bytes;
+    est.index.io_cost =
+        filter_io +
+        static_cast<double>(est.anchor_postings) * kPointReadCost +  // probe
+        cand * kPointReadCost + est.index.fetch_bytes / kPageSize;
+    est.index.eval_cost = cand * avg_blob_bytes * kEvalCostPerByte *
+                          (use_projection ? kProjectionEvalDiscount : 1.0);
+    est.index.total = est.index.io_cost + est.index.eval_cost;
+  }
+  return est;
+}
+
+std::string CostEstimate::ToString() const {
+  const PathCost& c = chosen_cost();
+  std::string out = StringPrintf("est-candidates=%zu sel=%.2f cost=%.1f",
+                                 c.candidates, equality_selectivity, c.total);
+  out += StringPrintf(" [scan=%.1f", scan.total);
+  if (index.feasible) {
+    out += StringPrintf(" index=%.1f (postings=%zu docs=%zu)", index.total,
+                        anchor_postings, anchor_docs);
+  } else {
+    out += " index=n/a";
+  }
+  out += "]";
+  return out;
+}
 
 const char* ApproachName(Approach a) {
   switch (a) {
@@ -62,6 +184,15 @@ const char* ApproachName(Approach a) {
     case Approach::kKMap: return "k-MAP";
     case Approach::kFullSfa: return "FullSFA";
     case Approach::kStaccato: return "STACCATO";
+  }
+  return "?";
+}
+
+const char* IndexModeName(IndexMode m) {
+  switch (m) {
+    case IndexMode::kAuto: return "auto";
+    case IndexMode::kNever: return "never";
+    case IndexMode::kForce: return "force";
   }
   return "?";
 }
@@ -117,19 +248,37 @@ Result<PlanSpec> BuildPlan(const PlanContext& ctx, Approach approach,
     plan.equalities.push_back({eq.column, idx, std::move(bound)});
   }
 
-  // Candidate generation: the inverted index serves the Staccato
-  // representation; a pattern without a dictionary anchor falls back to a
-  // full scan (same silent fallback the legacy path had).
-  if (q.use_index && approach == Approach::kStaccato) {
-    if (ctx.index == nullptr || ctx.dict == nullptr) {
+  // Candidate generation. The inverted index serves the Staccato
+  // representation only. Under kAuto the cost estimate decides; kForce
+  // reproduces the legacy flag behavior (error without an index, silent
+  // full-scan when the pattern has no dictionary anchor); kNever pins the
+  // scan.
+  IndexMode mode = q.index_mode;
+  if (mode == IndexMode::kAuto && q.use_index) mode = IndexMode::kForce;
+
+  std::string anchor;
+  if (approach == Approach::kStaccato && mode != IndexMode::kNever) {
+    if (mode == IndexMode::kForce &&
+        (ctx.index == nullptr || ctx.dict == nullptr)) {
       return Status::InvalidArgument("inverted index not built");
     }
-    std::string anchor = pat.AnchorTerm();
-    if (!anchor.empty() && ctx.dict->Find(anchor) != kInvalidTerm) {
-      plan.source = CandidateSource::kIndexProbe;
-      plan.anchor = anchor;
+    if (ctx.index != nullptr && ctx.dict != nullptr) {
+      std::string candidate = pat.AnchorTerm();
+      if (!candidate.empty() && ctx.dict->Find(candidate) != kInvalidTerm) {
+        anchor = candidate;
+      }
     }
   }
+  plan.cost = EstimateCost(ctx, approach, q.use_projection,
+                           plan.equalities.size(), anchor);
+  if (!anchor.empty() &&
+      (mode == IndexMode::kForce ||
+       (mode == IndexMode::kAuto && plan.cost.index.feasible &&
+        plan.cost.index.total < plan.cost.scan.total))) {
+    plan.source = CandidateSource::kIndexProbe;
+    plan.anchor = anchor;
+  }
+  plan.cost.chosen = plan.source;
 
   switch (approach) {
     case Approach::kMap:
@@ -170,13 +319,20 @@ Result<CandidateSet> ProbeIndex(const PlanContext& ctx,
 namespace {
 
 /// The Filter operator: docs whose MasterData row satisfies every bound
-/// equality. Returns an empty vector when the plan has no predicates (all
-/// docs pass); `any_filter` distinguishes the two cases.
-Result<std::vector<char>> EqualityBitmap(const PlanContext& ctx,
-                                         const PlanSpec& plan,
-                                         QueryStats* stats) {
-  std::vector<char> allowed;
-  if (plan.equalities.empty()) return allowed;
+/// equality. The bitmap stays empty when the plan has no predicates (all
+/// docs pass). Returns a pointer into the cache (warm: no MasterData scan,
+/// no copy) or into `scratch` (uncached execution).
+Result<const std::vector<char>*> EqualityBitmap(const PlanContext& ctx,
+                                                const PlanSpec& plan,
+                                                QueryStats* stats,
+                                                PlanCache* cache,
+                                                std::vector<char>* scratch) {
+  if (plan.equalities.empty()) return scratch;  // left empty: all pass
+  if (cache != nullptr && cache->bitmap_valid) {
+    if (stats != nullptr) stats->filter_from_cache = true;
+    return &cache->bitmap;
+  }
+  std::vector<char>& allowed = *scratch;
   allowed.assign(ctx.num_sfas, 0);
   ctx.master->ResetIoStats();
   STACCATO_RETURN_NOT_OK(ctx.master->Scan([&](RecordId, const Tuple& t) {
@@ -190,7 +346,12 @@ Result<std::vector<char>> EqualityBitmap(const PlanContext& ctx,
   if (stats != nullptr) {
     stats->heap_pages_read += ctx.master->io_stats().page_reads;
   }
-  return allowed;
+  if (cache != nullptr) {
+    cache->bitmap = std::move(allowed);
+    cache->bitmap_valid = true;
+    return &cache->bitmap;
+  }
+  return scratch;
 }
 
 /// Strings Eval: one scan over kMAPData accumulating per-doc match mass.
@@ -204,6 +365,7 @@ Result<std::vector<Answer>> ExecuteStrings(const PlanContext& ctx,
   ctx.kmap->ResetIoStats();
   STACCATO_RETURN_NOT_OK(ctx.kmap->Scan([&](RecordId, const Tuple& t) {
     size_t key = static_cast<size_t>(t[0].AsInt());
+    if (key >= prob.size()) return true;  // row beyond loaded cardinality
     if (filtered && (key >= allowed.size() || !allowed[key])) return true;
     if (plan.map_only && t[1].AsInt() != 0) return true;
     if (dfa.Matches(t[2].AsString())) {
@@ -260,22 +422,62 @@ Result<double> EvalProjectedCandidate(const SfaCandidate& cand,
 Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
                                         const PlanSpec& plan, const Dfa& dfa,
                                         const std::vector<char>& allowed,
-                                        QueryStats* stats) {
+                                        QueryStats* stats, PlanCache* cache) {
   const bool filtered = !plan.equalities.empty();
   const bool full = plan.approach == Approach::kFullSfa;
   const std::vector<RecordId>& rids = full ? *ctx.fullsfa_rid : *ctx.graph_rid;
   HeapTable* blob_table = full ? ctx.fullsfa : ctx.staccato_graph;
 
-  // CandidateGen.
+  // CandidateGen. A warm cache serves the probed CandidateSet without
+  // touching the B+-tree or the postings relation.
   std::vector<SfaCandidate> cands;
   size_t total_postings = 0;
   if (plan.source == CandidateSource::kIndexProbe) {
-    STACCATO_ASSIGN_OR_RETURN(CandidateSet set, ProbeIndex(ctx, plan.anchor));
-    total_postings = set.total_postings;
-    cands.reserve(set.postings.size());
-    for (auto& [doc, posts] : set.postings) {
-      if (filtered && (doc >= allowed.size() || !allowed[doc])) continue;
-      cands.push_back({doc, std::move(posts), {}});
+    if (ctx.index == nullptr || ctx.dict == nullptr ||
+        ctx.dict->Find(plan.anchor) == kInvalidTerm) {
+      // The plan was frozen against an index the database has since
+      // dropped (data reloaded) or rebuilt with a dictionary that no
+      // longer contains the anchor; probing would silently miss answers.
+      return Status::InvalidArgument(
+          "plan probes an inverted index that no longer serves anchor '" +
+          plan.anchor + "'; re-prepare after BuildInvertedIndex");
+    }
+    CandidateSet probed;
+    CandidateSet* owned = nullptr;  // postings may be moved out
+    const CandidateSet* set = nullptr;
+    if (cache != nullptr && cache->candidates_valid) {
+      set = &cache->candidates;
+      if (stats != nullptr) stats->candidates_from_cache = true;
+    } else {
+      STACCATO_ASSIGN_OR_RETURN(probed, ProbeIndex(ctx, plan.anchor));
+      if (cache != nullptr) {
+        cache->candidates = std::move(probed);
+        cache->candidates_valid = true;
+        set = &cache->candidates;
+      } else {
+        owned = &probed;
+        set = &probed;
+      }
+    }
+    total_postings = set->total_postings;
+    cands.reserve(set->NumDocs());
+    // Only the projection path reads per-candidate postings; the blob
+    // fetch ignores them, so skip carrying them at all in that case.
+    const bool need_postings = plan.fetch == FetchMethod::kProjection;
+    if (owned != nullptr) {
+      // Uncached execution: the set is local, so hand its posting vectors
+      // to the candidates instead of copying them.
+      for (auto& [doc, posts] : owned->postings) {
+        if (filtered && (doc >= allowed.size() || !allowed[doc])) continue;
+        cands.push_back({doc, {}, {}});
+        if (need_postings) cands.back().postings = std::move(posts);
+      }
+    } else {
+      for (const auto& [doc, posts] : set->postings) {
+        if (filtered && (doc >= allowed.size() || !allowed[doc])) continue;
+        cands.push_back({doc, {}, {}});
+        if (need_postings) cands.back().postings = posts;
+      }
     }
   } else {
     cands.reserve(ctx.num_sfas);
@@ -371,20 +573,32 @@ Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
 
 Result<std::vector<Answer>> ExecutePlan(const PlanContext& ctx,
                                         const PlanSpec& plan, const Dfa& dfa,
-                                        QueryStats* stats) {
+                                        QueryStats* stats, PlanCache* cache) {
   if (stats != nullptr) {
     stats->used_index = plan.source == CandidateSource::kIndexProbe;
     stats->used_projection = plan.fetch == FetchMethod::kProjection;
     stats->plan_summary = PlanSummary(plan);
     stats->threads_used = 1;
+    stats->est_candidates = plan.cost.chosen_cost().candidates;
+    stats->est_cost = plan.cost.chosen_cost().total;
+    stats->filter_from_cache = false;
+    stats->candidates_from_cache = false;
   }
-  STACCATO_ASSIGN_OR_RETURN(std::vector<char> allowed,
-                            EqualityBitmap(ctx, plan, stats));
+  // Entries built against older data are dead; start the cache over at the
+  // current generation.
+  if (cache != nullptr && cache->generation != ctx.load_generation) {
+    *cache = PlanCache{};
+    cache->generation = ctx.load_generation;
+  }
+  std::vector<char> scratch;
+  STACCATO_ASSIGN_OR_RETURN(
+      const std::vector<char>* allowed,
+      EqualityBitmap(ctx, plan, stats, cache, &scratch));
   switch (plan.eval) {
     case EvalStrategy::kStrings:
-      return ExecuteStrings(ctx, plan, dfa, allowed, stats);
+      return ExecuteStrings(ctx, plan, dfa, *allowed, stats);
     case EvalStrategy::kSfaDp:
-      return ExecuteSfas(ctx, plan, dfa, allowed, stats);
+      return ExecuteSfas(ctx, plan, dfa, *allowed, stats, cache);
   }
   return Status::InvalidArgument("unknown eval strategy");
 }
@@ -409,6 +623,17 @@ std::string ExplainPlan(const PlanSpec& plan) {
   out += StringPrintf("  -> Eval strategy=%s threads=%zu\n",
                       EvalStrategyName(plan.eval), plan.eval_threads);
   out += StringPrintf("  -> TopK num_ans=%zu\n", plan.num_ans);
+  out += StringPrintf("  Cost: %s\n", plan.cost.ToString().c_str());
+  return out;
+}
+
+std::string ExplainPlan(const PlanSpec& plan, const QueryStats& stats) {
+  std::string out = ExplainPlan(plan);
+  out += StringPrintf(
+      "  Actual: candidates=%zu (est %zu), cache: filter=%s candidates=%s\n",
+      stats.candidates, stats.est_candidates,
+      stats.filter_from_cache ? "hit" : "miss",
+      stats.candidates_from_cache ? "hit" : "miss");
   return out;
 }
 

@@ -20,9 +20,21 @@
 //                 answers are bit-identical to serial execution.
 //   TopK          ranks by probability and keeps NumAns answers.
 //
-// `BuildPlan` chooses the operators once, at prepare time; `ExecutePlan`
-// can then run the same plan many times. `ExplainPlan` renders the chosen
-// shape as stable text.
+// `BuildPlan` chooses the operators once, at prepare time, and it chooses
+// them *by cost*: a `CostEstimate` prices the full-scan and index-probe
+// alternatives from storage statistics (posting counts kept by the index,
+// table cardinalities and page counts, blob-store bytes) and the cheaper
+// path wins unless the caller pins the choice with `IndexMode`. The
+// estimate is frozen into the plan and rendered by `ExplainPlan`.
+//
+// `ExecutePlan` can then run the same plan many times. A `PlanCache`
+// (owned by the PreparedQuery that owns the plan) memoizes the two
+// execution artifacts that do not depend on the DFA evaluation itself —
+// the CandidateSet produced by an index probe and the equality-filter
+// bitmap — so a warm Execute skips CandidateGen and Filter entirely.
+// Cache entries are tagged with the database's load generation and are
+// discarded whenever the data is reloaded or the index rebuilt; a warm
+// Execute is always bit-identical to a cold one.
 #pragma once
 
 #include <string>
@@ -49,11 +61,27 @@ enum class Approach {
 
 const char* ApproachName(Approach a);
 
+/// \brief How the planner may use the anchored-term inverted index.
+enum class IndexMode {
+  kAuto,   ///< cost-based: probe iff the estimate says it is cheaper
+  kNever,  ///< always full-scan (the index is not considered)
+  kForce,  ///< probe whenever the anchor resolves; error if no index built
+};
+
+const char* IndexModeName(IndexMode m);
+
 /// \brief One LIKE query, as the user states it (logical description).
 struct QueryOptions {
   std::string pattern;     ///< the paper's pattern language ('%pat%' implied)
   size_t num_ans = 100;    ///< NumAns (Table 3)
-  bool use_index = false;  ///< anchored-term inverted-index acceleration
+  /// Index policy. The default lets the cost model decide; benches that
+  /// measure one fixed path pin it with kForce/kNever.
+  IndexMode index_mode = IndexMode::kAuto;
+  /// Legacy flag: true forces the index path (same as kForce) when
+  /// `index_mode` is kAuto. The flag-driven StaccatoDb::Query facade also
+  /// maps false to kNever to keep its historical "index only if asked"
+  /// behavior.
+  bool use_index = false;
   bool use_projection = false;  ///< fetch only the projected SFA region
   /// Equality predicates over MasterData columns (`Year = 2010`); filters
   /// candidates before any SFA is fetched or evaluated.
@@ -77,6 +105,14 @@ struct QueryStats {
   bool used_projection = false;
   size_t threads_used = 1;    ///< workers in the Eval stage
   std::string plan_summary;   ///< one-line operator pipeline
+  // Planner estimate for the chosen path, so estimated vs. actual
+  // candidates can be compared from one stats object.
+  size_t est_candidates = 0;
+  double est_cost = 0.0;      ///< chosen path's total cost units
+  // Plan-cache observability: which stages were served from the
+  // PreparedQuery's memoized state instead of being recomputed.
+  bool filter_from_cache = false;      ///< equality bitmap reused
+  bool candidates_from_cache = false;  ///< index CandidateSet reused
 };
 
 enum class CandidateSource { kFullScan, kIndexProbe };
@@ -95,6 +131,56 @@ struct BoundEquality {
   Value value;
 };
 
+/// \brief One access path priced by the planner. Costs are abstract "cost
+/// units" where 1.0 is roughly one sequential 8 KiB page read; the units
+/// only need to be comparable across the alternatives of one query.
+struct PathCost {
+  bool feasible = false;     ///< the path can run (index built, anchor hits)
+  size_t candidates = 0;     ///< est. rows surviving CandidateGen + Filter
+  double fetch_bytes = 0.0;  ///< est. blob bytes the Fetch stage reads
+  double io_cost = 0.0;      ///< page reads + point gets, in cost units
+  double eval_cost = 0.0;    ///< Eval work (size-proportional DP)
+  double total = 0.0;        ///< io_cost + eval_cost
+};
+
+/// \brief The planner's selectivity/cost estimate, computed at BuildPlan
+/// time from statistics only (no data I/O): inverted-index posting counts,
+/// heap-table cardinalities and page counts, and blob-store bytes. Frozen
+/// into the PlanSpec so ExplainPlan can render it and benches can compare
+/// estimated vs. actual candidates.
+struct CostEstimate {
+  PathCost scan;        ///< full filescan of the representation
+  PathCost index;       ///< anchored index probe (feasible only if built)
+  size_t table_cardinality = 0;  ///< total SFAs (full-scan candidate count)
+  size_t anchor_postings = 0;    ///< postings under the anchor term
+  size_t anchor_docs = 0;        ///< distinct docs holding those postings
+  /// Estimated fraction of docs passing all equality predicates (the
+  /// classic 1/10-per-predicate guess; there are no column histograms).
+  double equality_selectivity = 1.0;
+  CandidateSource chosen = CandidateSource::kFullScan;
+
+  const PathCost& chosen_cost() const {
+    return chosen == CandidateSource::kIndexProbe ? index : scan;
+  }
+
+  /// One-line stable rendering, e.g.
+  /// "est-candidates=6 sel=0.10 cost=58.2 [scan=58.2 index=n/a]".
+  std::string ToString() const;
+};
+
+/// \brief Memoized execution state for one plan, owned by the
+/// PreparedQuery that executes it. Entries are valid only for the database
+/// load generation they were built at; ExecutePlan discards them when the
+/// generation moves (data reloaded, index rebuilt). Reusing a cache entry
+/// is bit-identical to recomputing it.
+struct PlanCache {
+  uint64_t generation = 0;  ///< db load generation the entries belong to
+  bool bitmap_valid = false;
+  std::vector<char> bitmap;  ///< equality-filter bitmap (Filter operator)
+  bool candidates_valid = false;
+  CandidateSet candidates;   ///< index-probe result (CandidateGen operator)
+};
+
 /// \brief A resolved physical plan. Immutable once built; executing it many
 /// times always runs the same operators.
 struct PlanSpec {
@@ -108,6 +194,7 @@ struct PlanSpec {
   size_t num_ans = 100;
   size_t eval_threads = 1;  ///< resolved worker count (>= 1)
   std::vector<BoundEquality> equalities;
+  CostEstimate cost;  ///< the estimate the planner chose `source` from
 };
 
 /// \brief Everything the executor needs from the database: borrowed views
@@ -124,22 +211,44 @@ struct PlanContext {
   const std::vector<RecordId>* fullsfa_rid = nullptr;
   const std::vector<RecordId>* graph_rid = nullptr;
   size_t num_sfas = 0;
+  /// Per-term posting statistics maintained by the index builder; may be
+  /// null (no index). The cost model reads these instead of probing.
+  const TermStatsMap* term_stats = nullptr;
+  /// Monotone counter the owning database bumps on every Load /
+  /// BuildInvertedIndex; PlanCache entries from older generations are
+  /// invalid.
+  uint64_t load_generation = 0;
 };
 
-/// Resolves a logical query into a physical plan: picks index probe vs full
-/// scan, projection vs whole-blob fetch, the eval strategy, the worker
-/// count, and binds equality literals against the MasterData schema.
-/// `default_threads` is used when `q.eval_threads == 0` (0 = hardware
-/// concurrency). Fails on unknown columns, type-mismatched literals, or
-/// `use_index` without a built index.
+/// Resolves a logical query into a physical plan: prices the full-scan and
+/// index-probe alternatives (CostEstimate), picks the cheaper candidate
+/// source under IndexMode::kAuto (kForce/kNever pin it), picks projection
+/// vs whole-blob fetch, the eval strategy, the worker count, and binds
+/// equality literals against the MasterData schema. `default_threads` is
+/// used when `q.eval_threads == 0` (0 = hardware concurrency). Fails on
+/// unknown columns, type-mismatched literals, or a forced index without a
+/// built index.
 Result<PlanSpec> BuildPlan(const PlanContext& ctx, Approach approach,
                            const QueryOptions& q, size_t default_threads);
 
+/// Prices the scan and index paths for one query from statistics alone.
+/// `anchor` is the resolved dictionary anchor term ("" = none); the index
+/// path is feasible only when the anchor resolves. Exposed for tests and
+/// benches; BuildPlan calls it internally.
+CostEstimate EstimateCost(const PlanContext& ctx, Approach approach,
+                          bool use_projection, size_t num_equalities,
+                          const std::string& anchor);
+
 /// Runs the plan's operator pipeline. Repeated calls with the same plan and
-/// DFA return identical answers regardless of `eval_threads`.
+/// DFA return identical answers regardless of `eval_threads`. `cache`, when
+/// non-null, memoizes the CandidateGen/Filter artifacts across calls: a
+/// warm call reuses the equality bitmap and the probed CandidateSet (and
+/// reports doing so in `stats`) as long as `ctx.load_generation` still
+/// matches the cached generation.
 Result<std::vector<Answer>> ExecutePlan(const PlanContext& ctx,
                                         const PlanSpec& plan, const Dfa& dfa,
-                                        QueryStats* stats);
+                                        QueryStats* stats,
+                                        PlanCache* cache = nullptr);
 
 /// Probes the inverted index with `anchor` (CandidateGen, index flavor).
 /// The caller guarantees ctx.index/ctx.dict are present.
@@ -154,7 +263,12 @@ Result<CandidateSet> ProbeIndex(const PlanContext& ctx,
 ///     -> Fetch method=projection
 ///     -> Eval strategy=sfa-dp threads=4
 ///     -> TopK num_ans=100
+///     Cost: est-candidates=4 sel=0.10 cost=12.3 [scan=58.2 index=12.3]
 std::string ExplainPlan(const PlanSpec& plan);
+
+/// ExplainPlan plus an "Actual:" line comparing the estimate against what
+/// one execution measured (candidates, cache hits).
+std::string ExplainPlan(const PlanSpec& plan, const QueryStats& stats);
 
 /// Compact one-line shape for QueryStats::plan_summary, e.g.
 /// "index-probe>filter>projection>sfa-dp[t=4]>top-100".

@@ -27,20 +27,21 @@ Result<PreparedQuery> Session::PrepareSql(Approach approach,
   }
   QueryOptions q;
   q.pattern = stmt.like->pattern;
-  q.num_ans = opts_.num_ans;
+  q.num_ans = stmt.limit.has_value() ? static_cast<size_t>(*stmt.limit)
+                                     : opts_.num_ans;
   q.equalities = stmt.equalities;
   return Prepare(approach, q);
 }
 
-Result<std::vector<Answer>> PreparedQuery::Execute(QueryStats* stats) const {
+Result<std::vector<Answer>> PreparedQuery::Execute(QueryStats* stats) {
   Timer timer;
   Result<std::vector<Answer>> result =
-      ExecutePlan(db_->MakePlanContext(), plan_, dfa_, stats);
+      ExecutePlan(db_->MakePlanContext(), plan_, dfa_, stats, &cache_);
   if (stats != nullptr) stats->seconds = timer.ElapsedSeconds();
   return result;
 }
 
-Result<Cursor> PreparedQuery::Open(QueryStats* stats) const {
+Result<Cursor> PreparedQuery::Open(QueryStats* stats) {
   STACCATO_ASSIGN_OR_RETURN(std::vector<Answer> answers, Execute(stats));
   return Cursor(std::move(answers));
 }

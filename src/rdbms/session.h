@@ -13,9 +13,25 @@
 //   auto answers = pq.Execute();       // repeatable; plan + DFA reused
 //
 // Prepare compiles the pattern DFA once, binds equality literals against
-// the MasterData schema, and freezes a physical plan (plan.h). Execute
-// runs the plan; Open streams the ranked answers through a Cursor. The
-// legacy StaccatoDb::Query / QuerySql calls are thin wrappers over this.
+// the MasterData schema, and freezes a *cost-based* physical plan (plan.h):
+// the planner prices the full-scan and index-probe paths from posting
+// counts and table statistics and keeps the cheaper one, unless
+// QueryOptions::index_mode pins the choice. A SQL LIMIT clause maps to the
+// TopK answer budget (NumAns).
+//
+// Execute runs the plan, and each PreparedQuery carries a plan-level cache:
+// the first Execute memoizes the index-probe CandidateSet and the
+// equality-filter bitmap, so warm Executes skip the CandidateGen and
+// Filter operators entirely (QueryStats::candidates_from_cache /
+// filter_from_cache report this). Cached entries live until the database's
+// load generation moves — any Load or BuildInvertedIndex invalidates them
+// on the next Execute — and warm answers are always bit-identical to cold
+// ones. A PreparedQuery is not synchronized: run concurrent Executes on
+// separate PreparedQuery objects. Open streams the ranked answers through
+// a Cursor. The legacy StaccatoDb::Query call is a thin flag-driven
+// wrapper over this engine (it pins index_mode from use_index);
+// StaccatoDb::QuerySql is cost-based like any SQL prepare. Both run
+// prepare + execute in one shot, so they never hit the warm path.
 #pragma once
 
 #include <string>
@@ -66,11 +82,15 @@ class Session {
 class PreparedQuery {
  public:
   /// Runs the plan and returns the ranked answers. Thread-count changes
-  /// never change the answers, only the wall clock.
-  Result<std::vector<Answer>> Execute(QueryStats* stats = nullptr) const;
+  /// never change the answers, only the wall clock. Repeated calls serve
+  /// CandidateGen/Filter from the plan cache (bit-identical results);
+  /// the cache self-invalidates when the database reloads data.
+  /// Non-const because it warms the cache — the honest signal that one
+  /// PreparedQuery must not Execute concurrently with itself.
+  Result<std::vector<Answer>> Execute(QueryStats* stats = nullptr);
 
   /// Executes and wraps the ranked answers in a streaming cursor.
-  Result<Cursor> Open(QueryStats* stats = nullptr) const;
+  Result<Cursor> Open(QueryStats* stats = nullptr);
 
   /// Stable text rendering of the physical plan.
   std::string Explain() const { return ExplainPlan(plan_); }
@@ -78,7 +98,8 @@ class PreparedQuery {
   const PlanSpec& plan() const { return plan_; }
   const Dfa& dfa() const { return dfa_; }
 
-  /// Re-binds the answer budget without re-planning.
+  /// Re-binds the answer budget without re-planning. (Cache-safe: the
+  /// memoized CandidateSet/bitmap do not depend on NumAns.)
   void set_num_ans(size_t n) { plan_.num_ans = n; }
   /// Re-binds the Eval worker count without re-planning (>= 1).
   void set_eval_threads(size_t t) { plan_.eval_threads = t == 0 ? 1 : t; }
@@ -90,6 +111,8 @@ class PreparedQuery {
   StaccatoDb* db_;
   PlanSpec plan_;
   Dfa dfa_;
+  /// Memoized CandidateGen/Filter artifacts, generation-tagged (plan.h).
+  PlanCache cache_;
 };
 
 /// \brief Forward-only iteration over one execution's ranked answers.

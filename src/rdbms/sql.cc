@@ -1,6 +1,8 @@
 #include "rdbms/sql.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
 
 #include "util/strings.h"
 
@@ -100,6 +102,10 @@ class Parser {
         ++pos_;
       }
     }
+    if (PeekKeyword("LIMIT")) {
+      ++pos_;
+      STACCATO_ASSIGN_OR_RETURN(stmt.limit, ParseLimit());
+    }
     if (PeekSymbol(";")) ++pos_;
     if (tokens_[pos_].kind != Token::Kind::kEnd) {
       return Status::InvalidArgument("trailing tokens after statement");
@@ -143,10 +149,26 @@ class Parser {
         return Status::InvalidArgument("expected literal after '='");
       }
       ++pos_;
-      stmt->equalities.push_back({col, t.raw});
+      stmt->equalities.push_back({col, t.raw, t.kind == Token::Kind::kString});
       return Status::OK();
     }
     return Status::InvalidArgument("expected LIKE or '=' after column " + col);
+  }
+
+  Result<uint64_t> ParseLimit() {
+    const Token& t = tokens_[pos_];
+    if (t.kind != Token::Kind::kWord ||
+        t.raw.find_first_not_of("0123456789") != std::string::npos ||
+        t.raw.empty()) {
+      return Status::InvalidArgument("LIMIT requires a non-negative integer");
+    }
+    errno = 0;
+    uint64_t n = std::strtoull(t.raw.c_str(), nullptr, 10);
+    if (errno == ERANGE) {
+      return Status::InvalidArgument("LIMIT value out of range");
+    }
+    ++pos_;
+    return n;
   }
 
   bool PeekSymbol(const std::string& s) const {

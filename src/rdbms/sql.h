@@ -19,9 +19,13 @@
 namespace staccato::rdbms {
 
 /// \brief An equality predicate `column = value` (value kept as written).
+/// `quoted` records whether the literal was a quoted string — metadata the
+/// planner's literal binding uses: a quoted literal never coerces to a
+/// numeric column, while a bare literal may bind to either.
 struct EqualityPredicate {
   std::string column;
   std::string value;
+  bool quoted = false;
 };
 
 /// \brief A LIKE predicate `column LIKE '%pattern%'`.
@@ -38,10 +42,17 @@ struct SelectStatement {
   std::string table;
   std::vector<EqualityPredicate> equalities;
   std::optional<LikePredicate> like;
+  /// `LIMIT n`, when present. The session layer maps it to NumAns (the
+  /// ranked-answer budget of the TopK operator).
+  std::optional<uint64_t> limit;
 };
 
-/// Parses the supported SQL subset. Keywords are case-insensitive;
-/// identifiers keep their case. A trailing ';' is allowed.
+/// Parses the supported SQL subset:
+///
+///   SELECT cols FROM table [WHERE pred AND ...] [LIMIT n] [;]
+///
+/// Keywords are case-insensitive; identifiers keep their case. A trailing
+/// ';' is allowed. See docs/SQL.md for the full grammar and error cases.
 Result<SelectStatement> ParseSelect(const std::string& sql);
 
 }  // namespace staccato::rdbms

@@ -119,7 +119,11 @@ Result<std::unique_ptr<StaccatoDb>> StaccatoDb::OpenExisting(
       }));
 
   // Rebuild the in-memory B+-tree (and the dictionary trie) from the
-  // persisted postings relation, if an index had been built.
+  // persisted postings relation, if an index had been built. The planner's
+  // per-term statistics are recovered in the same pass; postings rows were
+  // inserted grouped by document, so a term's documents appear in
+  // nondecreasing order and distinct docs can be counted with a last-seen
+  // map.
   if (db->postings_->NumTuples() > 0) {
     std::set<std::string> terms;
     STACCATO_RETURN_NOT_OK(db->postings_->Scan([&](RecordId, const Tuple& t) {
@@ -131,17 +135,51 @@ Result<std::unique_ptr<StaccatoDb>> StaccatoDb::OpenExisting(
         DictionaryTrie::Build({terms.begin(), terms.end()}));
     db->dict_.emplace(std::move(trie));
     db->index_ = std::make_unique<BPlusTree>();
+    std::unordered_map<std::string, int64_t> last_doc;
     STACCATO_RETURN_NOT_OK(db->postings_->Scan([&](RecordId rid, const Tuple& t) {
-      db->index_->Insert(t[0].AsString(), PackRecordId(rid));
+      const std::string& term = t[0].AsString();
+      db->index_->Insert(term, PackRecordId(rid));
+      TermStats& st = db->term_stats_[term];
+      ++st.postings;
+      auto [it, fresh] = last_doc.emplace(term, t[1].AsInt());
+      if (fresh || it->second != t[1].AsInt()) {
+        it->second = t[1].AsInt();
+        ++st.docs;
+      }
       return true;
     }));
   }
+  db->load_gen_ = 1;
   return db;
 }
 
 Status StaccatoDb::Load(const OcrDataset& dataset, const LoadOptions& opts) {
   const size_t n = dataset.sfas.size();
   num_sfas_ = n;
+  ++load_gen_;  // data changes; prepared-query plan caches must invalidate
+  // Load replaces the dataset wholesale: truncate every relation and the
+  // blob store so a reload never leaves rows from the previous corpus
+  // behind (duplicate kMAPData rows would double match probabilities, and
+  // OpenExisting would recover an inflated cardinality).
+  STACCATO_RETURN_NOT_OK(ReplaceHeap(&master_, "master.tbl", MasterSchema()));
+  STACCATO_RETURN_NOT_OK(ReplaceHeap(&truth_, "truth.tbl", TruthSchema()));
+  STACCATO_RETURN_NOT_OK(ReplaceHeap(&kmap_, "kmap.tbl", KMapSchema()));
+  STACCATO_RETURN_NOT_OK(
+      ReplaceHeap(&fullsfa_, "fullsfa.tbl", FullSfaSchema()));
+  STACCATO_RETURN_NOT_OK(
+      ReplaceHeap(&staccato_, "staccato.tbl", StaccatoDataSchema()));
+  STACCATO_RETURN_NOT_OK(ReplaceHeap(&staccato_graph_, "staccato_graph.tbl",
+                                     StaccatoGraphSchema()));
+  if (blobs_ != nullptr) blobs_->Flush();
+  STACCATO_ASSIGN_OR_RETURN(blobs_, BlobStore::Create(dir_ + "/blobs.dat"));
+  // Index artifacts describe the old corpus: drop them (and truncate the
+  // persisted postings relation) rather than let cost-based planning
+  // silently probe stale postings. Callers rebuild with
+  // BuildInvertedIndex; frozen index-probe plans fail cleanly until then.
+  index_.reset();
+  dict_.reset();
+  term_stats_.clear();
+  STACCATO_RETURN_NOT_OK(ReplacePostingsRelation());
 
   // Staccato construction is the expensive part; parallelize across SFAs.
   size_t threads = opts.construction_threads == 0
@@ -237,14 +275,24 @@ Status StaccatoDb::Load(const OcrDataset& dataset, const LoadOptions& opts) {
 
 Status StaccatoDb::BuildInvertedIndex(
     const std::vector<std::string>& dictionary_terms) {
+  ++load_gen_;  // candidate sets derived from the old index are invalid
   STACCATO_ASSIGN_OR_RETURN(DictionaryTrie trie,
                             DictionaryTrie::Build(dictionary_terms));
   dict_.emplace(std::move(trie));
   index_ = std::make_unique<BPlusTree>();
+  term_stats_.clear();
+  // A rebuild replaces the postings relation; recreating the heap file
+  // truncates it so OpenExisting never recovers stale rows.
+  STACCATO_RETURN_NOT_OK(ReplacePostingsRelation());
   for (size_t i = 0; i < num_sfas_; ++i) {
     STACCATO_ASSIGN_OR_RETURN(Sfa sfa, LoadStaccatoSfa(i));
     STACCATO_ASSIGN_OR_RETURN(PostingMap postings, BuildPostings(sfa, *dict_));
     for (const auto& [term, vec] : postings) {
+      // One PostingMap entry per (doc, term): maintain the planner's
+      // posting-count / distinct-doc statistics as the index grows.
+      TermStats& st = term_stats_[dict_->term(term)];
+      st.postings += vec.size();
+      ++st.docs;
       for (const Posting& p : vec) {
         STACCATO_ASSIGN_OR_RETURN(
             RecordId rid,
@@ -256,6 +304,22 @@ Status StaccatoDb::BuildInvertedIndex(
     }
   }
   return postings_->Flush();
+}
+
+Status StaccatoDb::ReplaceHeap(std::unique_ptr<HeapTable>* table,
+                               const char* file, Schema schema) {
+  // Flush the old handle first so it holds no dirty pages — the handle is
+  // destroyed only after Create has truncated the file, and a late
+  // destructor flush must not write stale pages into it. On any failure
+  // the old handle stays in place, so the member is never left null.
+  if (*table != nullptr) STACCATO_RETURN_NOT_OK((*table)->Flush());
+  STACCATO_ASSIGN_OR_RETURN(
+      *table, HeapTable::Create(dir_ + "/" + file, std::move(schema)));
+  return Status::OK();
+}
+
+Status StaccatoDb::ReplacePostingsRelation() {
+  return ReplaceHeap(&postings_, "postings.tbl", PostingsSchema());
 }
 
 Result<Sfa> StaccatoDb::LoadStaccatoSfa(DocId doc) {
@@ -285,6 +349,8 @@ PlanContext StaccatoDb::MakePlanContext() {
   ctx.fullsfa_rid = &fullsfa_rid_;
   ctx.graph_rid = &graph_rid_;
   ctx.num_sfas = num_sfas_;
+  ctx.term_stats = index_ ? &term_stats_ : nullptr;
+  ctx.load_generation = load_gen_;
   return ctx;
 }
 
@@ -293,8 +359,15 @@ Result<std::vector<Answer>> StaccatoDb::Query(Approach approach,
                                               QueryStats* stats) {
   // The one-shot path stays serial unless the caller asks for workers, so
   // legacy timing comparisons (MAP filescan vs FullSFA) are undisturbed.
+  // It is also flag-driven rather than cost-based: benches built on this
+  // facade measure the path they name, so the use_index flag pins the
+  // candidate source instead of being a hint to the optimizer.
+  QueryOptions pinned = q;
+  if (pinned.index_mode == IndexMode::kAuto) {
+    pinned.index_mode = q.use_index ? IndexMode::kForce : IndexMode::kNever;
+  }
   Session session(this, SessionOptions{/*eval_threads=*/1, q.num_ans});
-  STACCATO_ASSIGN_OR_RETURN(PreparedQuery pq, session.Prepare(approach, q));
+  STACCATO_ASSIGN_OR_RETURN(PreparedQuery pq, session.Prepare(approach, pinned));
   return pq.Execute(stats);
 }
 

@@ -69,16 +69,23 @@ class StaccatoDb {
   Status BuildInvertedIndex(const std::vector<std::string>& dictionary_terms);
 
   /// Executes a probabilistic LIKE query under the chosen approach.
-  /// Thin wrapper over Session::Prepare + PreparedQuery::Execute; use a
-  /// Session (rdbms/session.h) to amortize parsing, DFA compilation, and
-  /// planning across repeated executions.
+  /// Thin wrapper over Session::Prepare + PreparedQuery::Execute that keeps
+  /// the legacy flag-driven semantics: when `q.index_mode` is kAuto, the
+  /// `use_index` flag pins it to kForce/kNever instead of letting the cost
+  /// model decide. Use a Session (rdbms/session.h) to get cost-based
+  /// planning and to amortize parsing, DFA compilation, planning, and the
+  /// plan-level cache across repeated executions.
   Result<std::vector<Answer>> Query(Approach approach, const QueryOptions& q,
                                     QueryStats* stats = nullptr);
 
   /// Convenience: parses a single-table select-project SQL statement with a
   /// LIKE predicate (the paper's query class) and executes it. Equality
   /// predicates (`Year = 2010`) filter candidates on MasterData columns
-  /// before any SFA is fetched. Thin wrapper over Session::PrepareSql.
+  /// before any SFA is fetched. Thin wrapper over Session::PrepareSql —
+  /// and, like any SQL prepare, cost-based (IndexMode::kAuto): with an
+  /// index built, the anchor is probed whenever the estimate says that is
+  /// cheaper than scanning. Only the pattern-query `Query` facade pins the
+  /// source from its legacy use_index flag.
   Result<std::vector<Answer>> QuerySql(Approach approach, const std::string& sql,
                                        QueryStats* stats = nullptr);
 
@@ -100,6 +107,16 @@ class StaccatoDb {
     return dict_ ? &*dict_ : nullptr;
   }
 
+  /// Monotone data-version counter: bumped by every Load and
+  /// BuildInvertedIndex (and set by OpenExisting). PreparedQuery plan
+  /// caches are tagged with it and self-invalidate when it moves.
+  uint64_t load_generation() const { return load_gen_; }
+
+  /// Per-term posting statistics of the inverted index (posting count and
+  /// distinct-doc count), maintained at build time for the cost-based
+  /// planner. Empty when no index is built.
+  const TermStatsMap& term_stats() const { return term_stats_; }
+
  private:
   friend class Session;
   friend class PreparedQuery;
@@ -108,6 +125,13 @@ class StaccatoDb {
 
   /// Borrowed storage views for the planner/executor (rdbms/plan.h).
   PlanContext MakePlanContext();
+
+  /// Truncates and reopens one heap relation (Load replaces every table
+  /// wholesale; index rebuilds replace the postings relation). Keeps the
+  /// old handle on failure — the member is never left null.
+  Status ReplaceHeap(std::unique_ptr<HeapTable>* table, const char* file,
+                     Schema schema);
+  Status ReplacePostingsRelation();
 
   std::string dir_;
   size_t num_sfas_ = 0;
@@ -127,6 +151,8 @@ class StaccatoDb {
 
   std::unique_ptr<BPlusTree> index_;  // term -> postings-table record
   std::optional<DictionaryTrie> dict_;
+  TermStatsMap term_stats_;  // planner statistics, rebuilt with the index
+  uint64_t load_gen_ = 0;    // see load_generation()
 };
 
 }  // namespace staccato::rdbms

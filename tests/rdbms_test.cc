@@ -254,6 +254,11 @@ TEST(BPlusTreeTest, DuplicateRunStraddlingLeaves) {
   for (uint64_t i = 0; i < 300; ++i) tree.Insert("mmm", i);
   for (int i = 0; i < 200; ++i) tree.Insert(StringPrintf("z%03d", i), 0);
   EXPECT_EQ(tree.Lookup("mmm").size(), 300u);
+  // CountKey (the planner's posting-count accessor) agrees with Lookup
+  // without materializing values, including across leaf boundaries.
+  EXPECT_EQ(tree.CountKey("mmm"), 300u);
+  EXPECT_EQ(tree.CountKey("a000"), 1u);
+  EXPECT_EQ(tree.CountKey("absent"), 0u);
 }
 
 TEST(BPlusTreeTest, ScanRange) {

@@ -2,6 +2,9 @@
 // over the physical plans of rdbms/plan.h.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cctype>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -15,7 +18,9 @@ namespace {
 using eval::Workbench;
 using eval::WorkbenchSpec;
 using rdbms::Approach;
+using rdbms::CandidateSource;
 using rdbms::Cursor;
+using rdbms::IndexMode;
 using rdbms::PreparedQuery;
 using rdbms::QueryOptions;
 using rdbms::QueryStats;
@@ -216,7 +221,9 @@ TEST(SessionTest, ParallelEvalBitIdenticalToSerial) {
                         Case{Approach::kStaccato, true, true}}) {
     QueryOptions q;
     q.pattern = "President";
-    q.use_index = c.use_index;
+    // Pin the source so each case measures the path it names (kAuto could
+    // cost-route the "scan" cases onto the index).
+    q.index_mode = c.use_index ? IndexMode::kForce : IndexMode::kNever;
     q.use_projection = c.use_projection;
 
     q.eval_threads = 1;
@@ -240,6 +247,252 @@ TEST(SessionTest, ParallelEvalBitIdenticalToSerial) {
 
     ExpectSameAnswers(*serial, *parallel);
   }
+}
+
+TEST(SessionTest, CostBasedPlannerChoosesByEstimateAndExplainsIt) {
+  auto wb = Workbench::Create(SmallSpec(/*index=*/true));
+  ASSERT_TRUE(wb.ok()) << wb.status().ToString();
+  Session session(&(*wb)->db());
+
+  QueryOptions q;
+  q.pattern = "President";
+  // kAuto (the default): the chosen source must agree with the estimate.
+  auto pq = session.Prepare(Approach::kStaccato, q);
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+  const rdbms::CostEstimate& cost = pq->plan().cost;
+  EXPECT_TRUE(cost.scan.feasible);
+  EXPECT_GT(cost.scan.total, 0.0);
+  EXPECT_EQ(cost.table_cardinality, 2 * kLinesPerPage);
+  ASSERT_TRUE(cost.index.feasible);  // 'president' is a dictionary anchor
+  EXPECT_GT(cost.anchor_postings, 0u);
+  EXPECT_GE(cost.anchor_postings, cost.anchor_docs);
+  const bool index_cheaper = cost.index.total < cost.scan.total;
+  EXPECT_EQ(pq->plan().source == CandidateSource::kIndexProbe, index_cheaper);
+  EXPECT_EQ(cost.chosen, pq->plan().source);
+
+  // Pinning the mode overrides the estimate in both directions.
+  q.index_mode = IndexMode::kNever;
+  auto scan_pq = session.Prepare(Approach::kStaccato, q);
+  ASSERT_TRUE(scan_pq.ok());
+  EXPECT_EQ(scan_pq->plan().source, CandidateSource::kFullScan);
+  q.index_mode = IndexMode::kForce;
+  auto idx_pq = session.Prepare(Approach::kStaccato, q);
+  ASSERT_TRUE(idx_pq.ok());
+  EXPECT_EQ(idx_pq->plan().source, CandidateSource::kIndexProbe);
+
+  // The estimate is rendered by Explain, deterministically: preparing the
+  // same query twice yields byte-identical text.
+  std::string explain = pq->Explain();
+  EXPECT_NE(explain.find("Cost: est-candidates="), std::string::npos)
+      << explain;
+  EXPECT_NE(explain.find("sel="), std::string::npos);
+  EXPECT_NE(explain.find("scan="), std::string::npos);
+  auto again = session.Prepare(Approach::kStaccato, q);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->Explain(), idx_pq->Explain());
+
+  // Without an index, kAuto silently plans a scan (no error).
+  auto no_idx = Workbench::Create(SmallSpec(/*index=*/false));
+  ASSERT_TRUE(no_idx.ok());
+  Session bare(&(*no_idx)->db());
+  QueryOptions auto_q;
+  auto_q.pattern = "President";
+  auto bare_pq = bare.Prepare(Approach::kStaccato, auto_q);
+  ASSERT_TRUE(bare_pq.ok()) << bare_pq.status().ToString();
+  EXPECT_EQ(bare_pq->plan().source, CandidateSource::kFullScan);
+  EXPECT_FALSE(bare_pq->plan().cost.index.feasible);
+}
+
+TEST(SessionTest, AutoModeRoutesRareAnchorsThroughTheIndex) {
+  auto wb = Workbench::Create(SmallSpec(/*index=*/true));
+  ASSERT_TRUE(wb.ok());
+  // Pick the rarest indexed term — fewest postings, ties broken
+  // lexicographically so the choice is deterministic. Probing a handful of
+  // postings is estimated (and is) far cheaper than scanning every SFA, so
+  // kAuto picks the index on its own.
+  const TermStatsMap& stats_map = (*wb)->db().term_stats();
+  ASSERT_FALSE(stats_map.empty());
+  std::string rare;
+  size_t rare_postings = 0;
+  for (const auto& [term, st] : stats_map) {
+    if (rare.empty() || st.postings < rare_postings ||
+        (st.postings == rare_postings && term < rare)) {
+      rare = term;
+      rare_postings = st.postings;
+    }
+  }
+
+  Session session(&(*wb)->db());
+  QueryOptions q;
+  q.pattern = rare;
+  auto pq = session.Prepare(Approach::kStaccato, q);
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+  const rdbms::CostEstimate& cost = pq->plan().cost;
+  ASSERT_TRUE(cost.index.feasible) << rare;
+  EXPECT_EQ(cost.anchor_postings, rare_postings);
+  EXPECT_LT(cost.index.total, cost.scan.total) << rare;
+  EXPECT_EQ(pq->plan().source, CandidateSource::kIndexProbe) << rare;
+  EXPECT_EQ(pq->plan().anchor, rare);
+}
+
+TEST(SessionTest, WarmExecuteServesCacheAndIsBitIdentical) {
+  auto wb = Workbench::Create(SmallSpec(/*index=*/true));
+  ASSERT_TRUE(wb.ok());
+  Session session(&(*wb)->db());
+  QueryOptions q;
+  q.pattern = "President";
+  q.index_mode = IndexMode::kForce;
+  q.equalities = {{"Year", "2010"}};
+  auto pq = session.Prepare(Approach::kStaccato, q);
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+
+  QueryStats cold, warm;
+  auto first = pq->Execute(&cold);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(cold.filter_from_cache);
+  EXPECT_FALSE(cold.candidates_from_cache);
+
+  auto second = pq->Execute(&warm);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(warm.filter_from_cache) << "Filter ran again on a warm plan";
+  EXPECT_TRUE(warm.candidates_from_cache)
+      << "CandidateGen ran again on a warm plan";
+  EXPECT_EQ(warm.candidates, cold.candidates);
+  EXPECT_EQ(warm.index_postings, cold.index_postings);
+  ExpectSameAnswers(*first, *second);
+
+  // Estimated vs. actual candidates are reported side by side.
+  EXPECT_EQ(warm.est_candidates, pq->plan().cost.chosen_cost().candidates);
+  std::string analyzed = rdbms::ExplainPlan(pq->plan(), warm);
+  EXPECT_NE(analyzed.find("Actual: candidates="), std::string::npos)
+      << analyzed;
+  EXPECT_NE(analyzed.find("filter=hit"), std::string::npos) << analyzed;
+  EXPECT_NE(analyzed.find("candidates=hit"), std::string::npos) << analyzed;
+}
+
+TEST(SessionTest, PlanCacheInvalidatesWhenDataReloads) {
+  auto wb = Workbench::Create(SmallSpec(/*index=*/true));
+  ASSERT_TRUE(wb.ok());
+  rdbms::StaccatoDb& db = (*wb)->db();
+  Session session(&db);
+
+  // Scan-shaped plan: the equality bitmap must be recomputed after a
+  // reload, then warm up again.
+  QueryOptions scan_q;
+  scan_q.pattern = "President";
+  scan_q.index_mode = IndexMode::kNever;
+  scan_q.equalities = {{"Year", "2010"}};
+  auto scan_pq = session.Prepare(Approach::kStaccato, scan_q);
+  ASSERT_TRUE(scan_pq.ok());
+  QueryStats s;
+  ASSERT_TRUE(scan_pq->Execute(&s).ok());
+  ASSERT_TRUE(scan_pq->Execute(&s).ok());
+  ASSERT_TRUE(s.filter_from_cache);
+
+  // Index-shaped plan, warmed.
+  QueryOptions idx_q = scan_q;
+  idx_q.index_mode = IndexMode::kForce;
+  auto idx_pq = session.Prepare(Approach::kStaccato, idx_q);
+  ASSERT_TRUE(idx_pq.ok());
+  QueryStats si;
+  auto before_reload = idx_pq->Execute(&si);
+  ASSERT_TRUE(before_reload.ok());
+  ASSERT_TRUE(idx_pq->Execute(&si).ok());
+  ASSERT_TRUE(si.filter_from_cache && si.candidates_from_cache);
+
+  // A new Load bumps the load generation and drops the index (it was
+  // built over the old corpus).
+  const uint64_t gen = db.load_generation();
+  ASSERT_TRUE(db.Load((*wb)->dataset(), SmallSpec().load).ok());
+  EXPECT_GT(db.load_generation(), gen);
+
+  QueryStats reloaded;
+  ASSERT_TRUE(scan_pq->Execute(&reloaded).ok());
+  EXPECT_FALSE(reloaded.filter_from_cache) << "stale bitmap served";
+  QueryStats rewarmed;
+  ASSERT_TRUE(scan_pq->Execute(&rewarmed).ok());
+  EXPECT_TRUE(rewarmed.filter_from_cache);
+
+  // The frozen index-probe plan must fail cleanly (not probe stale
+  // postings) until the index is rebuilt...
+  QueryStats stale;
+  EXPECT_TRUE(idx_pq->Execute(&stale).status().IsInvalidArgument());
+
+  // ...after which it recomputes everything, then warms up again.
+  std::vector<std::string> dict =
+      BuildDictionaryFromCorpus((*wb)->dataset().corpus.lines);
+  ASSERT_TRUE(db.BuildInvertedIndex(dict).ok());
+  QueryStats rebuilt;
+  auto after_rebuild = idx_pq->Execute(&rebuilt);
+  ASSERT_TRUE(after_rebuild.ok());
+  EXPECT_FALSE(rebuilt.filter_from_cache);
+  EXPECT_FALSE(rebuilt.candidates_from_cache);
+  // Reload is a full replacement: the same dataset reloaded + reindexed
+  // yields bit-identical answers, not doubled probabilities.
+  ExpectSameAnswers(*after_rebuild, *before_reload);
+  QueryStats warm_again;
+  ASSERT_TRUE(idx_pq->Execute(&warm_again).ok());
+  EXPECT_TRUE(warm_again.filter_from_cache);
+  EXPECT_TRUE(warm_again.candidates_from_cache);
+
+  // Rebuilding with a dictionary that no longer contains the anchor also
+  // invalidates the frozen probe plan — never a silent empty probe.
+  ASSERT_TRUE(db.BuildInvertedIndex({"zebra"}).ok());
+  EXPECT_TRUE(idx_pq->Execute(&stale).status().IsInvalidArgument());
+}
+
+TEST(SessionTest, IndexRebuildReplacesPersistedPostings) {
+  auto wb = Workbench::Create(SmallSpec(/*index=*/true));
+  ASSERT_TRUE(wb.ok());
+  rdbms::StaccatoDb& db = (*wb)->db();
+  // Rebuild the index over the same dictionary: the persisted postings
+  // relation must be replaced, not appended to.
+  std::vector<std::string> dict =
+      BuildDictionaryFromCorpus((*wb)->dataset().corpus.lines);
+  ASSERT_TRUE(db.BuildInvertedIndex(dict).ok());
+  const TermStatsMap live = db.term_stats();
+
+  // Reopening the directory recovers the statistics from disk; they must
+  // match the live ones exactly (a stale append would double them).
+  auto reopened = rdbms::StaccatoDb::OpenExisting((*wb)->spec().work_dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const TermStatsMap& recovered = (*reopened)->term_stats();
+  ASSERT_EQ(recovered.size(), live.size());
+  for (const auto& [term, st] : live) {
+    auto it = recovered.find(term);
+    ASSERT_NE(it, recovered.end()) << term;
+    EXPECT_EQ(it->second.postings, st.postings) << term;
+    EXPECT_EQ(it->second.docs, st.docs) << term;
+  }
+}
+
+TEST(SessionTest, SqlLimitMapsToNumAns) {
+  auto wb = Workbench::Create(SmallSpec());
+  ASSERT_TRUE(wb.ok());
+  Session session(&(*wb)->db());
+  auto pq = session.PrepareSql(
+      Approach::kKMap,
+      "SELECT DataKey FROM Docs WHERE DocData LIKE '%President%' LIMIT 3;");
+  ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+  EXPECT_EQ(pq->plan().num_ans, 3u);
+  EXPECT_NE(pq->Explain().find("TopK num_ans=3"), std::string::npos);
+  auto answers = pq->Execute();
+  ASSERT_TRUE(answers.ok());
+  EXPECT_LE(answers->size(), 3u);
+
+  // Without LIMIT the session default applies.
+  auto unlimited = session.PrepareSql(
+      Approach::kKMap, "SELECT DataKey FROM Docs WHERE DocData LIKE '%President%'");
+  ASSERT_TRUE(unlimited.ok());
+  EXPECT_EQ(unlimited->plan().num_ans, session.options().num_ans);
+
+  // Quoted literals never coerce to numeric columns.
+  EXPECT_TRUE(session
+                  .PrepareSql(Approach::kMap,
+                              "SELECT * FROM t WHERE Year = '2010' AND "
+                              "D LIKE '%x%'")
+                  .status()
+                  .IsInvalidArgument());
 }
 
 TEST(SessionTest, SessionDefaultsToParallelEval) {

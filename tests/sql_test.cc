@@ -57,6 +57,34 @@ TEST(SqlTest, MultipleEqualities) {
   ASSERT_TRUE(stmt.ok());
   ASSERT_EQ(stmt->equalities.size(), 2u);
   EXPECT_EQ(stmt->equalities[1].value, "two");
+  // The parser records which literals were quoted strings; the planner
+  // refuses to coerce quoted literals to numeric columns.
+  EXPECT_FALSE(stmt->equalities[0].quoted);
+  EXPECT_TRUE(stmt->equalities[1].quoted);
+}
+
+TEST(SqlTest, LimitClause) {
+  auto stmt = ParseSelect("SELECT a FROM t WHERE d LIKE '%x%' LIMIT 5;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_TRUE(stmt->limit.has_value());
+  EXPECT_EQ(*stmt->limit, 5u);
+
+  auto no_limit = ParseSelect("SELECT a FROM t WHERE d LIKE '%x%'");
+  ASSERT_TRUE(no_limit.ok());
+  EXPECT_FALSE(no_limit->limit.has_value());
+
+  // LIMIT without a WHERE clause, and keyword case-insensitivity.
+  auto bare = ParseSelect("SELECT a FROM t limit 2");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(*bare->limit, 2u);
+
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t LIMIT").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t LIMIT x").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t LIMIT '5'").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t LIMIT 5 5").ok());
+  // Overflow is rejected, not silently clamped.
+  EXPECT_FALSE(
+      ParseSelect("SELECT a FROM t LIMIT 99999999999999999999999").ok());
 }
 
 TEST(SqlTest, Rejections) {
