@@ -1,0 +1,165 @@
+// Batched multi-query execution: N prepared patterns executed one by one
+// vs. as one Session::ExecuteBatch, plus cold vs. warm parallel Fetch.
+//
+// ExecuteBatch is the multi-user serving shape: the string approaches
+// share one kMAPData scan and the SFA approaches share one Fetch pass that
+// reads each distinct candidate blob once, with answers bit-identical to
+// per-query Execute (enforced by session_test / parallel_test). The second
+// table isolates the Fetch-stage fan-out that thread-safe storage enables:
+// the same plan at 1 vs. pool-many fetch/eval workers, cold and warm.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/workbench.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+using namespace staccato;
+using eval::Workbench;
+using eval::WorkbenchSpec;
+using rdbms::Approach;
+using rdbms::BatchStats;
+using rdbms::IndexMode;
+using rdbms::PreparedQuery;
+using rdbms::QueryOptions;
+using rdbms::QueryStats;
+using rdbms::Session;
+
+namespace {
+
+const std::vector<std::string> kPatterns = {
+    "President", "Congress", "United States", "act",     "law",
+    "section",   "amend",    "public",        "Senate",  "House"};
+
+std::vector<QueryOptions> BatchOptions() {
+  std::vector<QueryOptions> qs;
+  for (const std::string& pat : kPatterns) {
+    QueryOptions q;
+    q.pattern = pat;
+    q.index_mode = IndexMode::kAuto;
+    qs.push_back(q);
+  }
+  return qs;
+}
+
+bool BenchBatchVsSolo(Workbench& wb) {
+  Session& session = wb.session();
+  auto qs = BatchOptions();
+
+  eval::PrintHeader("Batched execution: one-by-one vs ExecuteBatch");
+  printf("%zu SFAs, %zu prepared STACCATO patterns, pool=%zu threads\n\n",
+         wb.db().NumSfas(), qs.size(), ThreadPool::Shared().capacity());
+  printf("%-18s %10s %12s %14s\n", "mode", "time(ms)", "blob-fetches",
+         "fetch-passes");
+
+  for (bool warm : {false, true}) {
+    // Fresh PreparedQueries per mode so plan caches start cold; the warm
+    // row executes once first to warm them.
+    auto solo = session.PrepareBatch(Approach::kStaccato, qs);
+    auto batched = session.PrepareBatch(Approach::kStaccato, qs);
+    if (!solo.ok() || !batched.ok()) {
+      const Status& st = solo.ok() ? batched.status() : solo.status();
+      fprintf(stderr, "prepare: %s\n", st.ToString().c_str());
+      return false;
+    }
+
+    // One by one.
+    size_t solo_fetches = 0;
+    if (warm) {
+      for (PreparedQuery& pq : *solo) {
+        if (!pq.Execute().ok()) return false;
+      }
+    }
+    wb.db().DropCaches();
+    Timer solo_timer;
+    for (PreparedQuery& pq : *solo) {
+      QueryStats st;
+      if (auto r = pq.Execute(&st); !r.ok()) {
+        fprintf(stderr, "solo execute: %s\n", r.status().ToString().c_str());
+        return false;
+      }
+      solo_fetches += st.candidates;
+    }
+    double solo_ms = solo_timer.ElapsedSeconds() * 1e3;
+
+    // As one batch.
+    std::vector<PreparedQuery*> ptrs;
+    for (PreparedQuery& pq : *batched) ptrs.push_back(&pq);
+    if (warm) {
+      if (!session.ExecuteBatch(ptrs).ok()) return false;
+    }
+    wb.db().DropCaches();
+    BatchStats bs;
+    Timer batch_timer;
+    if (auto r = session.ExecuteBatch(ptrs, &bs); !r.ok()) {
+      fprintf(stderr, "batch execute: %s\n", r.status().ToString().c_str());
+      return false;
+    }
+    double batch_ms = batch_timer.ElapsedSeconds() * 1e3;
+
+    const char* label = warm ? "warm" : "cold";
+    printf("%-4s %-13s %10.2f %12zu %14zu\n", label, "one-by-one", solo_ms,
+           solo_fetches, qs.size());
+    printf("%-4s %-13s %10.2f %12zu %14d  (%.2fx)\n", label, "ExecuteBatch",
+           batch_ms, bs.distinct_docs_fetched, 1,
+           batch_ms > 0 ? solo_ms / batch_ms : 0.0);
+  }
+  return true;
+}
+
+bool BenchFetchParallelism(Workbench& wb) {
+  eval::PrintHeader("Parallel Fetch: cold vs warm, 1 vs pool threads");
+  printf("%-10s %-6s %10s %8s %8s\n", "cache", "threads", "time(ms)", "fetch",
+         "eval");
+  QueryOptions q;
+  q.pattern = "President";
+  q.index_mode = IndexMode::kNever;  // full scan: every blob is fetched
+  for (size_t threads : {size_t{1}, ThreadPool::Shared().capacity()}) {
+    q.eval_threads = threads;
+    auto pq = wb.session().Prepare(Approach::kStaccato, q);
+    if (!pq.ok()) {
+      fprintf(stderr, "prepare: %s\n", pq.status().ToString().c_str());
+      return false;
+    }
+    for (bool cold : {true, false}) {
+      if (cold) wb.db().DropCaches();
+      QueryStats st;
+      if (auto r = pq->Execute(&st); !r.ok()) {
+        fprintf(stderr, "execute: %s\n", r.status().ToString().c_str());
+        return false;
+      }
+      printf("%-10s %-6zu %10.2f %8zu %8zu\n", cold ? "cold" : "warm", threads,
+             st.seconds * 1e3, st.fetch_threads, st.threads_used);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  WorkbenchSpec spec;
+  spec.corpus.kind = DatasetKind::kCongressActs;
+  spec.corpus.num_pages = 6;
+  spec.corpus.lines_per_page = 40;
+  spec.corpus.seed = 23;
+  spec.noise.alternatives = 8;
+  spec.load.kmap_k = 10;
+  spec.load.staccato = {25, 10, true};
+  spec.build_index = true;
+  auto wb = Workbench::Create(spec);
+  if (!wb.ok()) {
+    fprintf(stderr, "%s\n", wb.status().ToString().c_str());
+    return 1;
+  }
+  if (!BenchBatchVsSolo(**wb)) return 1;
+  printf("\n");
+  if (!BenchFetchParallelism(**wb)) return 1;
+  printf(
+      "\nExecuteBatch shares one kMAPData scan across string queries and one\n"
+      "Fetch pass (each distinct blob read once) across SFA queries; answers\n"
+      "are bit-identical to per-query Execute. STACCATO_THREADS resizes the\n"
+      "shared pool.\n");
+  return 0;
+}

@@ -5,9 +5,9 @@
 // bit-identical. The chosen plan shape and worker count are reported
 // straight from QueryStats.
 #include <cstdio>
-#include <thread>
 
 #include "eval/workbench.h"
+#include "util/parallel.h"
 
 using namespace staccato;
 using eval::Workbench;
@@ -33,7 +33,7 @@ int main() {
   // per-candidate DP (quadratic in DFA states) the dominant cost — the
   // stage the thread pool actually scales.
   const std::string kQuery = "(P|p)ub(l|1)ic (L|l)aw (8|9)\\d";
-  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const size_t hw = ThreadPool::DefaultThreads();
   eval::PrintHeader("Parallel Eval: serial vs thread-pool (same plan)");
   printf("%zu SFAs, query '%s', %zu hardware threads\n\n",
          (*wb)->db().NumSfas(), kQuery.c_str(), hw);

@@ -1,8 +1,6 @@
 #include "inference/query_eval.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
 namespace staccato {
 
@@ -155,42 +153,9 @@ uint64_t CountEvalWork(const Sfa& sfa, const Dfa& dfa) {
   return chars * static_cast<uint64_t>(dfa.NumStates());
 }
 
-Result<std::vector<double>> EvalSerializedSfaBatch(
-    const std::vector<const std::string*>& blobs, const Dfa& dfa,
-    size_t threads) {
-  const size_t n = blobs.size();
-  std::vector<double> probs(n, 0.0);
-  auto eval_one = [&](size_t i) -> Status {
-    STACCATO_ASSIGN_OR_RETURN(Sfa sfa, Sfa::Deserialize(*blobs[i]));
-    probs[i] = EvalSfaQuery(sfa, dfa);
-    return Status::OK();
-  };
-  threads = std::min(std::max<size_t>(1, threads), n == 0 ? size_t{1} : n);
-  if (threads <= 1) {
-    for (size_t i = 0; i < n; ++i) STACCATO_RETURN_NOT_OK(eval_one(i));
-    return probs;
-  }
-  std::vector<Status> errors(threads, Status::OK());
-  std::atomic<size_t> next{0};
-  auto worker = [&](size_t tid) {
-    while (true) {
-      size_t i = next.fetch_add(1);
-      if (i >= n) return;
-      Status st = eval_one(i);
-      if (!st.ok()) {
-        errors[tid] = std::move(st);
-        return;
-      }
-    }
-  };
-  {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-    for (auto& t : pool) t.join();
-  }
-  for (const Status& st : errors) STACCATO_RETURN_NOT_OK(st);
-  return probs;
+Result<double> EvalSerializedSfa(const std::string& blob, const Dfa& dfa) {
+  STACCATO_ASSIGN_OR_RETURN(Sfa sfa, Sfa::Deserialize(blob));
+  return EvalSfaQuery(sfa, dfa);
 }
 
 }  // namespace staccato

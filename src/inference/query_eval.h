@@ -33,15 +33,12 @@ double EvalStringsQuery(const std::vector<ScoredString>& strings, const Dfa& dfa
 /// number of (dfa-state × transition-character) steps EvalSfaQuery performs.
 uint64_t CountEvalWork(const Sfa& sfa, const Dfa& dfa);
 
-/// Batch entry point for the executor's parallel Eval stage: deserializes
-/// and evaluates many serialized SFAs against one query DFA, fanning the
-/// work across `threads` workers (values <= 1 run serially). Each SFA is
-/// scored independently and results are gathered positionally, so the
-/// output is bit-identical for any thread count. The paper notes this
-/// stage is embarrassingly parallel.
-Result<std::vector<double>> EvalSerializedSfaBatch(
-    const std::vector<const std::string*>& blobs, const Dfa& dfa,
-    size_t threads);
+/// The per-candidate unit of the executor's Eval stage: deserializes one
+/// stored SFA and scores it against the query DFA. The stage is
+/// embarrassingly parallel, as the paper notes — the executor fans this
+/// call out over the shared thread pool (util/parallel.h) with positional
+/// gather, so ranked answers are bit-identical for any thread count.
+Result<double> EvalSerializedSfa(const std::string& blob, const Dfa& dfa);
 
 /// The literal matrix-multiplication algorithm of [45] as the paper costs
 /// it in Table 1 (q³ work per node): each node accumulates a q×q matrix of

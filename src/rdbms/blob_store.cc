@@ -1,5 +1,10 @@
 #include "rdbms/blob_store.h"
 
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
 #include "util/serde.h"
 
 namespace staccato::rdbms {
@@ -8,6 +13,7 @@ Result<std::unique_ptr<BlobStore>> BlobStore::Create(const std::string& path) {
   auto store = std::unique_ptr<BlobStore>(new BlobStore(path));
   store->file_ = fopen(path.c_str(), "w+b");
   if (store->file_ == nullptr) return Status::IOError("cannot create " + path);
+  store->fd_ = fileno(store->file_);
   return store;
 }
 
@@ -15,6 +21,7 @@ Result<std::unique_ptr<BlobStore>> BlobStore::Open(const std::string& path) {
   auto store = std::unique_ptr<BlobStore>(new BlobStore(path));
   store->file_ = fopen(path.c_str(), "r+b");
   if (store->file_ == nullptr) return Status::IOError("cannot open " + path);
+  store->fd_ = fileno(store->file_);
   fseek(store->file_, 0, SEEK_END);
   store->end_ = static_cast<uint64_t>(ftell(store->file_));
   return store;
@@ -37,26 +44,60 @@ Result<BlobId> BlobStore::Put(const std::string& data) {
   }
   BlobId id = end_;
   end_ += sizeof(len) + data.size();
+  dirty_.store(true, std::memory_order_release);
   return id;
 }
 
+namespace {
+
+/// pread that retries short reads; fails if `n` bytes are not available.
+Status PreadExact(int fd, void* buf, size_t n, uint64_t offset) {
+  char* out = static_cast<char*>(buf);
+  while (n > 0) {
+    ssize_t r = pread(fd, out, n, static_cast<off_t>(offset));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("pread: ") + std::strerror(errno));
+    }
+    if (r == 0) return Status::IOError("short read past end of blob store");
+    out += r;
+    offset += static_cast<uint64_t>(r);
+    n -= static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<std::string> BlobStore::Get(BlobId id) {
   if (id >= end_) return Status::NotFound("blob id out of range");
-  if (fseek(file_, static_cast<long>(id), SEEK_SET) != 0) {
-    return Status::IOError("seek failed");
+  // Writes go through the buffered FILE*; make them visible to pread once
+  // per write burst. Double-checked so the steady read state takes no
+  // lock. On flush failure the flag stays set — stale bytes must never be
+  // served as a successful read.
+  if (dirty_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    if (dirty_.load(std::memory_order_relaxed)) {
+      if (fflush(file_) != 0) {
+        return Status::IOError(std::string("flush before blob read: ") +
+                               std::strerror(errno));
+      }
+      dirty_.store(false, std::memory_order_release);
+    }
   }
   uint64_t len = 0;
-  if (fread(&len, sizeof(len), 1, file_) != 1) {
-    return Status::IOError("short read (header)");
-  }
-  if (id + sizeof(len) + len > end_) {
+  STACCATO_RETURN_NOT_OK(PreadExact(fd_, &len, sizeof(len), id));
+  // Overflow-safe bound: a corrupt header with len near UINT64_MAX must
+  // land here, not wrap past the check into a giant allocation.
+  const uint64_t avail = end_ - id;  // id < end_ checked above
+  if (avail < sizeof(len) || len > avail - sizeof(len)) {
     return Status::Corruption("blob length past end of store");
   }
   std::string data(len, '\0');
-  if (len > 0 && fread(data.data(), 1, len, file_) != len) {
-    return Status::IOError("short read (payload)");
+  if (len > 0) {
+    STACCATO_RETURN_NOT_OK(PreadExact(fd_, data.data(), len, id + sizeof(len)));
   }
-  bytes_read_ += sizeof(len) + len;
+  bytes_read_.fetch_add(sizeof(len) + len, std::memory_order_relaxed);
   return data;
 }
 

@@ -1,10 +1,19 @@
 // Append-only blob store: the OID-addressed large-object storage the
 // FullSFA and StaccatoGraph columns point into (the paper stores serialized
 // transducers as Postgres large objects).
+//
+// Concurrency contract: Get is safe to call from any number of threads at
+// once — reads use positioned I/O (pread) on the underlying descriptor, so
+// they share no file-position state and proceed fully in parallel. This is
+// the storage half of the executor's parallel Fetch stage. Put and Flush
+// (and the load-time truncate/reopen in StaccatoDb::Load) require external
+// exclusion: no concurrent Gets while the store is being written.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "util/result.h"
@@ -23,29 +32,41 @@ class BlobStore {
   BlobStore(const BlobStore&) = delete;
   BlobStore& operator=(const BlobStore&) = delete;
 
-  /// Appends a blob; the returned id is its file offset.
+  /// Appends a blob; the returned id is its file offset. External-exclusive
+  /// (load path only).
   Result<BlobId> Put(const std::string& data);
 
-  /// Reads a blob back.
+  /// Reads a blob back. Concurrent-safe: buffered writes are flushed once
+  /// (under a mutex), then the payload is read with pread, which takes no
+  /// lock and shares no seek position.
   Result<std::string> Get(BlobId id);
 
   /// Pushes buffered writes to disk. Call before another handle truncates
-  /// or reopens the same file.
+  /// or reopens the same file. The dirty flag is cleared only when the
+  /// flush actually succeeds, so a failed flush is retried (and surfaced)
+  /// by the next Get instead of silently reading stale bytes.
   void Flush() {
-    if (file_ != nullptr) fflush(file_);
+    if (file_ != nullptr && fflush(file_) == 0) {
+      dirty_.store(false, std::memory_order_release);
+    }
   }
 
   uint64_t FileBytes() const { return end_; }
-  uint64_t bytes_read() const { return bytes_read_; }
-  void ResetStats() { bytes_read_ = 0; }
+  uint64_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+  void ResetStats() { bytes_read_.store(0, std::memory_order_relaxed); }
 
  private:
   explicit BlobStore(std::string path) : path_(std::move(path)) {}
 
   std::string path_;
   FILE* file_ = nullptr;
-  uint64_t end_ = 0;
-  uint64_t bytes_read_ = 0;
+  int fd_ = -1;        ///< fileno(file_), used by the pread read path
+  uint64_t end_ = 0;   ///< mutated only under the external-exclusive contract
+  std::atomic<bool> dirty_{false};  ///< writes buffered since the last flush
+  std::mutex flush_mu_;             ///< serializes the flush-before-read
+  std::atomic<uint64_t> bytes_read_{0};
 };
 
 }  // namespace staccato::rdbms

@@ -110,6 +110,7 @@ Result<HeapTable::Frame*> HeapTable::FetchPage(uint32_t page_no) {
 }
 
 Result<RecordId> HeapTable::Insert(const Tuple& tuple) {
+  std::lock_guard<std::mutex> lock(latch_);
   STACCATO_RETURN_NOT_OK(schema_.CheckTuple(tuple));
   BinaryWriter w;
   schema_.EncodeTuple(tuple, &w);
@@ -133,6 +134,7 @@ Result<RecordId> HeapTable::Insert(const Tuple& tuple) {
 }
 
 Result<Tuple> HeapTable::Get(RecordId rid) {
+  std::lock_guard<std::mutex> lock(latch_);
   if (rid.page >= num_pages_) return Status::NotFound("page out of range");
   STACCATO_ASSIGN_OR_RETURN(Frame * frame, FetchPage(rid.page));
   STACCATO_ASSIGN_OR_RETURN(std::string_view rec, frame->page.Get(rid.slot));
@@ -141,6 +143,7 @@ Result<Tuple> HeapTable::Get(RecordId rid) {
 }
 
 Status HeapTable::Scan(const std::function<bool(RecordId, const Tuple&)>& fn) {
+  std::lock_guard<std::mutex> lock(latch_);
   for (uint32_t p = 0; p < num_pages_; ++p) {
     STACCATO_ASSIGN_OR_RETURN(Frame * frame, FetchPage(p));
     uint16_t slots = frame->page.NumSlots();
@@ -155,6 +158,11 @@ Status HeapTable::Scan(const std::function<bool(RecordId, const Tuple&)>& fn) {
 }
 
 Status HeapTable::Flush() {
+  std::lock_guard<std::mutex> lock(latch_);
+  return FlushLocked();
+}
+
+Status HeapTable::FlushLocked() {
   for (auto& [page_no, frame] : pool_) {
     if (frame.dirty) {
       STACCATO_RETURN_NOT_OK(WritePage(page_no, frame.page));
@@ -166,7 +174,8 @@ Status HeapTable::Flush() {
 }
 
 void HeapTable::EvictAll() {
-  (void)Flush();
+  std::lock_guard<std::mutex> lock(latch_);
+  (void)FlushLocked();
   pool_.clear();
   lru_.clear();
 }

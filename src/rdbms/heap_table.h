@@ -1,11 +1,26 @@
 // Disk-backed heap tables of slotted pages, with a small LRU buffer pool.
 // This is the filescan substrate of every non-indexed query in the paper.
+//
+// Concurrency contract: every public operation takes the table latch, so
+// any mix of Get/Scan/Insert calls from concurrent threads is safe — this
+// is what lets the executor's Fetch stage fan point Gets out over the
+// shared thread pool. Reads serialize briefly on the latch (even Get
+// mutates the buffer pool's LRU state, so a shared lock cannot cover it);
+// the expensive parts of a parallel fetch — blob I/O and deserialization —
+// happen outside any table. Scan holds the latch for its whole pass, so
+// the callback must not re-enter the same table. Compound operations that
+// replace table handles wholesale (StaccatoDb::Load / BuildInvertedIndex)
+// require external exclusion: no concurrent queries while they run.
+// io_stats() snapshots under the latch; concurrent queries share the
+// counters, so per-query attribution is only meaningful when one query
+// runs at a time.
 #pragma once
 
 #include <cstdio>
 #include <functional>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -51,12 +66,28 @@ class HeapTable {
   /// Flushes dirty pages to disk.
   Status Flush();
 
-  size_t NumPages() const { return num_pages_; }
-  uint64_t NumTuples() const { return num_tuples_; }
-  uint64_t FileBytes() const { return static_cast<uint64_t>(num_pages_) * kPageSize; }
+  size_t NumPages() const {
+    std::lock_guard<std::mutex> lock(latch_);
+    return num_pages_;
+  }
+  uint64_t NumTuples() const {
+    std::lock_guard<std::mutex> lock(latch_);
+    return num_tuples_;
+  }
+  uint64_t FileBytes() const {
+    std::lock_guard<std::mutex> lock(latch_);
+    return static_cast<uint64_t>(num_pages_) * kPageSize;
+  }
 
-  const IoStats& io_stats() const { return io_; }
-  void ResetIoStats() { io_ = IoStats{}; }
+  /// Snapshot of the I/O counters, taken under the table latch.
+  IoStats io_stats() const {
+    std::lock_guard<std::mutex> lock(latch_);
+    return io_;
+  }
+  void ResetIoStats() {
+    std::lock_guard<std::mutex> lock(latch_);
+    io_ = IoStats{};
+  }
 
   /// Drops all cached pages (simulates a cold cache for benchmarks).
   void EvictAll();
@@ -74,6 +105,7 @@ class HeapTable {
   Result<Frame*> FetchPage(uint32_t page_no);
   Status WritePage(uint32_t page_no, const SlottedPage& page);
   Status EvictOne();
+  Status FlushLocked();
 
   std::string path_;
   Schema schema_;
@@ -84,6 +116,8 @@ class HeapTable {
   std::unordered_map<uint32_t, Frame> pool_;
   std::list<uint32_t> lru_;  // front = most recent
   IoStats io_;
+  /// Table latch: serializes every public operation (see file comment).
+  mutable std::mutex latch_;
 };
 
 }  // namespace staccato::rdbms

@@ -1,14 +1,15 @@
 #include "rdbms/plan.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <cstdlib>
-#include <thread>
+#include <map>
+#include <utility>
 
 #include "automata/pattern.h"
 #include "indexing/projection.h"
 #include "inference/query_eval.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 
 namespace staccato::rdbms {
@@ -54,7 +55,7 @@ Result<Value> CoerceLiteral(const EqualityPredicate& eq, ValueType type) {
 
 size_t ResolveThreads(size_t requested, size_t default_threads) {
   size_t t = requested == 0 ? default_threads : requested;
-  if (t == 0) t = std::max(1u, std::thread::hardware_concurrency());
+  if (t == 0) t = ThreadPool::DefaultThreads();
   return t;
 }
 
@@ -354,31 +355,86 @@ Result<const std::vector<char>*> EqualityBitmap(const PlanContext& ctx,
   return scratch;
 }
 
+/// One kMAPData row applied to one string-eval query's per-doc mass. The
+/// single scoring rule shared by the solo scan (ExecuteStrings) and the
+/// batched scan (ExecutePlanBatch), so the two paths cannot drift — batch
+/// answers must stay bit-identical to solo ones. The caller guarantees
+/// `key < prob->size()`.
+void AccumulateKMapRow(const PlanSpec& plan, const Dfa& dfa,
+                       const std::vector<char>& allowed, const Tuple& t,
+                       size_t key, std::vector<double>* prob) {
+  if (!plan.equalities.empty() &&
+      (key >= allowed.size() || !allowed[key])) {
+    return;
+  }
+  if (plan.map_only && t[1].AsInt() != 0) return;
+  if (dfa.Matches(t[2].AsString())) {
+    (*prob)[key] += std::exp(t[3].AsDouble());
+  }
+}
+
+/// Candidates surviving the equality filter (all docs when unfiltered).
+size_t CountStringCandidates(const PlanContext& ctx, const PlanSpec& plan,
+                             const std::vector<char>& allowed) {
+  if (plan.equalities.empty()) return ctx.num_sfas;
+  return static_cast<size_t>(std::count(allowed.begin(), allowed.end(), 1));
+}
+
+/// TopK over accumulated per-doc mass, clamped to a probability.
+std::vector<Answer> RankStringAnswers(const std::vector<double>& prob,
+                                      size_t num_ans) {
+  std::vector<Answer> answers;
+  for (size_t i = 0; i < prob.size(); ++i) {
+    if (prob[i] > 0.0) answers.push_back({i, std::min(prob[i], 1.0)});
+  }
+  return RankAnswers(std::move(answers), num_ans);
+}
+
+/// Execution prologue shared by ExecutePlan and ExecutePlanBatch: every
+/// run-scoped QueryStats field is (re)set here so a reused stats object
+/// never leaks a previous run's values into either path.
+void InitQueryStats(QueryStats* stats, const PlanSpec& plan,
+                    size_t batch_size) {
+  if (stats == nullptr) return;
+  stats->used_index = plan.source == CandidateSource::kIndexProbe;
+  stats->used_projection = plan.fetch == FetchMethod::kProjection;
+  stats->plan_summary = PlanSummary(plan);
+  stats->threads_used = 1;
+  stats->fetch_threads = 1;
+  stats->est_candidates = plan.cost.chosen_cost().candidates;
+  stats->est_cost = plan.cost.chosen_cost().total;
+  stats->filter_from_cache = false;
+  stats->candidates_from_cache = false;
+  stats->batch_size = batch_size;
+  stats->shared_candidate_pass = false;
+}
+
+/// Entries built against older data are dead; start the cache over at the
+/// current generation.
+void ResetStaleCache(PlanCache* cache, const PlanContext& ctx) {
+  if (cache != nullptr && cache->generation != ctx.load_generation) {
+    *cache = PlanCache{};
+    cache->generation = ctx.load_generation;
+  }
+}
+
 /// Strings Eval: one scan over kMAPData accumulating per-doc match mass.
 Result<std::vector<Answer>> ExecuteStrings(const PlanContext& ctx,
                                            const PlanSpec& plan,
                                            const Dfa& dfa,
                                            const std::vector<char>& allowed,
                                            QueryStats* stats) {
-  const bool filtered = !plan.equalities.empty();
   std::vector<double> prob(ctx.num_sfas, 0.0);
   ctx.kmap->ResetIoStats();
   STACCATO_RETURN_NOT_OK(ctx.kmap->Scan([&](RecordId, const Tuple& t) {
     size_t key = static_cast<size_t>(t[0].AsInt());
-    if (key >= prob.size()) return true;  // row beyond loaded cardinality
-    if (filtered && (key >= allowed.size() || !allowed[key])) return true;
-    if (plan.map_only && t[1].AsInt() != 0) return true;
-    if (dfa.Matches(t[2].AsString())) {
-      prob[key] += std::exp(t[3].AsDouble());
+    if (key < prob.size()) {  // skip rows beyond the loaded cardinality
+      AccumulateKMapRow(plan, dfa, allowed, t, key, &prob);
     }
     return true;
   }));
-  size_t candidates = ctx.num_sfas;
-  if (filtered) {
-    candidates = static_cast<size_t>(
-        std::count(allowed.begin(), allowed.end(), 1));
-  }
   if (stats != nullptr) {
+    size_t candidates = CountStringCandidates(ctx, plan, allowed);
     stats->heap_pages_read += ctx.kmap->io_stats().page_reads;
     stats->candidates = candidates;
     stats->selectivity = ctx.num_sfas == 0
@@ -387,26 +443,22 @@ Result<std::vector<Answer>> ExecuteStrings(const PlanContext& ctx,
                                    static_cast<double>(ctx.num_sfas);
     stats->threads_used = 1;
   }
-  std::vector<Answer> answers;
-  for (size_t i = 0; i < ctx.num_sfas; ++i) {
-    if (prob[i] > 0.0) answers.push_back({i, std::min(prob[i], 1.0)});
-  }
-  return RankAnswers(std::move(answers), plan.num_ans);
+  return RankStringAnswers(prob, plan.num_ans);
 }
 
 struct SfaCandidate {
   DocId doc = 0;
   std::vector<uint64_t> postings;  // packed; empty on the full-scan path
-  std::string blob;                // serialized SFA
+  std::string blob;                // serialized SFA (solo execution only)
 };
 
-/// Projection Eval for one candidate: deserialize, then score the region
-/// around each posting start; the best region bounds the match probability.
-Result<double> EvalProjectedCandidate(const SfaCandidate& cand,
-                                      const Dfa& dfa, size_t horizon) {
-  STACCATO_ASSIGN_OR_RETURN(Sfa sfa, Sfa::Deserialize(cand.blob));
+/// Projection Eval over an already-deserialized transducer: score the
+/// region around each posting start; the best region bounds the match
+/// probability.
+double EvalProjectedSfa(const Sfa& sfa, const std::vector<uint64_t>& postings,
+                        const Dfa& dfa, size_t horizon) {
   double best = 0.0;
-  for (uint64_t packed : cand.postings) {
+  for (uint64_t packed : postings) {
     Posting post = UnpackPosting(packed);
     if (post.edge >= sfa.NumEdges()) continue;
     NodeId from = sfa.edge(post.edge).from;
@@ -415,23 +467,25 @@ Result<double> EvalProjectedCandidate(const SfaCandidate& cand,
   return best;
 }
 
-/// SFA Eval: Fetch (serial blob reads; the storage layer is single-
-/// threaded) then the embarrassingly parallel DP stage. Per-candidate
-/// results are gathered positionally, so the ranked answers are
-/// bit-identical for any thread count.
-Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
-                                        const PlanSpec& plan, const Dfa& dfa,
-                                        const std::vector<char>& allowed,
-                                        QueryStats* stats, PlanCache* cache) {
-  const bool filtered = !plan.equalities.empty();
-  const bool full = plan.approach == Approach::kFullSfa;
-  const std::vector<RecordId>& rids = full ? *ctx.fullsfa_rid : *ctx.graph_rid;
-  HeapTable* blob_table = full ? ctx.fullsfa : ctx.staccato_graph;
+/// Projection Eval for one fetched candidate blob (solo execution path).
+Result<double> EvalProjectedBlob(const std::string& blob,
+                                 const std::vector<uint64_t>& postings,
+                                 const Dfa& dfa, size_t horizon) {
+  STACCATO_ASSIGN_OR_RETURN(Sfa sfa, Sfa::Deserialize(blob));
+  return EvalProjectedSfa(sfa, postings, dfa, horizon);
+}
 
-  // CandidateGen. A warm cache serves the probed CandidateSet without
-  // touching the B+-tree or the postings relation.
+/// The CandidateGen operator for the SFA approaches: the plan's candidate
+/// documents in ascending-doc order, filtered by the equality bitmap. A
+/// warm cache serves the probed CandidateSet without touching the B+-tree
+/// or the postings relation. `total_postings` reports the probe size.
+Result<std::vector<SfaCandidate>> BuildSfaCandidates(
+    const PlanContext& ctx, const PlanSpec& plan,
+    const std::vector<char>& allowed, QueryStats* stats, PlanCache* cache,
+    size_t* total_postings) {
+  const bool filtered = !plan.equalities.empty();
   std::vector<SfaCandidate> cands;
-  size_t total_postings = 0;
+  *total_postings = 0;
   if (plan.source == CandidateSource::kIndexProbe) {
     if (ctx.index == nullptr || ctx.dict == nullptr ||
         ctx.dict->Find(plan.anchor) == kInvalidTerm) {
@@ -459,7 +513,7 @@ Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
         set = &probed;
       }
     }
-    total_postings = set->total_postings;
+    *total_postings = set->total_postings;
     cands.reserve(set->NumDocs());
     // Only the projection path reads per-candidate postings; the blob
     // fetch ignores them, so skip carrying them at all in that case.
@@ -486,6 +540,26 @@ Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
       cands.push_back({doc, {}, {}});
     }
   }
+  return cands;
+}
+
+/// SFA Eval: Fetch (heap point-get + blob read, fanned over the shared
+/// pool — the storage read paths are concurrent-safe), then the
+/// embarrassingly parallel DP stage. Per-candidate results are gathered
+/// positionally, so the ranked answers are bit-identical for any thread
+/// count.
+Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
+                                        const PlanSpec& plan, const Dfa& dfa,
+                                        const std::vector<char>& allowed,
+                                        QueryStats* stats, PlanCache* cache) {
+  const bool full = plan.approach == Approach::kFullSfa;
+  const std::vector<RecordId>& rids = full ? *ctx.fullsfa_rid : *ctx.graph_rid;
+  HeapTable* blob_table = full ? ctx.fullsfa : ctx.staccato_graph;
+
+  size_t total_postings = 0;
+  STACCATO_ASSIGN_OR_RETURN(
+      std::vector<SfaCandidate> cands,
+      BuildSfaCandidates(ctx, plan, allowed, stats, cache, &total_postings));
 
   ctx.blobs->ResetStats();
   auto fetch_one = [&](SfaCandidate& cand) -> Status {
@@ -497,16 +571,14 @@ Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
   const size_t horizon = plan.pattern.size() + 8;
   auto eval_one = [&](const SfaCandidate& cand) -> Result<double> {
     if (plan.fetch == FetchMethod::kProjection) {
-      return EvalProjectedCandidate(cand, dfa, horizon);
+      return EvalProjectedBlob(cand.blob, cand.postings, dfa, horizon);
     }
-    STACCATO_ASSIGN_OR_RETURN(
-        std::vector<double> p,
-        EvalSerializedSfaBatch({&cand.blob}, dfa, /*threads=*/1));
-    return p[0];
+    return EvalSerializedSfa(cand.blob, dfa);
   };
 
   size_t threads = std::max<size_t>(1, plan.eval_threads);
   threads = std::min(threads, cands.empty() ? size_t{1} : cands.size());
+  size_t fetch_threads = 1;
   std::vector<double> prob(cands.size(), 0.0);
   if (threads <= 1) {
     // Stream: fetch, evaluate, and release one candidate at a time, so
@@ -517,38 +589,23 @@ Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
       cands[i].blob = std::string();
     }
   } else {
-    // Parallel: the storage layer is single-threaded, so Fetch stays a
-    // serial pass that materializes the candidate blobs; the DP stage then
-    // fans out. (Trades memory — all candidate blobs at once — for the
-    // parallel speedup the caller asked for.)
-    for (SfaCandidate& cand : cands) STACCATO_RETURN_NOT_OK(fetch_one(cand));
-    if (plan.fetch == FetchMethod::kProjection) {
-      std::vector<Status> errors(threads, Status::OK());
-      std::atomic<size_t> next{0};
-      auto worker = [&](size_t tid) {
-        while (true) {
-          size_t i = next.fetch_add(1);
-          if (i >= cands.size()) return;
-          auto r = EvalProjectedCandidate(cands[i], dfa, horizon);
-          if (!r.ok()) {
-            errors[tid] = r.status();
-            return;
-          }
-          prob[i] = *r;
-        }
-      };
-      std::vector<std::thread> pool;
-      pool.reserve(threads);
-      for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-      for (auto& t : pool) t.join();
-      for (const Status& st : errors) STACCATO_RETURN_NOT_OK(st);
-    } else {
-      std::vector<const std::string*> blobs;
-      blobs.reserve(cands.size());
-      for (const SfaCandidate& cand : cands) blobs.push_back(&cand.blob);
-      STACCATO_ASSIGN_OR_RETURN(prob,
-                                EvalSerializedSfaBatch(blobs, dfa, threads));
-    }
+    // Parallel: Fetch materializes the candidate blobs with concurrent
+    // storage reads (heap gets serialize briefly on the table latch; blob
+    // reads are positioned I/O and overlap fully), then the DP stage fans
+    // out over the same pool. (Trades memory — all candidate blobs at
+    // once — for the parallel speedup the caller asked for.)
+    fetch_threads = threads;
+    STACCATO_RETURN_NOT_OK(ParallelFor(
+        cands.size(), /*grain=*/1,
+        [&](size_t i) { return fetch_one(cands[i]); },
+        ParallelOptions{threads}));
+    STACCATO_RETURN_NOT_OK(ParallelFor(
+        cands.size(), /*grain=*/1,
+        [&](size_t i) -> Status {
+          STACCATO_ASSIGN_OR_RETURN(prob[i], eval_one(cands[i]));
+          return Status::OK();
+        },
+        ParallelOptions{threads}));
   }
 
   if (stats != nullptr) {
@@ -560,6 +617,7 @@ Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
                              : static_cast<double>(cands.size()) /
                                    static_cast<double>(ctx.num_sfas);
     stats->threads_used = threads;
+    stats->fetch_threads = fetch_threads;
   }
 
   std::vector<Answer> answers;
@@ -574,22 +632,8 @@ Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
 Result<std::vector<Answer>> ExecutePlan(const PlanContext& ctx,
                                         const PlanSpec& plan, const Dfa& dfa,
                                         QueryStats* stats, PlanCache* cache) {
-  if (stats != nullptr) {
-    stats->used_index = plan.source == CandidateSource::kIndexProbe;
-    stats->used_projection = plan.fetch == FetchMethod::kProjection;
-    stats->plan_summary = PlanSummary(plan);
-    stats->threads_used = 1;
-    stats->est_candidates = plan.cost.chosen_cost().candidates;
-    stats->est_cost = plan.cost.chosen_cost().total;
-    stats->filter_from_cache = false;
-    stats->candidates_from_cache = false;
-  }
-  // Entries built against older data are dead; start the cache over at the
-  // current generation.
-  if (cache != nullptr && cache->generation != ctx.load_generation) {
-    *cache = PlanCache{};
-    cache->generation = ctx.load_generation;
-  }
+  InitQueryStats(stats, plan, /*batch_size=*/0);
+  ResetStaleCache(cache, ctx);
   std::vector<char> scratch;
   STACCATO_ASSIGN_OR_RETURN(
       const std::vector<char>* allowed,
@@ -601,6 +645,219 @@ Result<std::vector<Answer>> ExecutePlan(const PlanContext& ctx,
       return ExecuteSfas(ctx, plan, dfa, *allowed, stats, cache);
   }
   return Status::InvalidArgument("unknown eval strategy");
+}
+
+Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
+    const PlanContext& ctx, const std::vector<BatchItem>& items,
+    BatchStats* batch_stats) {
+  const size_t n = items.size();
+  std::vector<std::vector<Answer>> results(n);
+  if (batch_stats != nullptr) {
+    batch_stats->queries = n;
+    batch_stats->kmap_scan_passes = 0;
+    batch_stats->distinct_docs_fetched = 0;
+    batch_stats->total_candidates = 0;
+    batch_stats->fetch_threads = 1;
+    batch_stats->eval_threads = 1;
+  }
+  if (n == 0) return results;
+
+  // Per-item prologue, identical to ExecutePlan: stats shape, cache
+  // generation check, equality bitmap. Then split by eval strategy — the
+  // string approaches share a kMAPData scan, the SFA approaches share a
+  // Fetch pass.
+  std::vector<std::vector<char>> scratch(n);
+  std::vector<const std::vector<char>*> allowed(n, nullptr);
+  std::vector<size_t> strings_items, sfa_items;
+  for (size_t i = 0; i < n; ++i) {
+    const BatchItem& item = items[i];
+    if (item.plan == nullptr || item.dfa == nullptr) {
+      return Status::InvalidArgument("batch item missing plan or DFA");
+    }
+    const PlanSpec& plan = *item.plan;
+    InitQueryStats(item.stats, plan, /*batch_size=*/n);
+    ResetStaleCache(item.cache, ctx);
+    STACCATO_ASSIGN_OR_RETURN(
+        allowed[i],
+        EqualityBitmap(ctx, plan, item.stats, item.cache, &scratch[i]));
+    (plan.eval == EvalStrategy::kStrings ? strings_items : sfa_items)
+        .push_back(i);
+  }
+
+  // ---- String-eval members: one shared kMAPData scan -----------------------
+  // Every member sees the rows in storage order and accumulates its own
+  // per-doc mass, so each result is bit-identical to its solo ExecuteStrings
+  // pass — the scan itself just happens once instead of once per query.
+  if (!strings_items.empty()) {
+    const size_t m = strings_items.size();
+    std::vector<std::vector<double>> prob(
+        m, std::vector<double>(ctx.num_sfas, 0.0));
+    ctx.kmap->ResetIoStats();
+    STACCATO_RETURN_NOT_OK(ctx.kmap->Scan([&](RecordId, const Tuple& t) {
+      size_t key = static_cast<size_t>(t[0].AsInt());
+      if (key >= ctx.num_sfas) return true;  // row beyond loaded cardinality
+      for (size_t j = 0; j < m; ++j) {
+        AccumulateKMapRow(*items[strings_items[j]].plan,
+                          *items[strings_items[j]].dfa,
+                          *allowed[strings_items[j]], t, key, &prob[j]);
+      }
+      return true;
+    }));
+    const uint64_t scan_reads = ctx.kmap->io_stats().page_reads;
+    for (size_t j = 0; j < m; ++j) {
+      const size_t i = strings_items[j];
+      const PlanSpec& plan = *items[i].plan;
+      size_t candidates = CountStringCandidates(ctx, plan, *allowed[i]);
+      if (QueryStats* st = items[i].stats; st != nullptr) {
+        st->heap_pages_read += scan_reads;
+        st->candidates = candidates;
+        st->selectivity = ctx.num_sfas == 0
+                              ? 0.0
+                              : static_cast<double>(candidates) /
+                                    static_cast<double>(ctx.num_sfas);
+        st->threads_used = 1;
+        st->shared_candidate_pass = m > 1;
+      }
+      if (batch_stats != nullptr) batch_stats->total_candidates += candidates;
+      results[i] = RankStringAnswers(prob[j], plan.num_ans);
+    }
+    if (batch_stats != nullptr) batch_stats->kmap_scan_passes = 1;
+  }
+
+  // ---- SFA-eval members: one shared Fetch pass ----------------------------
+  if (!sfa_items.empty()) {
+    struct SfaWork {
+      size_t item = 0;                  // index into `items`
+      std::vector<SfaCandidate> cands;  // this plan's candidates, doc order
+      size_t total_postings = 0;
+    };
+    std::vector<SfaWork> group;
+    group.reserve(sfa_items.size());
+    for (size_t i : sfa_items) {
+      SfaWork w;
+      w.item = i;
+      STACCATO_ASSIGN_OR_RETURN(
+          w.cands,
+          BuildSfaCandidates(ctx, *items[i].plan, *allowed[i], items[i].stats,
+                             items[i].cache, &w.total_postings));
+      group.push_back(std::move(w));
+    }
+
+    // Shared Fetch: each distinct (representation, doc) blob is read AND
+    // deserialized once, however many batch members evaluate it — the eval
+    // stage then shares the transducer across every (query, doc) pair.
+    // Keyed also by representation because FullSFA and Staccato plans
+    // fetch from different tables.
+    ctx.blobs->ResetStats();
+    std::map<std::pair<bool, DocId>, Sfa> sfa_map;
+    for (const SfaWork& w : group) {
+      const bool full = items[w.item].plan->approach == Approach::kFullSfa;
+      for (const SfaCandidate& c : w.cands) {
+        sfa_map.emplace(std::make_pair(full, c.doc), Sfa());
+      }
+    }
+    using SfaEntry = std::pair<const std::pair<bool, DocId>, Sfa>;
+    std::vector<SfaEntry*> fetches;
+    fetches.reserve(sfa_map.size());
+    for (auto& entry : sfa_map) fetches.push_back(&entry);
+    size_t requested = 1;
+    for (const SfaWork& w : group) {
+      requested = std::max(requested, items[w.item].plan->eval_threads);
+    }
+    // Clamp each stage's fan-out to its work size, like solo ExecuteSfas
+    // does, so reported thread counts never exceed what could run.
+    const size_t fetch_workers =
+        std::min(requested, std::max<size_t>(1, fetches.size()));
+    STACCATO_RETURN_NOT_OK(ParallelFor(
+        fetches.size(), /*grain=*/1,
+        [&](size_t k) -> Status {
+          const bool full = fetches[k]->first.first;
+          const DocId doc = fetches[k]->first.second;
+          const std::vector<RecordId>& rids =
+              full ? *ctx.fullsfa_rid : *ctx.graph_rid;
+          if (doc >= rids.size()) return Status::NotFound("no such DataKey");
+          HeapTable* table = full ? ctx.fullsfa : ctx.staccato_graph;
+          STACCATO_ASSIGN_OR_RETURN(Tuple t, table->Get(rids[doc]));
+          STACCATO_ASSIGN_OR_RETURN(std::string blob,
+                                    ctx.blobs->Get(t[1].AsBlobId()));
+          STACCATO_ASSIGN_OR_RETURN(fetches[k]->second,
+                                    Sfa::Deserialize(blob));
+          return Status::OK();
+        },
+        ParallelOptions{fetch_workers}));
+    const uint64_t fetched_bytes = ctx.blobs->bytes_read();
+
+    // Eval every (query, candidate) pair on the pool; results gather
+    // positionally per query, exactly as in solo execution. The shared
+    // transducer is resolved once per pair here — the map is frozen after
+    // the fetch pass — keeping the tree lookups out of the hot loop.
+    struct PairRef {
+      size_t g = 0;
+      size_t k = 0;
+      const Sfa* sfa = nullptr;
+    };
+    std::vector<PairRef> pairs;
+    std::vector<std::vector<double>> prob(group.size());
+    for (size_t g = 0; g < group.size(); ++g) {
+      prob[g].assign(group[g].cands.size(), 0.0);
+      const bool full = items[group[g].item].plan->approach == Approach::kFullSfa;
+      for (size_t k = 0; k < group[g].cands.size(); ++k) {
+        pairs.push_back(
+            {g, k, &sfa_map.at(std::make_pair(full, group[g].cands[k].doc))});
+      }
+    }
+    const size_t eval_workers =
+        std::min(requested, std::max<size_t>(1, pairs.size()));
+    STACCATO_RETURN_NOT_OK(ParallelFor(
+        pairs.size(), /*grain=*/1,
+        [&](size_t p) -> Status {
+          const SfaWork& w = group[pairs[p].g];
+          const SfaCandidate& cand = w.cands[pairs[p].k];
+          const PlanSpec& plan = *items[w.item].plan;
+          const Dfa& dfa = *items[w.item].dfa;
+          const Sfa& sfa = *pairs[p].sfa;
+          double& out = prob[pairs[p].g][pairs[p].k];
+          if (plan.fetch == FetchMethod::kProjection) {
+            out = EvalProjectedSfa(sfa, cand.postings, dfa,
+                                   plan.pattern.size() + 8);
+          } else {
+            out = EvalSfaQuery(sfa, dfa);
+          }
+          return Status::OK();
+        },
+        ParallelOptions{eval_workers}));
+
+    for (size_t g = 0; g < group.size(); ++g) {
+      const SfaWork& w = group[g];
+      const PlanSpec& plan = *items[w.item].plan;
+      if (QueryStats* st = items[w.item].stats; st != nullptr) {
+        st->blob_bytes_read += fetched_bytes;  // batch-wide shared pass
+        st->candidates = w.cands.size();
+        st->index_postings = w.total_postings;
+        st->selectivity = ctx.num_sfas == 0
+                              ? 0.0
+                              : static_cast<double>(w.cands.size()) /
+                                    static_cast<double>(ctx.num_sfas);
+        st->threads_used = eval_workers;
+        st->fetch_threads = fetch_workers;
+        st->shared_candidate_pass = group.size() > 1;
+      }
+      if (batch_stats != nullptr) {
+        batch_stats->total_candidates += w.cands.size();
+      }
+      std::vector<Answer> answers;
+      for (size_t k = 0; k < w.cands.size(); ++k) {
+        if (prob[g][k] > 0.0) answers.push_back({w.cands[k].doc, prob[g][k]});
+      }
+      results[w.item] = RankAnswers(std::move(answers), plan.num_ans);
+    }
+    if (batch_stats != nullptr) {
+      batch_stats->distinct_docs_fetched = sfa_map.size();
+      batch_stats->fetch_threads = fetch_workers;
+      batch_stats->eval_threads = eval_workers;
+    }
+  }
+  return results;
 }
 
 std::string ExplainPlan(const PlanSpec& plan) {
@@ -630,10 +887,16 @@ std::string ExplainPlan(const PlanSpec& plan) {
 std::string ExplainPlan(const PlanSpec& plan, const QueryStats& stats) {
   std::string out = ExplainPlan(plan);
   out += StringPrintf(
-      "  Actual: candidates=%zu (est %zu), cache: filter=%s candidates=%s\n",
-      stats.candidates, stats.est_candidates,
-      stats.filter_from_cache ? "hit" : "miss",
+      "  Actual: candidates=%zu (est %zu), threads: fetch=%zu eval=%zu, "
+      "cache: filter=%s candidates=%s\n",
+      stats.candidates, stats.est_candidates, stats.fetch_threads,
+      stats.threads_used, stats.filter_from_cache ? "hit" : "miss",
       stats.candidates_from_cache ? "hit" : "miss");
+  if (stats.batch_size > 0) {
+    out += StringPrintf("  Batch: size=%zu shared-candidate-pass=%s\n",
+                        stats.batch_size,
+                        stats.shared_candidate_pass ? "yes" : "no");
+  }
   return out;
 }
 

@@ -13,10 +13,12 @@
 //   Fetch         materializes the representation: nothing for the string
 //                 approaches (they evaluate during the kMAPData scan), the
 //                 serialized SFA blob, or only the projected region around
-//                 each posting.
+//                 each posting. With more than one worker the blob reads
+//                 fan out over the shared thread pool (util/parallel.h) —
+//                 the storage read paths are concurrent-safe.
 //   Eval          scores each candidate: DFA match over stored strings, or
-//                 the DFAxSFA dynamic program. The SFA stage can fan out
-//                 over a thread pool; results are positionally gathered so
+//                 the DFAxSFA dynamic program. The SFA stage fans out
+//                 over the same pool; results are positionally gathered so
 //                 answers are bit-identical to serial execution.
 //   TopK          ranks by probability and keeps NumAns answers.
 //
@@ -113,6 +115,15 @@ struct QueryStats {
   // PreparedQuery's memoized state instead of being recomputed.
   bool filter_from_cache = false;      ///< equality bitmap reused
   bool candidates_from_cache = false;  ///< index CandidateSet reused
+  /// Workers in the Fetch stage (1 = the serial streaming path). Parallel
+  /// fetch fans heap point-gets and blob reads out over the shared pool.
+  size_t fetch_threads = 1;
+  // Batched-execution observability (ExecutePlanBatch / ExecuteBatch).
+  // Under batching the blob/page counters are batch-wide totals — one
+  // physical pass serves every member — not per-query attributions.
+  size_t batch_size = 0;  ///< queries in the batch this ran in (0 = solo)
+  bool shared_candidate_pass = false;  ///< CandidateGen/Fetch shared with
+                                       ///< other batch members
 };
 
 enum class CandidateSource { kFullScan, kIndexProbe };
@@ -254,6 +265,45 @@ Result<std::vector<Answer>> ExecutePlan(const PlanContext& ctx,
 /// The caller guarantees ctx.index/ctx.dict are present.
 Result<CandidateSet> ProbeIndex(const PlanContext& ctx,
                                 const std::string& anchor);
+
+/// \brief One member of a batched execution: a prepared plan, its compiled
+/// DFA, and (optionally) its plan cache and stats sink. Borrowed pointers;
+/// the PreparedQuery that owns them must outlive the call.
+struct BatchItem {
+  const PlanSpec* plan = nullptr;
+  const Dfa* dfa = nullptr;
+  PlanCache* cache = nullptr;   ///< optional per-query plan cache
+  QueryStats* stats = nullptr;  ///< optional per-query stats
+};
+
+/// \brief Batch-level statistics: what one ExecutePlanBatch physically did,
+/// as opposed to the logical per-query view in QueryStats.
+struct BatchStats {
+  double seconds = 0.0;
+  size_t queries = 0;
+  /// Physical kMAPData scans performed for the string-eval members
+  /// (executed one by one, each member would pay its own).
+  size_t kmap_scan_passes = 0;
+  /// Distinct blobs fetched for the whole SFA-eval group — each is read
+  /// and deserialized once no matter how many queries evaluate it.
+  size_t distinct_docs_fetched = 0;
+  size_t total_candidates = 0;  ///< Σ per-query candidates (overlap counted)
+  size_t fetch_threads = 1;     ///< pool fan-out of the shared Fetch pass
+  size_t eval_threads = 1;      ///< pool fan-out of the per-(query,doc) Eval
+  std::vector<QueryStats> per_query;  ///< filled by Session::ExecuteBatch
+};
+
+/// Executes many prepared plans as one batch over a single physical pass:
+/// string-eval members share one kMAPData scan, and SFA-eval members share
+/// one Fetch pass that reads each distinct candidate document's blob once,
+/// then evaluates every (query, candidate) pair on the shared pool.
+/// Answers are bit-identical to executing each plan alone (per-query
+/// accumulation order and per-pair evaluation are unchanged); only the
+/// physical data movement is shared. Per-item caches are consulted and
+/// warmed exactly as in ExecutePlan.
+Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
+    const PlanContext& ctx, const std::vector<BatchItem>& items,
+    BatchStats* batch_stats = nullptr);
 
 /// Multi-line operator-tree rendering, stable across executions:
 ///

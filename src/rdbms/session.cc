@@ -33,6 +33,44 @@ Result<PreparedQuery> Session::PrepareSql(Approach approach,
   return Prepare(approach, q);
 }
 
+Result<std::vector<PreparedQuery>> Session::PrepareBatch(
+    Approach approach, const std::vector<QueryOptions>& queries) {
+  std::vector<PreparedQuery> prepared;
+  prepared.reserve(queries.size());
+  for (const QueryOptions& q : queries) {
+    STACCATO_ASSIGN_OR_RETURN(PreparedQuery pq, Prepare(approach, q));
+    prepared.push_back(std::move(pq));
+  }
+  return prepared;
+}
+
+Result<std::vector<std::vector<Answer>>> Session::ExecuteBatch(
+    const std::vector<PreparedQuery*>& queries, BatchStats* stats) {
+  Timer timer;
+  if (stats != nullptr) {
+    *stats = BatchStats{};
+    stats->per_query.assign(queries.size(), QueryStats{});
+  }
+  std::vector<BatchItem> items;
+  items.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    PreparedQuery* pq = queries[i];
+    if (pq == nullptr) {
+      return Status::InvalidArgument("null PreparedQuery in batch");
+    }
+    if (pq->db_ != db_) {
+      return Status::InvalidArgument(
+          "batch contains a query prepared against a different database");
+    }
+    items.push_back({&pq->plan_, &pq->dfa_, &pq->cache_,
+                     stats != nullptr ? &stats->per_query[i] : nullptr});
+  }
+  Result<std::vector<std::vector<Answer>>> result =
+      ExecutePlanBatch(db_->MakePlanContext(), items, stats);
+  if (stats != nullptr) stats->seconds = timer.ElapsedSeconds();
+  return result;
+}
+
 Result<std::vector<Answer>> PreparedQuery::Execute(QueryStats* stats) {
   Timer timer;
   Result<std::vector<Answer>> result =

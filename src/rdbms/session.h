@@ -70,6 +70,24 @@ class Session {
   /// LIKE and any number of equality predicates) and prepares it.
   Result<PreparedQuery> PrepareSql(Approach approach, const std::string& sql);
 
+  /// Prepares one PreparedQuery per options entry, all under `approach` —
+  /// the natural input to ExecuteBatch. Fails on the first bad query.
+  Result<std::vector<PreparedQuery>> PrepareBatch(
+      Approach approach, const std::vector<QueryOptions>& queries);
+
+  /// Executes many prepared queries as one batch over shared physical
+  /// passes: string-eval members share a single kMAPData scan, SFA-eval
+  /// members share one Fetch pass that reads each distinct candidate blob
+  /// once, and every (query, candidate) evaluation fans out over the
+  /// shared thread pool. Answer sets are bit-identical to calling
+  /// Execute on each query individually; per-query plan caches are
+  /// consulted and warmed exactly as in a solo Execute. All queries must
+  /// have been prepared against this session's database. This is the
+  /// multi-user serving shape: N concurrent patterns, one storage pass.
+  Result<std::vector<std::vector<Answer>>> ExecuteBatch(
+      const std::vector<PreparedQuery*>& queries,
+      BatchStats* stats = nullptr);
+
   StaccatoDb* db() const { return db_; }
   const SessionOptions& options() const { return opts_; }
 

@@ -1,15 +1,14 @@
 #include "rdbms/staccato_db.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <filesystem>
-#include <thread>
 
 #include "automata/dfa.h"
 #include "indexing/index_builder.h"
 #include "inference/kbest.h"
 #include "rdbms/session.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 
 namespace staccato::rdbms {
@@ -181,32 +180,14 @@ Status StaccatoDb::Load(const OcrDataset& dataset, const LoadOptions& opts) {
   term_stats_.clear();
   STACCATO_RETURN_NOT_OK(ReplacePostingsRelation());
 
-  // Staccato construction is the expensive part; parallelize across SFAs.
-  size_t threads = opts.construction_threads == 0
-                       ? std::max(1u, std::thread::hardware_concurrency())
-                       : opts.construction_threads;
-  threads = std::min(threads, n == 0 ? size_t{1} : n);
-  std::vector<Sfa> chunked(n);
-  std::vector<Status> errors(threads, Status::OK());
-  std::atomic<size_t> next{0};
-  auto worker = [&](size_t tid) {
-    while (true) {
-      size_t i = next.fetch_add(1);
-      if (i >= n) return;
-      auto r = ApproximateSfa(dataset.sfas[i], opts.staccato);
-      if (!r.ok()) {
-        errors[tid] = r.status();
-        return;
-      }
-      chunked[i] = std::move(*r);
-    }
-  };
-  {
-    std::vector<std::thread> pool;
-    for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-    for (auto& t : pool) t.join();
-  }
-  for (const Status& st : errors) STACCATO_RETURN_NOT_OK(st);
+  // Staccato construction is the expensive part; parallelize across SFAs
+  // on the shared pool (construction_threads = 0 inherits its capacity).
+  STACCATO_ASSIGN_OR_RETURN(
+      std::vector<Sfa> chunked,
+      ParallelMap<Sfa>(
+          n, /*grain=*/1,
+          [&](size_t i) { return ApproximateSfa(dataset.sfas[i], opts.staccato); },
+          ParallelOptions{opts.construction_threads}));
 
   fullsfa_rid_.resize(n);
   graph_rid_.resize(n);

@@ -34,7 +34,9 @@ namespace staccato::rdbms {
 struct LoadOptions {
   size_t kmap_k = 25;            ///< k for the k-MAP table
   StaccatoParams staccato;       ///< (m, k) for the chunked representation
-  size_t construction_threads = 0;  ///< 0 = hardware concurrency
+  /// Workers for parallel Staccato construction; 0 = the shared thread
+  /// pool's capacity (util/parallel.h; STACCATO_THREADS overrides).
+  size_t construction_threads = 0;
 };
 
 /// \brief Storage-size report (Table 2 / Figure 20).

@@ -1,0 +1,160 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace staccato {
+
+namespace {
+// Set while a worker runs its loop, so ParallelFor can detect that it is
+// being called from inside the pool it is about to schedule on.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t capacity)
+    : capacity_(capacity == 0 ? DefaultThreads() : capacity) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+size_t ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("STACCATO_THREADS")) {
+    // Accept only a plain positive integer in a sane range; strtoul would
+    // happily wrap "-1" to ULONG_MAX and size the pool at 2^64 workers.
+    constexpr unsigned long kMaxPool = 1024;
+    char* end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (env[0] >= '0' && env[0] <= '9' && end != env && *end == '\0' &&
+        v > 0 && v <= kMaxPool) {
+      return static_cast<size_t>(v);
+    }
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool();  // never destroyed: outlives
+  return *pool;  // static-teardown-ordered users (tests, benches)
+}
+
+bool ThreadPool::OnWorkerThread() const { return tls_worker_pool == this; }
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) {
+      started_ = true;
+      workers_.reserve(capacity_);
+      for (size_t i = 0; i < capacity_; ++i) {
+        workers_.emplace_back([this] { WorkerLoop(); });
+      }
+    }
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || queue_head_ < queue_.size(); });
+      if (stop_) return;
+      task = std::move(queue_[queue_head_++]);
+      if (queue_head_ == queue_.size()) {
+        queue_.clear();
+        queue_head_ = 0;
+      }
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared state of one ParallelFor region, stack-allocated by the caller.
+/// Lifetime invariant: the caller blocks until every submitted helper has
+/// finished (`active == 0`), so the state — and the borrowed `fn` — always
+/// outlive the helpers. A helper dequeued after the caller drained every
+/// chunk itself finds the cursor exhausted and exits without calling fn.
+struct ForState {
+  std::atomic<size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::atomic<size_t> active{0};  // helpers not yet finished
+  std::mutex mu;
+  std::condition_variable done;
+  Status error;  // first failure; guarded by mu
+  size_t n = 0;
+  size_t grain = 1;
+  const std::function<Status(size_t)>* fn = nullptr;  // valid while active
+
+  void Drain() {
+    while (!failed.load(std::memory_order_acquire)) {
+      size_t begin = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) return;
+      size_t end = std::min(n, begin + grain);
+      for (size_t i = begin; i < end; ++i) {
+        Status st = (*fn)(i);
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (error.ok()) error = std::move(st);
+          failed.store(true, std::memory_order_release);
+          return;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Status ParallelFor(size_t n, size_t grain,
+                   const std::function<Status(size_t)>& fn,
+                   ParallelOptions opts) {
+  if (n == 0) return Status::OK();
+  if (grain == 0) grain = 1;
+  ThreadPool& pool = opts.pool != nullptr ? *opts.pool : ThreadPool::Shared();
+  size_t threads = opts.threads == 0 ? pool.capacity() : opts.threads;
+  const size_t chunks = (n + grain - 1) / grain;
+  size_t workers = std::min(threads, chunks);
+  // One worker — or a nested region issued from a pool thread, whose
+  // helpers would queue behind (and possibly deadlock with) the very task
+  // that is waiting on them — runs inline, in index order.
+  if (workers <= 1 || pool.OnWorkerThread()) {
+    for (size_t i = 0; i < n; ++i) STACCATO_RETURN_NOT_OK(fn(i));
+    return Status::OK();
+  }
+
+  ForState state;
+  state.n = n;
+  state.grain = grain;
+  state.fn = &fn;
+  const size_t helpers = workers - 1;  // the caller is the remaining worker
+  state.active.store(helpers, std::memory_order_relaxed);
+  for (size_t h = 0; h < helpers; ++h) {
+    pool.Submit([&state] {
+      state.Drain();
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (state.active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        state.done.notify_all();
+      }
+    });
+  }
+  state.Drain();
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.done.wait(lock, [&] {
+    return state.active.load(std::memory_order_acquire) == 0;
+  });
+  return state.error;
+}
+
+}  // namespace staccato

@@ -1,0 +1,108 @@
+// The engine's one concurrency substrate: a lazily started, shared
+// ThreadPool plus ParallelFor/ParallelMap helpers built on it.
+//
+// Every parallel stage in the system — Load-time Staccato construction,
+// the executor's Fetch and Eval fan-out, and batched multi-query
+// execution — schedules through this pool instead of spawning its own
+// std::thread workers. Work is claimed from a shared atomic cursor in
+// chunks of `grain` indices and results are written positionally, so the
+// output of a parallel region is bit-identical to running it serially,
+// for any thread count and any scheduling order.
+//
+// The calling thread always participates in the parallel region, so a
+// ParallelFor makes progress even when every pool worker is busy; and a
+// ParallelFor issued *from* a pool worker runs inline (serially) rather
+// than blocking on tasks queued behind it, so nested parallel regions
+// degrade gracefully instead of deadlocking.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/result.h"
+
+namespace staccato {
+
+/// \brief A lazily started pool of worker threads. Construction is cheap:
+/// no thread is spawned until the first Submit.
+class ThreadPool {
+ public:
+  /// `capacity` = number of workers; 0 = DefaultThreads().
+  explicit ThreadPool(size_t capacity = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Enqueues a task; worker threads are started on first use.
+  void Submit(std::function<void()> task);
+
+  /// True iff the calling thread is one of *this* pool's workers.
+  /// ParallelFor uses it to run nested regions inline.
+  bool OnWorkerThread() const;
+
+  /// The process-wide shared pool every execution stage defaults to.
+  /// Sized by DefaultThreads() on first use.
+  static ThreadPool& Shared();
+
+  /// Pool-size knob: the STACCATO_THREADS environment variable when set to
+  /// a positive integer, otherwise std::thread::hardware_concurrency
+  /// (minimum 1).
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::function<void()>> queue_;  // FIFO via head index
+  size_t queue_head_ = 0;
+  std::vector<std::thread> workers_;  // spawned lazily, joined in dtor
+  bool started_ = false;
+  bool stop_ = false;
+};
+
+/// \brief Scheduling knobs for ParallelFor / ParallelMap.
+struct ParallelOptions {
+  /// Worker cap for this region (including the calling thread).
+  /// 0 = the pool's capacity. 1 = run serially inline.
+  size_t threads = 0;
+  /// Pool to schedule on; null = ThreadPool::Shared().
+  ThreadPool* pool = nullptr;
+};
+
+/// Runs `fn(i)` for every i in [0, n). Indices are claimed from a shared
+/// cursor in chunks of `grain` (0 is treated as 1); an empty range returns
+/// OK without touching the pool, and a region that resolves to one worker
+/// (threads == 1, or grain >= n) runs inline in index order. The first
+/// non-OK status stops the region and is returned; which status wins under
+/// concurrent failures is unspecified, but some failure is always
+/// reported. `fn` must be safe to call concurrently from multiple threads
+/// for distinct indices.
+Status ParallelFor(size_t n, size_t grain,
+                   const std::function<Status(size_t)>& fn,
+                   ParallelOptions opts = {});
+
+/// ParallelFor that gathers `fn(i)` into slot i of the result vector.
+/// Positional gathering makes the output independent of scheduling.
+template <typename T>
+Result<std::vector<T>> ParallelMap(size_t n, size_t grain,
+                                   const std::function<Result<T>(size_t)>& fn,
+                                   ParallelOptions opts = {}) {
+  std::vector<T> out(n);
+  STACCATO_RETURN_NOT_OK(ParallelFor(
+      n, grain,
+      [&](size_t i) -> Status {
+        STACCATO_ASSIGN_OR_RETURN(out[i], fn(i));
+        return Status::OK();
+      },
+      opts));
+  return out;
+}
+
+}  // namespace staccato

@@ -1,0 +1,308 @@
+// Tests for the unified parallel execution layer: the ThreadPool /
+// ParallelFor substrate (util/parallel.h), concurrent PreparedQuery
+// execution against one StaccatoDb (the storage layer's concurrent-read
+// contract), and batched multi-query execution.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eval/workbench.h"
+#include "rdbms/session.h"
+#include "rdbms/staccato_db.h"
+#include "util/parallel.h"
+
+namespace staccato {
+namespace {
+
+using eval::Workbench;
+using eval::WorkbenchSpec;
+using rdbms::Approach;
+using rdbms::BatchStats;
+using rdbms::IndexMode;
+using rdbms::PreparedQuery;
+using rdbms::QueryOptions;
+using rdbms::QueryStats;
+using rdbms::Session;
+using rdbms::SessionOptions;
+
+// ---- ParallelFor / ParallelMap / ThreadPool -------------------------------
+
+TEST(ParallelForTest, EmptyRangeNeverCallsTheBody) {
+  std::atomic<size_t> calls{0};
+  Status st = ParallelFor(0, 1, [&](size_t) -> Status {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls.load(), 0u);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  constexpr size_t kN = 1000;
+  for (size_t grain : {size_t{1}, size_t{3}, size_t{64}}) {
+    std::vector<std::atomic<int>> hits(kN);
+    for (auto& h : hits) h.store(0);
+    Status st = ParallelFor(
+        kN, grain,
+        [&](size_t i) -> Status {
+          hits[i].fetch_add(1);
+          return Status::OK();
+        },
+        {/*threads=*/8});
+    ASSERT_TRUE(st.ok());
+    for (size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " grain " << grain;
+    }
+  }
+}
+
+TEST(ParallelForTest, GrainLargerThanRangeRunsInlineInOrder) {
+  std::vector<size_t> order;
+  Status st = ParallelFor(
+      5, /*grain=*/100,
+      [&](size_t i) -> Status {
+        order.push_back(i);  // safe: single chunk == single worker
+        return Status::OK();
+      },
+      {/*threads=*/8});
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, OneThreadRunsInlineInOrder) {
+  std::vector<size_t> order;
+  Status st = ParallelFor(
+      6, 1,
+      [&](size_t i) -> Status {
+        order.push_back(i);
+        return Status::OK();
+      },
+      {/*threads=*/1});
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(ParallelForTest, FirstErrorStopsTheRegionAndIsReturned) {
+  // Serial: exact first-failure semantics.
+  std::atomic<size_t> calls{0};
+  Status st = ParallelFor(
+      100, 1,
+      [&](size_t i) -> Status {
+        ++calls;
+        if (i == 3) return Status::InvalidArgument("boom");
+        return Status::OK();
+      },
+      {/*threads=*/1});
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(calls.load(), 4u);
+
+  // Parallel: some failure is reported; the region does not run to
+  // completion once a worker fails.
+  Status par = ParallelFor(
+      10000, 1,
+      [&](size_t i) -> Status {
+        if (i % 7 == 0) return Status::Internal("worker failure");
+        return Status::OK();
+      },
+      {/*threads=*/8});
+  EXPECT_FALSE(par.ok());
+  EXPECT_TRUE(par.IsInternal());
+}
+
+TEST(ParallelForTest, PoolIsReusedAcrossRegions) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.capacity(), 4u);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<size_t> sum{0};
+    Status st = ParallelFor(
+        257, 8,
+        [&](size_t i) -> Status {
+          sum.fetch_add(i);
+          return Status::OK();
+        },
+        {/*threads=*/0, &pool});
+    ASSERT_TRUE(st.ok());
+    EXPECT_EQ(sum.load(), 257u * 256u / 2u) << "round " << round;
+  }
+}
+
+TEST(ParallelForTest, NestedRegionsOnPoolWorkersRunInline) {
+  // A ParallelFor issued from inside a pool task must not deadlock waiting
+  // on helpers queued behind the task itself.
+  ThreadPool pool(2);
+  std::atomic<size_t> total{0};
+  Status st = ParallelFor(
+      8, 1,
+      [&](size_t) -> Status {
+        return ParallelFor(
+            16, 1,
+            [&](size_t) -> Status {
+              total.fetch_add(1);
+              return Status::OK();
+            },
+            {/*threads=*/4, &pool});
+      },
+      {/*threads=*/4, &pool});
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(total.load(), 8u * 16u);
+}
+
+TEST(ParallelMapTest, GathersResultsPositionally) {
+  auto r = ParallelMap<size_t>(
+      100, 3, [](size_t i) -> Result<size_t> { return i * i; },
+      {/*threads=*/8});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 100u);
+  for (size_t i = 0; i < r->size(); ++i) EXPECT_EQ((*r)[i], i * i);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
+  EXPECT_GE(ThreadPool::Shared().capacity(), 1u);
+}
+
+// ---- Concurrent query execution over one database -------------------------
+
+WorkbenchSpec StressSpec() {
+  WorkbenchSpec spec;
+  spec.corpus.kind = DatasetKind::kCongressActs;
+  spec.corpus.num_pages = 2;
+  spec.corpus.lines_per_page = 25;
+  spec.corpus.seed = 77;
+  spec.noise.alternatives = 6;
+  spec.load.kmap_k = 8;
+  spec.load.staccato = {20, 8, true};
+  spec.build_index = true;
+  return spec;
+}
+
+void ExpectSameAnswers(const std::vector<Answer>& a,
+                       const std::vector<Answer>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].doc, b[i].doc) << "rank " << i;
+    EXPECT_EQ(a[i].prob, b[i].prob) << "rank " << i;  // bit-identical
+  }
+}
+
+TEST(ParallelQueryStressTest, ConcurrentExecutesMatchSerialBaseline) {
+  auto wb = Workbench::Create(StressSpec());
+  ASSERT_TRUE(wb.ok()) << wb.status().ToString();
+  Session session(&(*wb)->db());
+
+  const std::vector<std::string> patterns = {"President", "Congress", "act",
+                                             "United States", "law", "section"};
+  struct Shape {
+    Approach approach;
+    IndexMode mode;
+  };
+  const std::vector<Shape> shapes = {
+      {Approach::kMap, IndexMode::kNever},
+      {Approach::kKMap, IndexMode::kNever},
+      {Approach::kFullSfa, IndexMode::kNever},
+      {Approach::kStaccato, IndexMode::kNever},
+      {Approach::kStaccato, IndexMode::kAuto},
+  };
+
+  // Serial baseline: every (pattern, shape) with one thread.
+  std::vector<std::vector<Answer>> baseline;
+  for (const std::string& pat : patterns) {
+    for (const Shape& sh : shapes) {
+      QueryOptions q;
+      q.pattern = pat;
+      q.index_mode = sh.mode;
+      q.eval_threads = 1;
+      auto pq = session.Prepare(sh.approach, q);
+      ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+      auto ans = pq->Execute();
+      ASSERT_TRUE(ans.ok()) << ans.status().ToString();
+      baseline.push_back(std::move(*ans));
+    }
+  }
+
+  // Many threads, each owning its own PreparedQuery for one (pattern,
+  // shape), all executing repeatedly against the one database — parallel
+  // Eval enabled so pool-backed regions from several callers interleave.
+  constexpr int kRepeats = 3;
+  std::vector<PreparedQuery> queries;
+  for (const std::string& pat : patterns) {
+    for (const Shape& sh : shapes) {
+      QueryOptions q;
+      q.pattern = pat;
+      q.index_mode = sh.mode;
+      q.eval_threads = 4;
+      auto pq = session.Prepare(sh.approach, q);
+      ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+      queries.push_back(std::move(*pq));
+    }
+  }
+  std::vector<std::vector<std::vector<Answer>>> got(
+      queries.size(), std::vector<std::vector<Answer>>(kRepeats));
+  std::vector<Status> errors(queries.size(), Status::OK());
+  {
+    std::vector<std::thread> runners;
+    runners.reserve(queries.size());
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      runners.emplace_back([&, qi] {
+        for (int r = 0; r < kRepeats; ++r) {
+          auto ans = queries[qi].Execute();
+          if (!ans.ok()) {
+            errors[qi] = ans.status();
+            return;
+          }
+          got[qi][r] = std::move(*ans);
+        }
+      });
+    }
+    for (auto& t : runners) t.join();
+  }
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    ASSERT_TRUE(errors[qi].ok()) << errors[qi].ToString();
+    for (int r = 0; r < kRepeats; ++r) {
+      ExpectSameAnswers(got[qi][r], baseline[qi]);
+    }
+  }
+}
+
+// ---- Batched execution -----------------------------------------------------
+
+TEST(ExecuteBatchTest, EmptyBatchAndBadInputs) {
+  auto wb = Workbench::Create(StressSpec());
+  ASSERT_TRUE(wb.ok());
+  Session session(&(*wb)->db());
+  auto empty = session.ExecuteBatch({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  EXPECT_TRUE(
+      session.ExecuteBatch({nullptr}).status().IsInvalidArgument());
+}
+
+TEST(ExecuteBatchTest, SharedFetchServesDuplicateCandidatesOnce) {
+  auto wb = Workbench::Create(StressSpec());
+  ASSERT_TRUE(wb.ok());
+  Session session(&(*wb)->db());
+  // Two full-scan Staccato queries have identical candidate sets; the
+  // shared Fetch pass must read each doc's blob once, not twice.
+  std::vector<QueryOptions> qs(2);
+  qs[0].pattern = "President";
+  qs[0].index_mode = IndexMode::kNever;
+  qs[1].pattern = "Congress";
+  qs[1].index_mode = IndexMode::kNever;
+  auto batch = session.PrepareBatch(Approach::kStaccato, qs);
+  ASSERT_TRUE(batch.ok());
+  std::vector<PreparedQuery*> ptrs{&(*batch)[0], &(*batch)[1]};
+  BatchStats stats;
+  auto results = session.ExecuteBatch(ptrs, &stats);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_EQ(stats.distinct_docs_fetched, (*wb)->db().NumSfas());
+  EXPECT_EQ(stats.total_candidates, 2 * (*wb)->db().NumSfas());
+  EXPECT_TRUE(stats.per_query[0].shared_candidate_pass);
+  EXPECT_EQ(stats.per_query[0].batch_size, 2u);
+}
+
+}  // namespace
+}  // namespace staccato

@@ -495,6 +495,136 @@ TEST(SessionTest, SqlLimitMapsToNumAns) {
                   .IsInvalidArgument());
 }
 
+TEST(SessionTest, ExecuteBatchBitIdenticalToSoloWithOneSharedPass) {
+  auto wb = Workbench::Create(SmallSpec(/*index=*/true));
+  ASSERT_TRUE(wb.ok()) << wb.status().ToString();
+  Session session(&(*wb)->db());
+
+  // >= 8 prepared patterns over one approach, mixed plan shapes: scans,
+  // forced probes, equality filters.
+  std::vector<QueryOptions> qs;
+  for (const char* pat : {"President", "Congress", "United States", "act",
+                          "law", "section", "amend", "public"}) {
+    QueryOptions q;
+    q.pattern = pat;
+    q.index_mode = IndexMode::kNever;
+    qs.push_back(q);
+  }
+  qs[1].index_mode = IndexMode::kForce;  // 'congress' resolves as an anchor
+  qs[2].index_mode = IndexMode::kAuto;
+  qs[3].equalities = {{"Year", "2010"}};
+  auto batch = session.PrepareBatch(Approach::kStaccato, qs);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), qs.size());
+
+  // Solo baseline on separately prepared queries (same cold-cache state).
+  std::vector<std::vector<Answer>> solo;
+  std::vector<QueryStats> solo_stats(qs.size());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    auto pq = session.Prepare(Approach::kStaccato, qs[i]);
+    ASSERT_TRUE(pq.ok());
+    auto ans = pq->Execute(&solo_stats[i]);
+    ASSERT_TRUE(ans.ok()) << ans.status().ToString();
+    solo.push_back(std::move(*ans));
+  }
+
+  std::vector<PreparedQuery*> ptrs;
+  for (PreparedQuery& pq : *batch) ptrs.push_back(&pq);
+  rdbms::BatchStats stats;
+  auto results = session.ExecuteBatch(ptrs, &stats);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), qs.size());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    ExpectSameAnswers((*results)[i], solo[i]);
+  }
+
+  // One shared CandidateGen/Fetch pass for the whole group, observable in
+  // both the batch-level and per-query stats.
+  EXPECT_EQ(stats.queries, qs.size());
+  EXPECT_GT(stats.distinct_docs_fetched, 0u);
+  EXPECT_LE(stats.distinct_docs_fetched, (*wb)->db().NumSfas());
+  ASSERT_EQ(stats.per_query.size(), qs.size());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(stats.per_query[i].batch_size, qs.size()) << i;
+    EXPECT_TRUE(stats.per_query[i].shared_candidate_pass) << i;
+    EXPECT_EQ(stats.per_query[i].candidates, solo_stats[i].candidates) << i;
+    EXPECT_EQ(stats.per_query[i].index_postings, solo_stats[i].index_postings)
+        << i;
+  }
+  std::string explained =
+      rdbms::ExplainPlan((*batch)[0].plan(), stats.per_query[0]);
+  EXPECT_NE(explained.find("Batch: size=8 shared-candidate-pass=yes"),
+            std::string::npos)
+      << explained;
+
+  // A second ExecuteBatch serves the warmed per-query caches.
+  rdbms::BatchStats warm;
+  auto again = session.ExecuteBatch(ptrs, &warm);
+  ASSERT_TRUE(again.ok());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    ExpectSameAnswers((*again)[i], solo[i]);
+  }
+  EXPECT_TRUE(warm.per_query[1].candidates_from_cache);  // forced probe
+  EXPECT_TRUE(warm.per_query[3].filter_from_cache);      // equality bitmap
+}
+
+TEST(SessionTest, ExecuteBatchSharesOneKMapScanAcrossStringQueries) {
+  auto wb = Workbench::Create(SmallSpec());
+  ASSERT_TRUE(wb.ok());
+  Session session(&(*wb)->db());
+  std::vector<QueryOptions> qs;
+  for (const char* pat : {"President", "Congress", "act", "law"}) {
+    QueryOptions q;
+    q.pattern = pat;
+    qs.push_back(q);
+  }
+  auto batch = session.PrepareBatch(Approach::kKMap, qs);
+  ASSERT_TRUE(batch.ok());
+
+  std::vector<std::vector<Answer>> solo;
+  for (const QueryOptions& q : qs) {
+    auto pq = session.Prepare(Approach::kKMap, q);
+    ASSERT_TRUE(pq.ok());
+    auto ans = pq->Execute();
+    ASSERT_TRUE(ans.ok());
+    solo.push_back(std::move(*ans));
+  }
+
+  std::vector<PreparedQuery*> ptrs;
+  for (PreparedQuery& pq : *batch) ptrs.push_back(&pq);
+  rdbms::BatchStats stats;
+  auto results = session.ExecuteBatch(ptrs, &stats);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  EXPECT_EQ(stats.kmap_scan_passes, 1u)
+      << "string queries must share one physical kMAPData scan";
+  for (size_t i = 0; i < qs.size(); ++i) {
+    ExpectSameAnswers((*results)[i], solo[i]);
+    EXPECT_TRUE(stats.per_query[i].shared_candidate_pass);
+  }
+
+  // Mixed batch: string and SFA members in one call, each group sharing
+  // its own pass.
+  QueryOptions sfa_q;
+  sfa_q.pattern = "President";
+  sfa_q.index_mode = IndexMode::kNever;
+  auto sfa_pq = session.Prepare(Approach::kStaccato, sfa_q);
+  ASSERT_TRUE(sfa_pq.ok());
+  auto sfa_solo = sfa_pq->Execute();
+  ASSERT_TRUE(sfa_solo.ok());
+  auto mixed_pq = session.Prepare(Approach::kStaccato, sfa_q);
+  ASSERT_TRUE(mixed_pq.ok());
+  ptrs.push_back(&*mixed_pq);
+  rdbms::BatchStats mixed;
+  auto mixed_results = session.ExecuteBatch(ptrs, &mixed);
+  ASSERT_TRUE(mixed_results.ok()) << mixed_results.status().ToString();
+  EXPECT_EQ(mixed.kmap_scan_passes, 1u);
+  EXPECT_EQ(mixed.distinct_docs_fetched, (*wb)->db().NumSfas());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    ExpectSameAnswers((*mixed_results)[i], solo[i]);
+  }
+  ExpectSameAnswers((*mixed_results)[qs.size()], *sfa_solo);
+}
+
 TEST(SessionTest, SessionDefaultsToParallelEval) {
   auto wb = Workbench::Create(SmallSpec());
   ASSERT_TRUE(wb.ok());
