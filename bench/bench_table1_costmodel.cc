@@ -81,5 +81,37 @@ int main() {
   }
   printf("\nQuery time interpolates roughly linearly in m between the k-MAP\n"
          "(m=1) and FullSFA (m=l) extremes, as Table 1 predicts.\n");
+
+  // Calibration: the measured per-unit costs the planner's CostConstants
+  // defaults were derived from (see the derivation comment in
+  // src/rdbms/plan.cc). ns/DP-step prices Eval work; ns/blob-byte prices
+  // deserialization, the CPU side of the Fetch stage.
+  eval::PrintHeader("Calibration: measured per-unit costs for CostConstants");
+  {
+    auto big = MakeChainSfa(128, kSigma);
+    if (!big.ok()) return 1;
+    const uint64_t steps = CountEvalWork(*big, *dfa);
+    const std::string blob = big->Serialize();
+    const int reps = 500;
+    Timer te;
+    double acc = 0;
+    for (int i = 0; i < reps; ++i) acc += EvalSfaQuery(*big, *dfa);
+    const double ns_per_step = te.ElapsedSeconds() / reps / steps * 1e9;
+    Timer td;
+    for (int i = 0; i < reps; ++i) {
+      auto back = Sfa::Deserialize(blob);
+      if (!back.ok()) return 1;
+      acc += static_cast<double>(back->NumEdges());
+    }
+    const double ns_per_byte = td.ElapsedSeconds() / reps / blob.size() * 1e9;
+    (void)acc;
+    printf("ns per DP step (char x dfa-state): %8.2f\n", ns_per_step);
+    printf("ns per serialized blob byte:       %8.2f\n", ns_per_byte);
+    printf("DP steps per blob byte (q=%zu):     %8.2f\n", q,
+           static_cast<double>(steps) / static_cast<double>(blob.size()));
+    printf("=> eval cost units per blob byte = ns/byte of eval divided by\n"
+           "   ns/byte of a sequential 8 KiB page read; see plan.cc for the\n"
+           "   CostConstants derivation that consumes these numbers.\n");
+  }
   return 0;
 }

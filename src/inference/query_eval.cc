@@ -1,20 +1,23 @@
 #include "inference/query_eval.h"
 
 #include <algorithm>
+#include <string_view>
 
 namespace staccato {
 
 namespace {
 
 // Steps a dense DFA-state mass vector through one label string.
-// in/out have dfa.NumStates() entries; `scratch` is reused across calls.
+// in/out have dfa.NumStates() entries; `scratch` and `next` are reused
+// across calls (the per-transition `next` vector used to be constructed
+// here on every call — the dominant allocation of the whole Eval stage).
 void StepLabel(const Dfa& dfa, const std::string& label,
                const std::vector<double>& in, std::vector<double>* out,
-               std::vector<double>* scratch) {
+               std::vector<double>* scratch, std::vector<double>* next_buf) {
   const int q = dfa.NumStates();
   std::vector<double>* cur = scratch;
   *cur = in;
-  std::vector<double> next(static_cast<size_t>(q), 0.0);
+  std::vector<double>& next = *next_buf;
   for (char c : label) {
     std::fill(next.begin(), next.end(), 0.0);
     for (int s = 0; s < q; ++s) {
@@ -29,6 +32,171 @@ void StepLabel(const Dfa& dfa, const std::string& label,
   for (int s = 0; s < q; ++s) (*out)[s] += (*cur)[s];
 }
 
+// Slack on the pruning comparison: `live` is an exact bound only up to
+// floating-point accumulation error, which is *absolute* (operands have
+// magnitude up to 1.0, so error ~1e-12 even over the longest documents)
+// — a purely relative slack would be tighter than the error whenever the
+// threshold itself is tiny. The cutoff therefore backs off by both a
+// relative and an absolute margin, each orders of magnitude above any
+// reachable error, so a candidate whose true probability ties or beats
+// the k-th best answer can never be pruned. The lost pruning power
+// (candidates within ~1e-9 of the cutoff) is negligible, and a threshold
+// below the absolute slack simply disables pruning (cutoff <= 0).
+constexpr double kBoundSlackRel = 1e-9;
+constexpr double kBoundSlackAbs = 1e-9;
+
+/// The early-terminating DFA×SFA dynamic program, templated over the graph
+/// representation so the Sfa-object and SfaView entry points are one
+/// kernel — and therefore bit-identical to each other and to EvalSfaQuery
+/// (same topological order, same edge/transition order, same arithmetic;
+/// the live-mass bookkeeping never touches the mass arrays).
+///
+/// Invariant behind the bound: `live` = Σ mass pending at unprocessed
+/// non-final nodes + accepting mass already at the final node. Mass only
+/// ever leaves that sum — dropped at dead DFA states, dropped when it
+/// reaches the final node in a non-accepting state (the final node has no
+/// out-edges, so such mass can never be accepted), or shrunk by node
+/// probability sums below 1 (approximation leak). Provided no node's
+/// outgoing probabilities sum above 1 (G::MassBoundSafe), pending mass can
+/// at best funnel into accepting states unshrunk, so `live` bounds the
+/// final probability from above and only tightens as the DP advances.
+template <typename G>
+double EvalBoundedImpl(const G& g, const Dfa& dfa, double threshold,
+                       EvalScratch* scratch, EvalBound* bound) {
+  const size_t q = static_cast<size_t>(dfa.NumStates());
+  if (bound != nullptr) {
+    bound->pruned = false;
+    bound->steps = 0;
+    bound->steps_total = g.TotalLabelChars() * q;
+  }
+  if (g.NumNodes() == 0) return 0.0;
+
+  std::vector<double>& mass = scratch->mass;
+  mass.assign(g.NumNodes() * q, 0.0);
+  std::vector<double>& cur = scratch->cur;
+  std::vector<double>& next = scratch->next;
+  cur.resize(q);
+  next.resize(q);
+
+  const NodeId fin = g.final();
+  mass[static_cast<size_t>(g.start()) * q + static_cast<size_t>(dfa.start())] =
+      1.0;
+  const bool can_prune = threshold > 0.0 && g.MassBoundSafe();
+  const double cutoff = threshold * (1.0 - kBoundSlackRel) - kBoundSlackAbs;
+  double live = 1.0;
+  uint64_t steps = 0;
+  bool pruned = false;
+
+  for (NodeId n : g.Topo()) {
+    if (n == fin) continue;  // no out-edges; its mass is scored at the end
+    const double* in = &mass[static_cast<size_t>(n) * q];
+    double sum_in = 0.0;
+    for (size_t s = 0; s < q; ++s) sum_in += in[s];
+    if (sum_in == 0.0) continue;  // masses are non-negative: all-zero node
+    live -= sum_in;
+    g.ForEachOutTransition(n, [&](NodeId to, std::string_view label,
+                                  double prob) {
+      for (size_t s = 0; s < q; ++s) cur[s] = in[s] * prob;
+      for (char c : label) {
+        std::fill(next.begin(), next.end(), 0.0);
+        for (size_t s = 0; s < q; ++s) {
+          double m = cur[s];
+          if (m == 0.0) continue;
+          DfaState t = dfa.Next(static_cast<DfaState>(s), c);
+          if (t == kDfaDead) continue;  // rejected mass is dropped
+          next[static_cast<size_t>(t)] += m;
+        }
+        cur.swap(next);
+      }
+      steps += static_cast<uint64_t>(label.size()) * q;
+      double* out = &mass[static_cast<size_t>(to) * q];
+      if (to == fin) {
+        // Only accepting arrivals stay alive: the final node has no
+        // out-edges, so non-accepting mass here is already dead.
+        double accepted = 0.0;
+        for (size_t s = 0; s < q; ++s) {
+          out[s] += cur[s];
+          if (dfa.IsAccept(static_cast<DfaState>(s))) accepted += cur[s];
+        }
+        live += accepted;
+      } else {
+        double survived = 0.0;
+        for (size_t s = 0; s < q; ++s) {
+          out[s] += cur[s];
+          survived += cur[s];
+        }
+        live += survived;
+      }
+    });
+    // Check only at node boundaries: mid-node, the not-yet-propagated
+    // share of sum_in is missing from `live`, which would over-prune.
+    if (can_prune && live < cutoff) {
+      pruned = true;
+      break;
+    }
+  }
+
+  if (bound != nullptr) {
+    bound->steps = steps;
+    bound->pruned = pruned;
+  }
+  if (pruned) return 0.0;
+  double p = 0.0;
+  const double* fin_mass = &mass[static_cast<size_t>(fin) * q];
+  for (size_t s = 0; s < q; ++s) {
+    if (dfa.IsAccept(static_cast<DfaState>(s))) p += fin_mass[s];
+  }
+  // Guard against accumulated floating point drift above 1.
+  return p > 1.0 ? 1.0 : p;
+}
+
+/// Graph adapter over the deserialized Sfa object graph.
+struct SfaGraph {
+  const Sfa& sfa;
+  bool mass_safe;
+  uint64_t label_chars;
+
+  size_t NumNodes() const { return sfa.NumNodes(); }
+  NodeId start() const { return sfa.start(); }
+  NodeId final() const { return sfa.final(); }
+  const std::vector<NodeId>& Topo() const { return sfa.TopologicalOrder(); }
+  bool MassBoundSafe() const { return mass_safe; }
+  uint64_t TotalLabelChars() const { return label_chars; }
+
+  template <typename F>
+  void ForEachOutTransition(NodeId n, F&& f) const {
+    for (EdgeId eid : sfa.OutEdges(n)) {
+      const Edge& e = sfa.edge(eid);
+      for (const Transition& t : e.transitions) {
+        f(e.to, std::string_view(t.label), t.prob);
+      }
+    }
+  }
+};
+
+/// Graph adapter over the flat blob view.
+struct ViewGraph {
+  const SfaView& view;
+
+  size_t NumNodes() const { return view.NumNodes(); }
+  NodeId start() const { return view.start(); }
+  NodeId final() const { return view.final(); }
+  const std::vector<NodeId>& Topo() const { return view.TopologicalOrder(); }
+  bool MassBoundSafe() const { return view.MassBoundSafe(); }
+  uint64_t TotalLabelChars() const { return view.TotalLabelChars(); }
+
+  template <typename F>
+  void ForEachOutTransition(NodeId n, F&& f) const {
+    for (const EdgeId* it = view.out_begin(n); it != view.out_end(n); ++it) {
+      const ViewEdge& e = view.edge(*it);
+      for (uint32_t t = 0; t < e.num_transitions; ++t) {
+        const ViewTransition& tr = view.transition(e.first_transition + t);
+        f(e.to, tr.label, tr.prob);
+      }
+    }
+  }
+};
+
 }  // namespace
 
 double EvalSfaQuery(const Sfa& sfa, const Dfa& dfa) {
@@ -41,6 +209,7 @@ double EvalSfaQuery(const Sfa& sfa, const Dfa& dfa) {
       sfa.NumNodes(), std::vector<double>(static_cast<size_t>(q), 0.0));
   mass[sfa.start()][dfa.start()] = 1.0;
   std::vector<double> scratch(static_cast<size_t>(q), 0.0);
+  std::vector<double> next(static_cast<size_t>(q), 0.0);
   std::vector<double> scaled(static_cast<size_t>(q), 0.0);
   for (NodeId n : sfa.TopologicalOrder()) {
     const auto& in = mass[n];
@@ -56,7 +225,7 @@ double EvalSfaQuery(const Sfa& sfa, const Dfa& dfa) {
       const Edge& e = sfa.edge(eid);
       for (const Transition& t : e.transitions) {
         for (int s = 0; s < q; ++s) scaled[s] = in[s] * t.prob;
-        StepLabel(dfa, t.label, scaled, &mass[e.to], &scratch);
+        StepLabel(dfa, t.label, scaled, &mass[e.to], &scratch, &next);
       }
     }
     if (n != sfa.final()) {
@@ -70,6 +239,55 @@ double EvalSfaQuery(const Sfa& sfa, const Dfa& dfa) {
   }
   // Guard against accumulated floating point drift above 1.
   return p > 1.0 ? 1.0 : p;
+}
+
+SfaEvalInfo ComputeSfaEvalInfo(const Sfa& sfa) {
+  SfaEvalInfo info;
+  for (const Edge& e : sfa.edges()) {
+    for (const Transition& t : e.transitions) {
+      info.label_chars += t.label.size();
+    }
+  }
+  // The bound is only an upper bound when no node amplifies mass.
+  info.mass_safe = true;
+  for (NodeId n = 0; n < sfa.NumNodes() && info.mass_safe; ++n) {
+    double sum = 0.0;
+    for (EdgeId eid : sfa.OutEdges(n)) {
+      for (const Transition& t : sfa.edge(eid).transitions) sum += t.prob;
+    }
+    if (sum > 1.0 + 1e-6) info.mass_safe = false;
+  }
+  return info;
+}
+
+double EvalSfaQueryBounded(const Sfa& sfa, const Dfa& dfa, double threshold,
+                           const SfaEvalInfo& info, EvalScratch* scratch,
+                           EvalBound* bound) {
+  SfaGraph g{sfa, info.mass_safe, info.label_chars};
+  EvalScratch local;
+  return EvalBoundedImpl(g, dfa, threshold,
+                         scratch != nullptr ? scratch : &local, bound);
+}
+
+double EvalSfaQueryBounded(const Sfa& sfa, const Dfa& dfa, double threshold,
+                           EvalScratch* scratch, EvalBound* bound) {
+  return EvalSfaQueryBounded(sfa, dfa, threshold, ComputeSfaEvalInfo(sfa),
+                             scratch, bound);
+}
+
+double EvalSfaViewBounded(const SfaView& view, const Dfa& dfa,
+                          double threshold, EvalScratch* scratch,
+                          EvalBound* bound) {
+  return EvalBoundedImpl(ViewGraph{view}, dfa, threshold, scratch, bound);
+}
+
+Result<double> EvalSerializedSfaBounded(const std::string& blob,
+                                        const Dfa& dfa, double threshold,
+                                        EvalScratch* scratch,
+                                        EvalBound* bound) {
+  SfaView view;
+  STACCATO_RETURN_NOT_OK(view.Decode(blob, &scratch->arena));
+  return EvalSfaViewBounded(view, dfa, threshold, scratch, bound);
 }
 
 double EvalStringsQuery(const std::vector<ScoredString>& strings,

@@ -8,6 +8,23 @@
 //
 // The same evaluator serves the FullSFA baseline and the Staccato chunked
 // representation, because a chunk graph is itself a generalized SFA.
+//
+// Two flavours exist:
+//
+//  * EvalSfaQuery / EvalSerializedSfa — the reference kernel over the
+//    deserialized Sfa object graph.
+//  * The *bounded* kernels (EvalSfaQueryBounded, EvalSerializedSfaBounded)
+//    — the executor's hot path. They additionally track an exact upper
+//    bound on the final probability, `accepted_so_far + live_mass`: mass
+//    only ever leaks to dead DFA states (and to non-accepting states at the
+//    final node), so the bound is monotone non-increasing, and the DP can
+//    abort the instant it falls below a caller-supplied threshold (the
+//    running k-th best answer). A pruned candidate provably cannot enter
+//    the top-k, which is what keeps ranked answers bit-identical for any
+//    thread count and any candidate visit order. The serialized-blob
+//    bounded kernel decodes through SfaView into a caller-owned EvalScratch
+//    arena, so a warm worker evaluates candidates with zero heap
+//    allocations.
 #pragma once
 
 #include <string>
@@ -39,6 +56,74 @@ uint64_t CountEvalWork(const Sfa& sfa, const Dfa& dfa);
 /// call out over the shared thread pool (util/parallel.h) with positional
 /// gather, so ranked answers are bit-identical for any thread count.
 Result<double> EvalSerializedSfa(const std::string& blob, const Dfa& dfa);
+
+/// \brief How one bounded evaluation ended, for the executor's pruning
+/// stats. `steps` counts (label-char × dfa-state) units, the same currency
+/// as CountEvalWork, so steps_total - steps is the work an abort skipped.
+struct EvalBound {
+  bool pruned = false;        ///< aborted: upper bound fell below threshold
+  uint64_t steps = 0;         ///< DP steps actually executed
+  uint64_t steps_total = 0;   ///< steps a full evaluation would execute
+};
+
+/// \brief Reusable per-worker buffers for the bounded kernels: the SfaView
+/// decode arena plus the flattened DP state. Every buffer grows to the
+/// largest candidate seen and is then reused — a warm scratch makes
+/// EvalSerializedSfaBounded allocation-free. One scratch serves one worker;
+/// it is not synchronized.
+struct EvalScratch {
+  SfaViewArena arena;
+  std::vector<double> mass;    ///< num_nodes × q, node-major
+  std::vector<double> cur;     ///< q — StepLabel working vector
+  std::vector<double> next;    ///< q — StepLabel swap partner
+};
+
+/// \brief Per-Sfa invariants of the bounded kernel — total label chars
+/// (for steps accounting) and the mass-bound safety of the graph. Both
+/// are O(transitions) sweeps, so callers that evaluate one Sfa many times
+/// (the batch executor shares a deserialized transducer across every
+/// query) compute them once and pass them in.
+struct SfaEvalInfo {
+  uint64_t label_chars = 0;
+  /// No node's outgoing probabilities sum above 1 — the precondition for
+  /// live-mass pruning (see EvalSfaQueryBounded).
+  bool mass_safe = false;
+};
+
+SfaEvalInfo ComputeSfaEvalInfo(const Sfa& sfa);
+
+/// EvalSfaQuery with early termination: aborts — returning 0 and setting
+/// `bound->pruned` — as soon as the exact upper bound accepted + live_mass
+/// drops below `threshold`. threshold <= 0 never prunes, and the result is
+/// then bit-identical to EvalSfaQuery (the bound bookkeeping never touches
+/// the mass arithmetic). Pruning engages only when the SFA is mass-bound
+/// safe (no node's outgoing probabilities sum above 1 — true of every
+/// engine-built SFA), because the bound is only an upper bound under that
+/// invariant; otherwise the call silently degrades to a full evaluation.
+/// `scratch` may be null (buffers are then local).
+double EvalSfaQueryBounded(const Sfa& sfa, const Dfa& dfa, double threshold,
+                           EvalScratch* scratch = nullptr,
+                           EvalBound* bound = nullptr);
+
+/// Same, with the per-Sfa invariants precomputed by the caller.
+double EvalSfaQueryBounded(const Sfa& sfa, const Dfa& dfa, double threshold,
+                           const SfaEvalInfo& info, EvalScratch* scratch,
+                           EvalBound* bound = nullptr);
+
+/// The bounded kernel over an already-decoded view. Bit-identical to
+/// EvalSfaQuery on the blob's deserialized Sfa when it does not prune.
+double EvalSfaViewBounded(const SfaView& view, const Dfa& dfa,
+                          double threshold, EvalScratch* scratch,
+                          EvalBound* bound = nullptr);
+
+/// The executor's zero-allocation per-candidate unit: decodes `blob`
+/// through SfaView into `scratch` and runs the bounded kernel. With a warm
+/// scratch the whole call performs no heap allocation. Returns the same
+/// value EvalSerializedSfa would (bit-identical) unless it prunes.
+Result<double> EvalSerializedSfaBounded(const std::string& blob,
+                                        const Dfa& dfa, double threshold,
+                                        EvalScratch* scratch,
+                                        EvalBound* bound = nullptr);
 
 /// The literal matrix-multiplication algorithm of [45] as the paper costs
 /// it in Table 1 (q³ work per node): each node accumulates a q×q matrix of

@@ -70,6 +70,12 @@ Status PreadExact(int fd, void* buf, size_t n, uint64_t offset) {
 }  // namespace
 
 Result<std::string> BlobStore::Get(BlobId id) {
+  std::string data;
+  STACCATO_RETURN_NOT_OK(GetInto(id, &data));
+  return data;
+}
+
+Status BlobStore::GetInto(BlobId id, std::string* out) {
   if (id >= end_) return Status::NotFound("blob id out of range");
   // Writes go through the buffered FILE*; make them visible to pread once
   // per write burst. Double-checked so the steady read state takes no
@@ -93,12 +99,12 @@ Result<std::string> BlobStore::Get(BlobId id) {
   if (avail < sizeof(len) || len > avail - sizeof(len)) {
     return Status::Corruption("blob length past end of store");
   }
-  std::string data(len, '\0');
+  out->resize(len);  // reuses the caller's capacity in steady state
   if (len > 0) {
-    STACCATO_RETURN_NOT_OK(PreadExact(fd_, data.data(), len, id + sizeof(len)));
+    STACCATO_RETURN_NOT_OK(PreadExact(fd_, out->data(), len, id + sizeof(len)));
   }
   bytes_read_.fetch_add(sizeof(len) + len, std::memory_order_relaxed);
-  return data;
+  return Status::OK();
 }
 
 }  // namespace staccato::rdbms

@@ -41,6 +41,12 @@ class BlobStore {
   /// lock and shares no seek position.
   Result<std::string> Get(BlobId id);
 
+  /// Buffer-reusing flavour for hot read loops: resizes `*out` to the blob
+  /// length, reusing its capacity, so a worker that keeps one buffer warm
+  /// reads successive blobs without heap allocation. Same concurrency
+  /// contract as Get; distinct callers must pass distinct buffers.
+  Status GetInto(BlobId id, std::string* out);
+
   /// Pushes buffered writes to disk. Call before another handle truncates
   /// or reopens the same file. The dirty flag is cleared only when the
   /// flush actually succeeds, so a failed flush is retried (and surfaced)

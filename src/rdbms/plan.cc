@@ -1,9 +1,14 @@
 #include "rdbms/plan.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <deque>
+#include <limits>
 #include <map>
+#include <mutex>
+#include <numeric>
 #include <utility>
 
 #include "automata/pattern.h"
@@ -62,21 +67,26 @@ size_t ResolveThreads(size_t requested, size_t default_threads) {
 // ---- Cost model ------------------------------------------------------------
 //
 // Costs are abstract units where 1.0 is one sequential 8 KiB page read.
-// The constants only have to rank the scan and index paths of the same
-// query correctly; they are not wall-clock predictions.
-
-/// A B+-tree descent plus one heap point Get (random, not sequential).
-constexpr double kPointReadCost = 2.0;
-/// DFAxSFA dynamic-programming cost per serialized blob byte.
-constexpr double kEvalCostPerByte = 1.0 / 256.0;
-/// Projection evaluates only the region around each posting instead of the
-/// whole transducer.
-constexpr double kProjectionEvalDiscount = 0.1;
-/// DFA match over one stored transcription string.
-constexpr double kStringMatchCostPerTuple = 1.0 / 64.0;
-/// Selectivity guess per equality predicate (no histograms; System R's
-/// classic 1/10).
-constexpr double kEqualityDefaultSelectivity = 0.1;
+// The constants (CostConstants, plan.h) only have to rank the scan and
+// index paths of the same query correctly; they are not wall-clock
+// predictions.
+//
+// Calibration (bench_table1_costmodel "calibration" section +
+// bench_topk_earlystop kernel table, Release build, reference container):
+//
+//   * One B+-tree descent + heap point Get + blob read measures ~0.65 µs
+//     warm. That operation is priced point_read_cost = 2.0, anchoring the
+//     abstract unit at ≈ 0.33 µs.
+//   * The DFA×SFA DP costs ~4.8 ns per (label-char × dfa-state) step, and
+//     stored chunk blobs carry ~0.7 steps per serialized byte per DFA
+//     state — with the short contains-DFAs of the workload, ~4.9 ns of
+//     eval per blob byte through the view kernel (warm scratch).
+//
+// eval_cost_per_byte = 4.9 ns / 0.33 µs ≈ 1/67, rounded to 1/64. The
+// pre-calibration guess of 1/256 undercharged Eval ~4× against the I/O
+// terms and made the planner too scan-happy on large blobs.
+// string_match_cost_per_tuple stays 1/64: one DFA pass over a ~100-char
+// stored transcription ≈ 0.3–0.5 µs ≈ one eval unit.
 
 size_t EstimateSurvivors(size_t rows, double selectivity) {
   if (rows == 0) return 0;
@@ -88,11 +98,12 @@ size_t EstimateSurvivors(size_t rows, double selectivity) {
 
 CostEstimate EstimateCost(const PlanContext& ctx, Approach approach,
                           bool use_projection, size_t num_equalities,
-                          const std::string& anchor) {
+                          const std::string& anchor,
+                          const CostConstants& consts) {
   CostEstimate est;
   est.table_cardinality = ctx.num_sfas;
-  est.equality_selectivity =
-      std::pow(kEqualityDefaultSelectivity, static_cast<double>(num_equalities));
+  est.equality_selectivity = std::pow(consts.equality_default_selectivity,
+                                      static_cast<double>(num_equalities));
   // Filtering costs one MasterData filescan to build the bitmap.
   const double filter_io =
       num_equalities > 0 && ctx.master != nullptr
@@ -122,13 +133,13 @@ CostEstimate EstimateCost(const PlanContext& ctx, Approach approach,
     est.scan.eval_cost =
         (ctx.kmap != nullptr ? static_cast<double>(ctx.kmap->NumTuples())
                              : 0.0) *
-        kStringMatchCostPerTuple;
+        consts.string_match_cost_per_tuple;
   } else {
     const double cand = static_cast<double>(est.scan.candidates);
     est.scan.fetch_bytes = cand * avg_blob_bytes;
-    est.scan.io_cost = filter_io + cand * kPointReadCost +
+    est.scan.io_cost = filter_io + cand * consts.point_read_cost +
                        est.scan.fetch_bytes / kPageSize;
-    est.scan.eval_cost = cand * avg_blob_bytes * kEvalCostPerByte;
+    est.scan.eval_cost = cand * avg_blob_bytes * consts.eval_cost_per_byte;
   }
   est.scan.total = est.scan.io_cost + est.scan.eval_cost;
 
@@ -155,10 +166,11 @@ CostEstimate EstimateCost(const PlanContext& ctx, Approach approach,
     est.index.fetch_bytes = cand * avg_blob_bytes;
     est.index.io_cost =
         filter_io +
-        static_cast<double>(est.anchor_postings) * kPointReadCost +  // probe
-        cand * kPointReadCost + est.index.fetch_bytes / kPageSize;
-    est.index.eval_cost = cand * avg_blob_bytes * kEvalCostPerByte *
-                          (use_projection ? kProjectionEvalDiscount : 1.0);
+        static_cast<double>(est.anchor_postings) * consts.point_read_cost +
+        cand * consts.point_read_cost + est.index.fetch_bytes / kPageSize;
+    est.index.eval_cost =
+        cand * avg_blob_bytes * consts.eval_cost_per_byte *
+        (use_projection ? consts.projection_eval_discount : 1.0);
     est.index.total = est.index.io_cost + est.index.eval_cost;
   }
   return est;
@@ -229,6 +241,7 @@ Result<PlanSpec> BuildPlan(const PlanContext& ctx, Approach approach,
   plan.approach = approach;
   plan.pattern = q.pattern;
   plan.num_ans = q.num_ans;
+  plan.early_stop = q.early_stop;
 
   // The pattern must compile; Prepare reuses the DFA, the planner only
   // needs the parse for the anchor term.
@@ -405,6 +418,8 @@ void InitQueryStats(QueryStats* stats, const PlanSpec& plan,
   stats->est_cost = plan.cost.chosen_cost().total;
   stats->filter_from_cache = false;
   stats->candidates_from_cache = false;
+  stats->eval_pruned = 0;
+  stats->eval_steps_saved = 0;
   stats->batch_size = batch_size;
   stats->shared_candidate_pass = false;
 }
@@ -449,7 +464,55 @@ Result<std::vector<Answer>> ExecuteStrings(const PlanContext& ctx,
 struct SfaCandidate {
   DocId doc = 0;
   std::vector<uint64_t> postings;  // packed; empty on the full-scan path
-  std::string blob;                // serialized SFA (solo execution only)
+  /// Anchor postings inside this doc (index-probe path only): the cheap
+  /// relevance estimate that orders the Eval visit so the top-k threshold
+  /// tightens early. 0 on the full-scan path (natural doc order).
+  size_t est_postings = 0;
+};
+
+/// The running k-th best probability among answers scored so far: the
+/// TopK operator's pruning threshold, shared across Eval workers. Get()
+/// returns 0 until k positive answers exist (nothing may be pruned yet)
+/// and +inf when k == 0 (every candidate is prunable). Offer() only ever
+/// raises the threshold, so a worker acting on a stale Get() prunes
+/// against a lower-or-equal threshold than the final one — races only
+/// ever make pruning more conservative, never wrong.
+class TopKThreshold {
+ public:
+  explicit TopKThreshold(size_t k) : k_(k) {
+    if (k_ == 0) {
+      cut_.store(std::numeric_limits<double>::infinity(),
+                 std::memory_order_relaxed);
+      full_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  double Get() const { return cut_.load(std::memory_order_relaxed); }
+
+  void Offer(double p) {
+    if (k_ == 0 || p <= 0.0) return;
+    // Fast path once the heap is full: a probability at or below the
+    // current cut cannot raise it.
+    if (full_.load(std::memory_order_acquire) && p <= Get()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    heap_.push_back(p);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<double>());
+    if (heap_.size() > k_) {
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<double>());
+      heap_.pop_back();
+    }
+    if (heap_.size() == k_) {
+      cut_.store(heap_.front(), std::memory_order_relaxed);
+      full_.store(true, std::memory_order_release);
+    }
+  }
+
+ private:
+  const size_t k_;
+  std::atomic<double> cut_{0.0};
+  std::atomic<bool> full_{false};
+  std::mutex mu_;
+  std::vector<double> heap_;  // min-heap of the best k probabilities
 };
 
 /// Projection Eval over an already-deserialized transducer: score the
@@ -523,13 +586,13 @@ Result<std::vector<SfaCandidate>> BuildSfaCandidates(
       // to the candidates instead of copying them.
       for (auto& [doc, posts] : owned->postings) {
         if (filtered && (doc >= allowed.size() || !allowed[doc])) continue;
-        cands.push_back({doc, {}, {}});
+        cands.push_back({doc, {}, posts.size()});
         if (need_postings) cands.back().postings = std::move(posts);
       }
     } else {
       for (const auto& [doc, posts] : set->postings) {
         if (filtered && (doc >= allowed.size() || !allowed[doc])) continue;
-        cands.push_back({doc, {}, {}});
+        cands.push_back({doc, {}, posts.size()});
         if (need_postings) cands.back().postings = posts;
       }
     }
@@ -537,17 +600,23 @@ Result<std::vector<SfaCandidate>> BuildSfaCandidates(
     cands.reserve(ctx.num_sfas);
     for (DocId doc = 0; doc < ctx.num_sfas; ++doc) {
       if (filtered && (doc >= allowed.size() || !allowed[doc])) continue;
-      cands.push_back({doc, {}, {}});
+      cands.push_back({doc, {}, 0});
     }
   }
   return cands;
 }
 
-/// SFA Eval: Fetch (heap point-get + blob read, fanned over the shared
-/// pool — the storage read paths are concurrent-safe), then the
-/// embarrassingly parallel DP stage. Per-candidate results are gathered
-/// positionally, so the ranked answers are bit-identical for any thread
-/// count.
+/// SFA Eval, streaming and threshold-pruned: every worker fetches one
+/// candidate's blob into its own reusable buffer (heap point-get + pread;
+/// the storage read paths are concurrent-safe), decodes it through the
+/// flat SfaView into its own EvalScratch arena, and runs the bounded DP
+/// against the running top-k threshold — aborting candidates whose exact
+/// probability upper bound can no longer reach the k-th best answer.
+/// Candidates are visited in descending posting-count order so the
+/// threshold tightens early; results are gathered positionally, and a
+/// pruned candidate provably cannot enter the top-k, so the ranked
+/// answers are bit-identical for any thread count, visit order, or
+/// early-stop setting. Peak memory is one blob + one DP arena per worker.
 Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
                                         const PlanSpec& plan, const Dfa& dfa,
                                         const std::vector<char>& allowed,
@@ -561,51 +630,68 @@ Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
       std::vector<SfaCandidate> cands,
       BuildSfaCandidates(ctx, plan, allowed, stats, cache, &total_postings));
 
-  ctx.blobs->ResetStats();
-  auto fetch_one = [&](SfaCandidate& cand) -> Status {
-    if (cand.doc >= rids.size()) return Status::NotFound("no such DataKey");
-    STACCATO_ASSIGN_OR_RETURN(Tuple t, blob_table->Get(rids[cand.doc]));
-    STACCATO_ASSIGN_OR_RETURN(cand.blob, ctx.blobs->Get(t[1].AsBlobId()));
-    return Status::OK();
-  };
-  const size_t horizon = plan.pattern.size() + 8;
-  auto eval_one = [&](const SfaCandidate& cand) -> Result<double> {
-    if (plan.fetch == FetchMethod::kProjection) {
-      return EvalProjectedBlob(cand.blob, cand.postings, dfa, horizon);
-    }
-    return EvalSerializedSfa(cand.blob, dfa);
-  };
-
   size_t threads = std::max<size_t>(1, plan.eval_threads);
   threads = std::min(threads, cands.empty() ? size_t{1} : cands.size());
-  size_t fetch_threads = 1;
+
+  // Projection already evaluates a bounded region; threshold pruning
+  // applies to the full-blob DP.
+  const bool prune = plan.early_stop && plan.fetch == FetchMethod::kFullBlob;
+
+  // Eval visit order: descending anchor-posting count (stable, so ties
+  // keep doc order). Docs with many anchor occurrences tend to score
+  // high, so scoring them first raises the pruning threshold early;
+  // without pruning the reorder could not help, so doc order stands.
+  std::vector<size_t> order(cands.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  if (prune && plan.source == CandidateSource::kIndexProbe) {
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return cands[a].est_postings > cands[b].est_postings;
+    });
+  }
+  TopKThreshold topk(plan.num_ans);
+  const size_t horizon = plan.pattern.size() + 8;
+  struct WorkerState {
+    EvalScratch scratch;
+    std::string blob;
+  };
+  std::vector<WorkerState> workers(threads);
   std::vector<double> prob(cands.size(), 0.0);
+  std::vector<char> was_pruned(cands.size(), 0);
+  std::vector<uint64_t> steps_saved(cands.size(), 0);
+  ctx.blobs->ResetStats();
+  auto eval_one = [&](size_t worker, size_t v) -> Status {
+    const size_t i = order[v];
+    const SfaCandidate& cand = cands[i];
+    WorkerState& ws = workers[worker];
+    if (cand.doc >= rids.size()) return Status::NotFound("no such DataKey");
+    STACCATO_ASSIGN_OR_RETURN(Tuple t, blob_table->Get(rids[cand.doc]));
+    STACCATO_RETURN_NOT_OK(ctx.blobs->GetInto(t[1].AsBlobId(), &ws.blob));
+    if (plan.fetch == FetchMethod::kProjection) {
+      STACCATO_ASSIGN_OR_RETURN(
+          prob[i], EvalProjectedBlob(ws.blob, cand.postings, dfa, horizon));
+      return Status::OK();
+    }
+    EvalBound bound;
+    const double threshold = prune ? topk.Get() : 0.0;
+    STACCATO_ASSIGN_OR_RETURN(
+        prob[i], EvalSerializedSfaBounded(ws.blob, dfa, threshold,
+                                          &ws.scratch, &bound));
+    if (bound.pruned) {
+      prob[i] = 0.0;
+      was_pruned[i] = 1;
+      steps_saved[i] = bound.steps_total - bound.steps;
+    } else if (prune) {  // nobody reads the threshold otherwise
+      topk.Offer(prob[i]);
+    }
+    return Status::OK();
+  };
   if (threads <= 1) {
-    // Stream: fetch, evaluate, and release one candidate at a time, so
-    // peak memory is a single serialized SFA (the legacy profile).
-    for (size_t i = 0; i < cands.size(); ++i) {
-      STACCATO_RETURN_NOT_OK(fetch_one(cands[i]));
-      STACCATO_ASSIGN_OR_RETURN(prob[i], eval_one(cands[i]));
-      cands[i].blob = std::string();
+    for (size_t v = 0; v < cands.size(); ++v) {
+      STACCATO_RETURN_NOT_OK(eval_one(0, v));
     }
   } else {
-    // Parallel: Fetch materializes the candidate blobs with concurrent
-    // storage reads (heap gets serialize briefly on the table latch; blob
-    // reads are positioned I/O and overlap fully), then the DP stage fans
-    // out over the same pool. (Trades memory — all candidate blobs at
-    // once — for the parallel speedup the caller asked for.)
-    fetch_threads = threads;
-    STACCATO_RETURN_NOT_OK(ParallelFor(
-        cands.size(), /*grain=*/1,
-        [&](size_t i) { return fetch_one(cands[i]); },
-        ParallelOptions{threads}));
-    STACCATO_RETURN_NOT_OK(ParallelFor(
-        cands.size(), /*grain=*/1,
-        [&](size_t i) -> Status {
-          STACCATO_ASSIGN_OR_RETURN(prob[i], eval_one(cands[i]));
-          return Status::OK();
-        },
-        ParallelOptions{threads}));
+    STACCATO_RETURN_NOT_OK(ParallelForWorker(
+        cands.size(), /*grain=*/1, eval_one, ParallelOptions{threads}));
   }
 
   if (stats != nullptr) {
@@ -617,7 +703,13 @@ Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
                              : static_cast<double>(cands.size()) /
                                    static_cast<double>(ctx.num_sfas);
     stats->threads_used = threads;
-    stats->fetch_threads = fetch_threads;
+    stats->fetch_threads = threads;  // streamed: fetch rides the eval workers
+    for (size_t i = 0; i < cands.size(); ++i) {
+      if (was_pruned[i]) {
+        ++stats->eval_pruned;
+        stats->eval_steps_saved += steps_saved[i];
+      }
+    }
   }
 
   std::vector<Answer> answers;
@@ -659,6 +751,8 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
     batch_stats->total_candidates = 0;
     batch_stats->fetch_threads = 1;
     batch_stats->eval_threads = 1;
+    batch_stats->eval_pruned = 0;
+    batch_stats->eval_steps_saved = 0;
   }
   if (n == 0) return results;
 
@@ -745,18 +839,23 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
 
     // Shared Fetch: each distinct (representation, doc) blob is read AND
     // deserialized once, however many batch members evaluate it — the eval
-    // stage then shares the transducer across every (query, doc) pair.
-    // Keyed also by representation because FullSFA and Staccato plans
-    // fetch from different tables.
+    // stage then shares the transducer (and its precomputed per-Sfa
+    // invariants) across every (query, doc) pair. Keyed also by
+    // representation because FullSFA and Staccato plans fetch from
+    // different tables.
+    struct SharedSfa {
+      Sfa sfa;
+      SfaEvalInfo info;  // computed once at fetch, reused per pair
+    };
     ctx.blobs->ResetStats();
-    std::map<std::pair<bool, DocId>, Sfa> sfa_map;
+    std::map<std::pair<bool, DocId>, SharedSfa> sfa_map;
     for (const SfaWork& w : group) {
       const bool full = items[w.item].plan->approach == Approach::kFullSfa;
       for (const SfaCandidate& c : w.cands) {
-        sfa_map.emplace(std::make_pair(full, c.doc), Sfa());
+        sfa_map.emplace(std::make_pair(full, c.doc), SharedSfa());
       }
     }
-    using SfaEntry = std::pair<const std::pair<bool, DocId>, Sfa>;
+    using SfaEntry = std::pair<const std::pair<bool, DocId>, SharedSfa>;
     std::vector<SfaEntry*> fetches;
     fetches.reserve(sfa_map.size());
     for (auto& entry : sfa_map) fetches.push_back(&entry);
@@ -780,8 +879,9 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
           STACCATO_ASSIGN_OR_RETURN(Tuple t, table->Get(rids[doc]));
           STACCATO_ASSIGN_OR_RETURN(std::string blob,
                                     ctx.blobs->Get(t[1].AsBlobId()));
-          STACCATO_ASSIGN_OR_RETURN(fetches[k]->second,
+          STACCATO_ASSIGN_OR_RETURN(fetches[k]->second.sfa,
                                     Sfa::Deserialize(blob));
+          fetches[k]->second.info = ComputeSfaEvalInfo(fetches[k]->second.sfa);
           return Status::OK();
         },
         ParallelOptions{fetch_workers}));
@@ -791,37 +891,72 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
     // positionally per query, exactly as in solo execution. The shared
     // transducer is resolved once per pair here — the map is frozen after
     // the fetch pass — keeping the tree lookups out of the hot loop.
+    // Each query keeps its own top-k threshold, so pruning works exactly
+    // as in solo execution: a pair is aborted once its query's k-th best
+    // answer provably beats the candidate's upper bound. Pairs are laid
+    // out query-major with each query's candidates in descending
+    // posting-count order, mirroring the solo visit order.
     struct PairRef {
       size_t g = 0;
       size_t k = 0;
-      const Sfa* sfa = nullptr;
+      const SharedSfa* sfa = nullptr;
     };
     std::vector<PairRef> pairs;
     std::vector<std::vector<double>> prob(group.size());
+    std::vector<std::vector<char>> was_pruned(group.size());
+    std::vector<std::vector<uint64_t>> steps_saved(group.size());
+    std::deque<TopKThreshold> thresholds;
+    std::vector<char> prune_group(group.size(), 0);
     for (size_t g = 0; g < group.size(); ++g) {
+      const PlanSpec& plan = *items[group[g].item].plan;
       prob[g].assign(group[g].cands.size(), 0.0);
-      const bool full = items[group[g].item].plan->approach == Approach::kFullSfa;
-      for (size_t k = 0; k < group[g].cands.size(); ++k) {
+      was_pruned[g].assign(group[g].cands.size(), 0);
+      steps_saved[g].assign(group[g].cands.size(), 0);
+      thresholds.emplace_back(plan.num_ans);
+      prune_group[g] =
+          plan.early_stop && plan.fetch == FetchMethod::kFullBlob ? 1 : 0;
+      const bool full = plan.approach == Approach::kFullSfa;
+      std::vector<size_t> order(group[g].cands.size());
+      std::iota(order.begin(), order.end(), size_t{0});
+      if (prune_group[g] && plan.source == CandidateSource::kIndexProbe) {
+        std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+          return group[g].cands[a].est_postings >
+                 group[g].cands[b].est_postings;
+        });
+      }
+      for (size_t k : order) {
         pairs.push_back(
             {g, k, &sfa_map.at(std::make_pair(full, group[g].cands[k].doc))});
       }
     }
     const size_t eval_workers =
         std::min(requested, std::max<size_t>(1, pairs.size()));
-    STACCATO_RETURN_NOT_OK(ParallelFor(
+    std::vector<EvalScratch> scratches(eval_workers);
+    STACCATO_RETURN_NOT_OK(ParallelForWorker(
         pairs.size(), /*grain=*/1,
-        [&](size_t p) -> Status {
-          const SfaWork& w = group[pairs[p].g];
+        [&](size_t worker, size_t p) -> Status {
+          const size_t g = pairs[p].g;
+          const SfaWork& w = group[g];
           const SfaCandidate& cand = w.cands[pairs[p].k];
           const PlanSpec& plan = *items[w.item].plan;
           const Dfa& dfa = *items[w.item].dfa;
-          const Sfa& sfa = *pairs[p].sfa;
-          double& out = prob[pairs[p].g][pairs[p].k];
+          const SharedSfa& shared = *pairs[p].sfa;
+          double& out = prob[g][pairs[p].k];
           if (plan.fetch == FetchMethod::kProjection) {
-            out = EvalProjectedSfa(sfa, cand.postings, dfa,
+            out = EvalProjectedSfa(shared.sfa, cand.postings, dfa,
                                    plan.pattern.size() + 8);
-          } else {
-            out = EvalSfaQuery(sfa, dfa);
+            return Status::OK();
+          }
+          EvalBound bound;
+          const double threshold = prune_group[g] ? thresholds[g].Get() : 0.0;
+          out = EvalSfaQueryBounded(shared.sfa, dfa, threshold, shared.info,
+                                    &scratches[worker], &bound);
+          if (bound.pruned) {
+            out = 0.0;
+            was_pruned[g][pairs[p].k] = 1;
+            steps_saved[g][pairs[p].k] = bound.steps_total - bound.steps;
+          } else if (prune_group[g]) {  // nobody reads the threshold otherwise
+            thresholds[g].Offer(out);
           }
           return Status::OK();
         },
@@ -830,6 +965,14 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
     for (size_t g = 0; g < group.size(); ++g) {
       const SfaWork& w = group[g];
       const PlanSpec& plan = *items[w.item].plan;
+      size_t pruned = 0;
+      uint64_t saved = 0;
+      for (size_t k = 0; k < w.cands.size(); ++k) {
+        if (was_pruned[g][k]) {
+          ++pruned;
+          saved += steps_saved[g][k];
+        }
+      }
       if (QueryStats* st = items[w.item].stats; st != nullptr) {
         st->blob_bytes_read += fetched_bytes;  // batch-wide shared pass
         st->candidates = w.cands.size();
@@ -841,9 +984,13 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
         st->threads_used = eval_workers;
         st->fetch_threads = fetch_workers;
         st->shared_candidate_pass = group.size() > 1;
+        st->eval_pruned = pruned;
+        st->eval_steps_saved = saved;
       }
       if (batch_stats != nullptr) {
         batch_stats->total_candidates += w.cands.size();
+        batch_stats->eval_pruned += pruned;
+        batch_stats->eval_steps_saved += saved;
       }
       std::vector<Answer> answers;
       for (size_t k = 0; k < w.cands.size(); ++k) {
@@ -879,7 +1026,8 @@ std::string ExplainPlan(const PlanSpec& plan) {
   }
   out += StringPrintf("  -> Eval strategy=%s threads=%zu\n",
                       EvalStrategyName(plan.eval), plan.eval_threads);
-  out += StringPrintf("  -> TopK num_ans=%zu\n", plan.num_ans);
+  out += StringPrintf("  -> TopK num_ans=%zu early-stop=%s\n", plan.num_ans,
+                      plan.early_stop ? "on" : "off");
   out += StringPrintf("  Cost: %s\n", plan.cost.ToString().c_str());
   return out;
 }
@@ -892,6 +1040,15 @@ std::string ExplainPlan(const PlanSpec& plan, const QueryStats& stats) {
       stats.candidates, stats.est_candidates, stats.fetch_threads,
       stats.threads_used, stats.filter_from_cache ? "hit" : "miss",
       stats.candidates_from_cache ? "hit" : "miss");
+  if (plan.eval == EvalStrategy::kSfaDp) {
+    // Early termination only exists for the DFA×SFA DP; a string scan
+    // has no bounded kernel, so the line would only mislead there.
+    out += StringPrintf(
+        "  Pruned: %zu/%zu candidates, steps-saved=%llu (early-stop=%s)\n",
+        stats.eval_pruned, stats.candidates,
+        static_cast<unsigned long long>(stats.eval_steps_saved),
+        plan.early_stop ? "on" : "off");
+  }
   if (stats.batch_size > 0) {
     out += StringPrintf("  Batch: size=%zu shared-candidate-pass=%s\n",
                         stats.batch_size,

@@ -13,14 +13,23 @@
 //   Fetch         materializes the representation: nothing for the string
 //                 approaches (they evaluate during the kMAPData scan), the
 //                 serialized SFA blob, or only the projected region around
-//                 each posting. With more than one worker the blob reads
-//                 fan out over the shared thread pool (util/parallel.h) —
-//                 the storage read paths are concurrent-safe.
+//                 each posting. The storage read paths are concurrent-safe.
 //   Eval          scores each candidate: DFA match over stored strings, or
-//                 the DFAxSFA dynamic program. The SFA stage fans out
-//                 over the same pool; results are positionally gathered so
-//                 answers are bit-identical to serial execution.
-//   TopK          ranks by probability and keeps NumAns answers.
+//                 the DFAxSFA dynamic program. The SFA stage *streams*:
+//                 each pool worker fetches one candidate's blob, decodes
+//                 it through the flat SfaView into a per-worker scratch
+//                 arena (no per-candidate heap objects), and runs the
+//                 bounded DP — aborting the moment the candidate's exact
+//                 probability upper bound falls below the running k-th
+//                 best answer (the TopK threshold, shared and monotone).
+//                 Candidates are visited in descending posting-count order
+//                 so the threshold tightens early. Results are positionally
+//                 gathered, and a pruned candidate provably cannot enter
+//                 the top-k, so ranked answers are bit-identical for any
+//                 thread count, visit order, or early-stop setting.
+//   TopK          ranks by probability and keeps NumAns answers; during
+//                 the Eval stage it doubles as the pruning threshold
+//                 (the running k-th best probability, which only rises).
 //
 // `BuildPlan` chooses the operators once, at prepare time, and it chooses
 // them *by cost*: a `CostEstimate` prices the full-scan and index-probe
@@ -92,6 +101,12 @@ struct QueryOptions {
   /// session default (which itself defaults to serial for the legacy
   /// StaccatoDb::Query path and hardware concurrency for Sessions).
   size_t eval_threads = 0;
+  /// Allow the Eval stage to abort a candidate's DP as soon as its exact
+  /// probability upper bound falls below the running k-th best answer
+  /// (threshold-pruned top-k). Never changes the ranked answers — a pruned
+  /// candidate provably cannot enter the top-k — so it is on by default;
+  /// benches turn it off to measure the unpruned kernel.
+  bool early_stop = true;
 };
 
 /// \brief Execution statistics for the benches.
@@ -115,9 +130,19 @@ struct QueryStats {
   // PreparedQuery's memoized state instead of being recomputed.
   bool filter_from_cache = false;      ///< equality bitmap reused
   bool candidates_from_cache = false;  ///< index CandidateSet reused
-  /// Workers in the Fetch stage (1 = the serial streaming path). Parallel
-  /// fetch fans heap point-gets and blob reads out over the shared pool.
+  /// Workers in the Fetch stage. The SFA Eval path streams: each worker
+  /// fetches and evaluates one candidate at a time, so fetch and eval
+  /// share the same fan-out.
   size_t fetch_threads = 1;
+  // Early-termination observability. `eval_pruned` counts candidates whose
+  // DP aborted because their probability upper bound fell below the
+  // running k-th best answer; `eval_steps_saved` totals the DP steps
+  // (label-char × dfa-state units, as CountEvalWork counts them) those
+  // aborts skipped. Which candidates get pruned depends on scheduling, so
+  // under threads > 1 these are not run-to-run deterministic — the ranked
+  // answers always are.
+  size_t eval_pruned = 0;
+  uint64_t eval_steps_saved = 0;
   // Batched-execution observability (ExecutePlanBatch / ExecuteBatch).
   // Under batching the blob/page counters are batch-wide totals — one
   // physical pass serves every member — not per-query attributions.
@@ -140,6 +165,27 @@ struct BoundEquality {
   std::string column;  ///< column name, as written
   int column_index = -1;
   Value value;
+};
+
+/// \brief Calibrated planner constants, in cost units where 1.0 is one
+/// sequential 8 KiB page read. The defaults were derived from
+/// `bench_table1_costmodel`'s calibration section (ns-per-DP-step and
+/// ns-per-blob-byte on the reference container); see the derivation
+/// comment in plan.cc. Exposed as a struct so benches and tests can
+/// re-estimate with their own measurements.
+struct CostConstants {
+  /// A B+-tree descent plus one heap point Get (random, not sequential).
+  double point_read_cost = 2.0;
+  /// DFA×SFA dynamic-programming cost per serialized blob byte.
+  double eval_cost_per_byte = 1.0 / 64.0;
+  /// Projection evaluates only the region around each posting instead of
+  /// the whole transducer.
+  double projection_eval_discount = 0.1;
+  /// DFA match over one stored transcription string.
+  double string_match_cost_per_tuple = 1.0 / 64.0;
+  /// Selectivity guess per equality predicate (no histograms; System R's
+  /// classic 1/10).
+  double equality_default_selectivity = 0.1;
 };
 
 /// \brief One access path priced by the planner. Costs are abstract "cost
@@ -204,6 +250,7 @@ struct PlanSpec {
   std::string anchor;  ///< dictionary term probed; set iff kIndexProbe
   size_t num_ans = 100;
   size_t eval_threads = 1;  ///< resolved worker count (>= 1)
+  bool early_stop = true;   ///< threshold-pruned top-k Eval (answer-neutral)
   std::vector<BoundEquality> equalities;
   CostEstimate cost;  ///< the estimate the planner chose `source` from
 };
@@ -245,10 +292,11 @@ Result<PlanSpec> BuildPlan(const PlanContext& ctx, Approach approach,
 /// Prices the scan and index paths for one query from statistics alone.
 /// `anchor` is the resolved dictionary anchor term ("" = none); the index
 /// path is feasible only when the anchor resolves. Exposed for tests and
-/// benches; BuildPlan calls it internally.
+/// benches; BuildPlan calls it internally with the calibrated defaults.
 CostEstimate EstimateCost(const PlanContext& ctx, Approach approach,
                           bool use_projection, size_t num_equalities,
-                          const std::string& anchor);
+                          const std::string& anchor,
+                          const CostConstants& consts = CostConstants());
 
 /// Runs the plan's operator pipeline. Repeated calls with the same plan and
 /// DFA return identical answers regardless of `eval_threads`. `cache`, when
@@ -290,6 +338,9 @@ struct BatchStats {
   size_t total_candidates = 0;  ///< Σ per-query candidates (overlap counted)
   size_t fetch_threads = 1;     ///< pool fan-out of the shared Fetch pass
   size_t eval_threads = 1;      ///< pool fan-out of the per-(query,doc) Eval
+  /// Batch-wide early-termination totals (Σ of the per-query counters).
+  size_t eval_pruned = 0;
+  uint64_t eval_steps_saved = 0;
   std::vector<QueryStats> per_query;  ///< filled by Session::ExecuteBatch
 };
 
@@ -317,7 +368,9 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
 std::string ExplainPlan(const PlanSpec& plan);
 
 /// ExplainPlan plus an "Actual:" line comparing the estimate against what
-/// one execution measured (candidates, cache hits).
+/// one execution measured (candidates, cache hits) and a "Pruned:" line
+/// reporting the early-termination outcome (candidates aborted, DP steps
+/// saved, whether early-stop was enabled for the plan).
 std::string ExplainPlan(const PlanSpec& plan, const QueryStats& stats);
 
 /// Compact one-line shape for QueryStats::plan_summary, e.g.

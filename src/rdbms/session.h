@@ -100,9 +100,12 @@ class Session {
 class PreparedQuery {
  public:
   /// Runs the plan and returns the ranked answers. Thread-count changes
-  /// never change the answers, only the wall clock. Repeated calls serve
-  /// CandidateGen/Filter from the plan cache (bit-identical results);
-  /// the cache self-invalidates when the database reloads data.
+  /// never change the answers, only the wall clock — and neither does
+  /// early termination: the Eval stage streams candidates against the
+  /// running k-th best answer and aborts provably-hopeless ones, but a
+  /// pruned candidate can never have entered the top-k. Repeated calls
+  /// serve CandidateGen/Filter from the plan cache (bit-identical
+  /// results); the cache self-invalidates when the database reloads data.
   /// Non-const because it warms the cache — the honest signal that one
   /// PreparedQuery must not Execute concurrently with itself.
   Result<std::vector<Answer>> Execute(QueryStats* stats = nullptr);
@@ -121,6 +124,10 @@ class PreparedQuery {
   void set_num_ans(size_t n) { plan_.num_ans = n; }
   /// Re-binds the Eval worker count without re-planning (>= 1).
   void set_eval_threads(size_t t) { plan_.eval_threads = t == 0 ? 1 : t; }
+  /// Toggles threshold-pruned top-k Eval without re-planning. Answer sets
+  /// are identical either way; only the work performed changes
+  /// (QueryStats::eval_pruned / eval_steps_saved report it).
+  void set_early_stop(bool on) { plan_.early_stop = on; }
 
  private:
   friend class Session;

@@ -303,17 +303,25 @@ Status StaccatoDb::ReplacePostingsRelation() {
   return ReplaceHeap(&postings_, "postings.tbl", PostingsSchema());
 }
 
-Result<Sfa> StaccatoDb::LoadStaccatoSfa(DocId doc) {
+Result<std::string> StaccatoDb::ReadStaccatoBlob(DocId doc) {
   if (doc >= graph_rid_.size()) return Status::NotFound("no such DataKey");
   STACCATO_ASSIGN_OR_RETURN(Tuple t, staccato_graph_->Get(graph_rid_[doc]));
-  STACCATO_ASSIGN_OR_RETURN(std::string blob, blobs_->Get(t[1].AsBlobId()));
+  return blobs_->Get(t[1].AsBlobId());
+}
+
+Result<std::string> StaccatoDb::ReadFullSfaBlob(DocId doc) {
+  if (doc >= fullsfa_rid_.size()) return Status::NotFound("no such DataKey");
+  STACCATO_ASSIGN_OR_RETURN(Tuple t, fullsfa_->Get(fullsfa_rid_[doc]));
+  return blobs_->Get(t[1].AsBlobId());
+}
+
+Result<Sfa> StaccatoDb::LoadStaccatoSfa(DocId doc) {
+  STACCATO_ASSIGN_OR_RETURN(std::string blob, ReadStaccatoBlob(doc));
   return Sfa::Deserialize(blob);
 }
 
 Result<Sfa> StaccatoDb::LoadFullSfa(DocId doc) {
-  if (doc >= fullsfa_rid_.size()) return Status::NotFound("no such DataKey");
-  STACCATO_ASSIGN_OR_RETURN(Tuple t, fullsfa_->Get(fullsfa_rid_[doc]));
-  STACCATO_ASSIGN_OR_RETURN(std::string blob, blobs_->Get(t[1].AsBlobId()));
+  STACCATO_ASSIGN_OR_RETURN(std::string blob, ReadFullSfaBlob(doc));
   return Sfa::Deserialize(blob);
 }
 

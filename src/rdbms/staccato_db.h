@@ -105,6 +105,12 @@ class StaccatoDb {
   Result<Sfa> LoadStaccatoSfa(DocId doc);
   Result<Sfa> LoadFullSfa(DocId doc);
 
+  /// Raw serialized-transducer blobs, exactly as the Eval stage fetches
+  /// them (for kernel benches that measure decode/eval without the
+  /// executor around them).
+  Result<std::string> ReadStaccatoBlob(DocId doc);
+  Result<std::string> ReadFullSfaBlob(DocId doc);
+
   const DictionaryTrie* dictionary() const {
     return dict_ ? &*dict_ : nullptr;
   }

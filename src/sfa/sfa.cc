@@ -245,6 +245,124 @@ Result<Sfa> Sfa::Deserialize(const std::string& blob) {
   return b.Build();
 }
 
+Status SfaView::Decode(std::string_view blob, SfaViewArena* arena) {
+  BinaryReader r(blob.data(), blob.size());
+  STACCATO_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kSfaMagic) return Status::Corruption("bad SFA magic");
+  STACCATO_ASSIGN_OR_RETURN(uint64_t num_nodes, r.GetVarint());
+  // Same plausibility guard as Sfa::Deserialize: reject before allocating.
+  if (num_nodes > blob.size() + 2) {
+    return Status::Corruption("node count exceeds plausible blob capacity");
+  }
+  if (num_nodes == 0) return Status::Corruption("SFA has no nodes");
+  STACCATO_ASSIGN_OR_RETURN(uint64_t start, r.GetVarint());
+  STACCATO_ASSIGN_OR_RETURN(uint64_t final, r.GetVarint());
+  if (start >= num_nodes || final >= num_nodes) {
+    return Status::Corruption("start/final node out of range");
+  }
+  STACCATO_ASSIGN_OR_RETURN(uint64_t num_edges, r.GetVarint());
+  if (num_edges > blob.size()) {
+    return Status::Corruption("edge count exceeds plausible blob capacity");
+  }
+
+  arena->edges.clear();
+  arena->transitions.clear();
+  arena->indegree.assign(num_nodes, 0);
+  // out_offsets doubles as the out-degree histogram during the first pass.
+  arena->out_offsets.assign(num_nodes + 1, 0);
+  total_label_chars_ = 0;
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    STACCATO_ASSIGN_OR_RETURN(uint64_t from, r.GetVarint());
+    STACCATO_ASSIGN_OR_RETURN(uint64_t to, r.GetVarint());
+    if (from >= num_nodes || to >= num_nodes) {
+      return Status::Corruption("edge endpoint out of range");
+    }
+    STACCATO_ASSIGN_OR_RETURN(uint64_t nt, r.GetVarint());
+    if (nt == 0) return Status::Corruption("edge with no transitions");
+    if (nt > r.remaining()) {
+      return Status::Corruption("transition count exceeds blob capacity");
+    }
+    ViewEdge e;
+    e.from = static_cast<NodeId>(from);
+    e.to = static_cast<NodeId>(to);
+    e.first_transition = static_cast<uint32_t>(arena->transitions.size());
+    e.num_transitions = static_cast<uint32_t>(nt);
+    for (uint64_t j = 0; j < nt; ++j) {
+      STACCATO_ASSIGN_OR_RETURN(std::string_view label, r.GetStringView());
+      STACCATO_ASSIGN_OR_RETURN(double prob, r.GetDouble());
+      if (label.empty()) return Status::Corruption("empty transition label");
+      if (!(prob > 0.0) || prob > 1.0 + 1e-9) {
+        return Status::Corruption("transition probability out of (0,1]");
+      }
+      arena->transitions.push_back({label, prob});
+      total_label_chars_ += label.size();
+    }
+    arena->edges.push_back(e);
+    ++arena->out_offsets[from + 1];
+    ++arena->indegree[to];
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes after SFA blob");
+
+  // CSR adjacency: prefix-sum the histogram, then fill slots in edge-id
+  // order so each node's out-list ascends by edge id (matching Sfa::Build).
+  for (size_t n = 0; n < num_nodes; ++n) {
+    arena->out_offsets[n + 1] += arena->out_offsets[n];
+  }
+  arena->out_cursor.assign(arena->out_offsets.begin(),
+                           arena->out_offsets.end() - 1);
+  arena->out_edges.resize(arena->edges.size());
+  for (EdgeId e = 0; e < arena->edges.size(); ++e) {
+    arena->out_edges[arena->out_cursor[arena->edges[e].from]++] = e;
+  }
+  // The evaluator skips the final node outright (it scores its mass at the
+  // end), which is only sound if the final node has no out-edges — the
+  // same invariant Sfa::Validate enforces on the deserialization path.
+  if (arena->out_offsets[final + 1] != arena->out_offsets[final]) {
+    return Status::Corruption("final node has outgoing edges");
+  }
+
+  // Mass-bound safety: no node's outgoing probabilities may sum above 1.
+  // CSR is ready, so walk nodes and sum their out-transitions directly.
+  mass_bound_safe_ = true;
+  for (size_t n = 0; n < num_nodes && mass_bound_safe_; ++n) {
+    double sum = 0.0;
+    for (uint32_t k = arena->out_offsets[n]; k < arena->out_offsets[n + 1];
+         ++k) {
+      const ViewEdge& e = arena->edges[arena->out_edges[k]];
+      for (uint32_t t = 0; t < e.num_transitions; ++t) {
+        sum += arena->transitions[e.first_transition + t].prob;
+      }
+    }
+    if (sum > 1.0 + 1e-6) mass_bound_safe_ = false;
+  }
+
+  // Topological order by the exact Kahn FIFO Sfa uses: seed with zero
+  // indegree nodes in ascending id, pop from the front, append new zeros.
+  // `topo` is both the queue and the result; `head` is the queue front.
+  arena->topo.clear();
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    if (arena->indegree[n] == 0) arena->topo.push_back(n);
+  }
+  for (size_t head = 0; head < arena->topo.size(); ++head) {
+    NodeId n = arena->topo[head];
+    for (const EdgeId* e = arena->out_edges.data() + arena->out_offsets[n];
+         e != arena->out_edges.data() + arena->out_offsets[n + 1]; ++e) {
+      if (--arena->indegree[arena->edges[*e].to] == 0) {
+        arena->topo.push_back(arena->edges[*e].to);
+      }
+    }
+  }
+  if (arena->topo.size() != num_nodes) {
+    return Status::Corruption("SFA graph contains a cycle");
+  }
+
+  num_nodes_ = num_nodes;
+  start_ = static_cast<NodeId>(start);
+  final_ = static_cast<NodeId>(final);
+  arena_ = arena;
+  return Status::OK();
+}
+
 NodeId SfaBuilder::AddNode() { return static_cast<NodeId>(num_nodes_++); }
 
 NodeId SfaBuilder::AddNodes(size_t count) {

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -164,5 +165,101 @@ class SfaBuilder {
 /// single-character positions, each with `alternatives` equally weighted
 /// candidate labels. Useful for tests and the cost-model bench.
 Result<Sfa> MakeChainSfa(size_t length, size_t alternatives);
+
+/// \brief One labeled alternative as seen by SfaView: the label is a slice
+/// of the decoded blob, not an owned string.
+struct ViewTransition {
+  std::string_view label;
+  double prob = 0.0;
+};
+
+/// \brief One edge as seen by SfaView: a [first, first+count) range into
+/// the arena's flat transition array.
+struct ViewEdge {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  uint32_t first_transition = 0;
+  uint32_t num_transitions = 0;
+};
+
+/// \brief Reusable backing storage for SfaView decoding. All buffers are
+/// plain vectors that grow to the largest blob seen and are then reused, so
+/// decoding candidate number N+1 performs no heap allocation once the arena
+/// is warm — the point of the view path. One arena serves one worker; it is
+/// not synchronized.
+struct SfaViewArena {
+  std::vector<ViewEdge> edges;
+  std::vector<ViewTransition> transitions;
+  std::vector<uint32_t> out_offsets;  ///< CSR offsets, num_nodes + 1 entries
+  std::vector<EdgeId> out_edges;      ///< CSR payload, edge ids ascending
+  std::vector<NodeId> topo;           ///< Kahn order (also the work queue)
+  std::vector<uint32_t> indegree;     ///< decode scratch
+  std::vector<uint32_t> out_cursor;   ///< decode scratch
+};
+
+/// \brief Flat, allocation-free decoding of a serialized SFA blob.
+///
+/// Where Sfa::Deserialize rebuilds the full object graph (SfaBuilder,
+/// per-edge transition vectors, owned label strings, hash-map edge
+/// dedup), SfaView decodes the same wire format into flat arrays borrowed
+/// from a caller-owned SfaViewArena: labels stay string_views into the
+/// blob, edges and transitions are index ranges, and adjacency is CSR.
+/// The view borrows both the blob and the arena; both must outlive it.
+///
+/// Structural guarantees match what the DFA×SFA dynamic program needs and
+/// what Sfa::Deserialize produces for engine-written blobs: edge order is
+/// wire order, per-node out-edges ascend by edge id, transitions keep wire
+/// order (the engine serializes them already sorted), and the topological
+/// order is computed by the identical Kahn FIFO — so evaluating through a
+/// view is bit-identical to evaluating the deserialized Sfa. Validation is
+/// the subset that protects the evaluator (ids in range, non-empty labels,
+/// probabilities in (0,1], acyclicity); full path-reachability checking
+/// remains Sfa::Validate's job.
+class SfaView {
+ public:
+  /// Decodes `blob` into `arena`'s buffers and points this view at them.
+  /// Returns Corruption on malformed input; the arena contents are
+  /// unspecified after a failure (the next Decode resets them).
+  Status Decode(std::string_view blob, SfaViewArena* arena);
+
+  size_t NumNodes() const { return num_nodes_; }
+  size_t NumEdges() const { return arena_->edges.size(); }
+  size_t NumTransitions() const { return arena_->transitions.size(); }
+  NodeId start() const { return start_; }
+  NodeId final() const { return final_; }
+
+  const ViewEdge& edge(EdgeId e) const { return arena_->edges[e]; }
+  const ViewTransition& transition(uint32_t t) const {
+    return arena_->transitions[t];
+  }
+  /// Out-edge ids of `n`, ascending — same order as Sfa::OutEdges.
+  const EdgeId* out_begin(NodeId n) const {
+    return arena_->out_edges.data() + arena_->out_offsets[n];
+  }
+  const EdgeId* out_end(NodeId n) const {
+    return arena_->out_edges.data() + arena_->out_offsets[n + 1];
+  }
+  /// Nodes in topological order (identical to Sfa::TopologicalOrder()).
+  const std::vector<NodeId>& TopologicalOrder() const { return arena_->topo; }
+
+  /// Σ label lengths over all transitions; with the DFA state count this
+  /// prices a full evaluation (the steps_total of EvalBound).
+  uint64_t TotalLabelChars() const { return total_label_chars_; }
+
+  /// True iff every node's outgoing transition probabilities sum to at most
+  /// 1 (+ε). This is the precondition for the live-mass upper bound of the
+  /// early-terminating evaluator: mass can then never amplify downstream,
+  /// so accepted + pending mass bounds the final probability. Engine-built
+  /// SFAs (stochastic, or approximations that only drop mass) satisfy it.
+  bool MassBoundSafe() const { return mass_bound_safe_; }
+
+ private:
+  size_t num_nodes_ = 0;
+  NodeId start_ = kInvalidNode;
+  NodeId final_ = kInvalidNode;
+  uint64_t total_label_chars_ = 0;
+  bool mass_bound_safe_ = false;
+  const SfaViewArena* arena_ = nullptr;
+};
 
 }  // namespace staccato

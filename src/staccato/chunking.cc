@@ -97,7 +97,7 @@ struct MGraph {
 // ---------------------------------------------------------------------------
 // Graph adapters so FindMinSFA runs identically on Sfa and MGraph.
 // ---------------------------------------------------------------------------
-struct SfaView {
+struct SfaNodeGraph {
   const Sfa& sfa;
   size_t NumNodes() const { return sfa.NumNodes(); }
   bool Alive(NodeId) const { return true; }
@@ -386,7 +386,7 @@ std::string ChunkKey(const std::set<NodeId>& nodes) {
 }  // namespace
 
 Result<MinSfaResult> FindMinSfa(const Sfa& sfa, const std::set<NodeId>& seed) {
-  return FindMinSfaImpl(SfaView{sfa}, seed);
+  return FindMinSfaImpl(SfaNodeGraph{sfa}, seed);
 }
 
 Result<Sfa> ExtractChunk(const Sfa& sfa, const MinSfaResult& chunk) {

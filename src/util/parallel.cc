@@ -95,15 +95,17 @@ struct ForState {
   Status error;  // first failure; guarded by mu
   size_t n = 0;
   size_t grain = 1;
-  const std::function<Status(size_t)>* fn = nullptr;  // valid while active
+  // Valid while active. Called as fn(worker, i); the plain ParallelFor
+  // wraps its index-only callback.
+  const std::function<Status(size_t, size_t)>* fn = nullptr;
 
-  void Drain() {
+  void Drain(size_t worker) {
     while (!failed.load(std::memory_order_acquire)) {
       size_t begin = cursor.fetch_add(grain, std::memory_order_relaxed);
       if (begin >= n) return;
       size_t end = std::min(n, begin + grain);
       for (size_t i = begin; i < end; ++i) {
-        Status st = (*fn)(i);
+        Status st = (*fn)(worker, i);
         if (!st.ok()) {
           std::lock_guard<std::mutex> lock(mu);
           if (error.ok()) error = std::move(st);
@@ -117,9 +119,9 @@ struct ForState {
 
 }  // namespace
 
-Status ParallelFor(size_t n, size_t grain,
-                   const std::function<Status(size_t)>& fn,
-                   ParallelOptions opts) {
+Status ParallelForWorker(size_t n, size_t grain,
+                         const std::function<Status(size_t, size_t)>& fn,
+                         ParallelOptions opts) {
   if (n == 0) return Status::OK();
   if (grain == 0) grain = 1;
   ThreadPool& pool = opts.pool != nullptr ? *opts.pool : ThreadPool::Shared();
@@ -128,9 +130,9 @@ Status ParallelFor(size_t n, size_t grain,
   size_t workers = std::min(threads, chunks);
   // One worker — or a nested region issued from a pool thread, whose
   // helpers would queue behind (and possibly deadlock with) the very task
-  // that is waiting on them — runs inline, in index order.
+  // that is waiting on them — runs inline, in index order, as worker 0.
   if (workers <= 1 || pool.OnWorkerThread()) {
-    for (size_t i = 0; i < n; ++i) STACCATO_RETURN_NOT_OK(fn(i));
+    for (size_t i = 0; i < n; ++i) STACCATO_RETURN_NOT_OK(fn(0, i));
     return Status::OK();
   }
 
@@ -138,23 +140,30 @@ Status ParallelFor(size_t n, size_t grain,
   state.n = n;
   state.grain = grain;
   state.fn = &fn;
-  const size_t helpers = workers - 1;  // the caller is the remaining worker
+  const size_t helpers = workers - 1;  // the caller is worker 0
   state.active.store(helpers, std::memory_order_relaxed);
   for (size_t h = 0; h < helpers; ++h) {
-    pool.Submit([&state] {
-      state.Drain();
+    pool.Submit([&state, h] {
+      state.Drain(h + 1);
       std::lock_guard<std::mutex> lock(state.mu);
       if (state.active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         state.done.notify_all();
       }
     });
   }
-  state.Drain();
+  state.Drain(0);
   std::unique_lock<std::mutex> lock(state.mu);
   state.done.wait(lock, [&] {
     return state.active.load(std::memory_order_acquire) == 0;
   });
   return state.error;
+}
+
+Status ParallelFor(size_t n, size_t grain,
+                   const std::function<Status(size_t)>& fn,
+                   ParallelOptions opts) {
+  return ParallelForWorker(
+      n, grain, [&fn](size_t, size_t i) { return fn(i); }, opts);
 }
 
 }  // namespace staccato

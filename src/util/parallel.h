@@ -88,6 +88,22 @@ Status ParallelFor(size_t n, size_t grain,
                    const std::function<Status(size_t)>& fn,
                    ParallelOptions opts = {});
 
+/// ParallelFor whose callback also receives a stable worker slot id:
+/// `fn(worker, i)` with worker in [0, W) where W = min(resolved threads,
+/// number of grain-chunks). The calling thread is always worker 0; pool
+/// helpers take slots 1..W-1, and a region that runs inline (one worker,
+/// or nested inside a pool task) uses slot 0 throughout. Within one
+/// region no two concurrent calls share a slot, so the id can index
+/// per-worker state owned by that region (e.g. a reusable EvalScratch
+/// arena) without locking — the state must be per-call, though: every
+/// region has its own worker 0, so slots of state shared across
+/// concurrent regions would race. Semantics otherwise match ParallelFor,
+/// including the positional-output discipline that keeps results
+/// order-independent.
+Status ParallelForWorker(size_t n, size_t grain,
+                         const std::function<Status(size_t, size_t)>& fn,
+                         ParallelOptions opts = {});
+
 /// ParallelFor that gathers `fn(i)` into slot i of the result vector.
 /// Positional gathering makes the output independent of scheduling.
 template <typename T>

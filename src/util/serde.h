@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/result.h"
@@ -98,6 +99,17 @@ class BinaryReader {
     STACCATO_ASSIGN_OR_RETURN(uint64_t n, GetVarint());
     if (n > remaining()) return Status::Corruption("string length out of bounds");
     std::string s(data_ + pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  /// Zero-copy flavour of GetString: the view borrows the underlying
+  /// buffer, which must outlive it (SfaView decoding relies on this to
+  /// keep labels as slices of the stored blob).
+  Result<std::string_view> GetStringView() {
+    STACCATO_ASSIGN_OR_RETURN(uint64_t n, GetVarint());
+    if (n > remaining()) return Status::Corruption("string length out of bounds");
+    std::string_view s(data_ + pos_, n);
     pos_ += n;
     return s;
   }

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <string_view>
 
 #include "inference/kbest.h"
 #include "inference/query_eval.h"
@@ -226,6 +228,146 @@ TEST(QueryEvalTest, ChainSfaExactProbability) {
   auto dfa = Dfa::Compile("aa", MatchMode::kContains);
   ASSERT_TRUE(dfa.ok());
   EXPECT_NEAR(EvalSfaQuery(*chain, *dfa), BruteForceProb(*chain, *dfa), 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded (early-terminating) kernel and the SfaView flat decoder.
+// ---------------------------------------------------------------------------
+
+TEST(BoundedEvalTest, ZeroThresholdBitIdenticalToReference) {
+  Sfa sfa = Figure1Sfa();
+  auto chain = MakeChainSfa(6, 4);
+  ASSERT_TRUE(chain.ok());
+  for (const Sfa* s : {&sfa, &*chain}) {
+    for (const char* pat : {"F", "rd", "aa", "(F|T)", "\\d", "zzz"}) {
+      auto dfa = Dfa::Compile(pat, MatchMode::kContains);
+      ASSERT_TRUE(dfa.ok()) << pat;
+      EvalBound bound;
+      // Bit-identical, not just close: the bounded kernel runs the same
+      // arithmetic in the same order.
+      EXPECT_EQ(EvalSfaQueryBounded(*s, *dfa, 0.0, nullptr, &bound),
+                EvalSfaQuery(*s, *dfa))
+          << pat;
+      EXPECT_FALSE(bound.pruned);
+      EXPECT_EQ(bound.steps, bound.steps_total) << pat;
+      EXPECT_EQ(bound.steps_total, CountEvalWork(*s, *dfa)) << pat;
+    }
+  }
+}
+
+TEST(BoundedEvalTest, ViewKernelBitIdenticalToDeserializedEval) {
+  Sfa sfa = Figure1Sfa();
+  auto chain = MakeChainSfa(6, 4);
+  ASSERT_TRUE(chain.ok());
+  EvalScratch scratch;  // one scratch, reused across blobs and patterns
+  for (const Sfa* s : {&sfa, &*chain}) {
+    const std::string blob = s->Serialize();
+    for (const char* pat : {"F", "rd", "aa", "(F|T)", "\\d", "zzz"}) {
+      auto dfa = Dfa::Compile(pat, MatchMode::kContains);
+      ASSERT_TRUE(dfa.ok()) << pat;
+      auto p = EvalSerializedSfaBounded(blob, *dfa, 0.0, &scratch);
+      ASSERT_TRUE(p.ok()) << p.status().ToString();
+      EXPECT_EQ(*p, EvalSfaQuery(*s, *dfa)) << pat;
+      auto legacy = EvalSerializedSfa(blob, *dfa);
+      ASSERT_TRUE(legacy.ok());
+      EXPECT_EQ(*p, *legacy) << pat;
+    }
+  }
+}
+
+TEST(BoundedEvalTest, PrunesWhenLiveMassFallsBelowThreshold) {
+  // Sub-stochastic chain (approximation leak): each hop keeps half the
+  // mass, so live mass is 0.5 after the first node and 0.25 at the end.
+  SfaBuilder b;
+  NodeId n0 = b.AddNode(), n1 = b.AddNode(), n2 = b.AddNode();
+  ASSERT_TRUE(b.AddTransition(n0, n1, "x", 0.5).ok());
+  ASSERT_TRUE(b.AddTransition(n1, n2, "y", 0.5).ok());
+  b.SetStart(n0);
+  b.SetFinal(n2);
+  auto sfa = b.Build(/*require_stochastic=*/false);
+  ASSERT_TRUE(sfa.ok());
+  auto dfa = Dfa::Compile("xy", MatchMode::kContains);
+  ASSERT_TRUE(dfa.ok());
+  ASSERT_NEAR(EvalSfaQuery(*sfa, *dfa), 0.25, 1e-12);
+
+  // Threshold above the post-first-node bound: aborts after node 0.
+  EvalBound bound;
+  EXPECT_EQ(EvalSfaQueryBounded(*sfa, *dfa, 0.6, nullptr, &bound), 0.0);
+  EXPECT_TRUE(bound.pruned);
+  EXPECT_LT(bound.steps, bound.steps_total);
+
+  // Threshold below the final probability: runs to completion, same value.
+  EXPECT_EQ(EvalSfaQueryBounded(*sfa, *dfa, 0.2, nullptr, &bound),
+            EvalSfaQuery(*sfa, *dfa));
+  EXPECT_FALSE(bound.pruned);
+
+  // The view kernel prunes the same way.
+  const std::string blob = sfa->Serialize();
+  EvalScratch scratch;
+  auto pruned = EvalSerializedSfaBounded(blob, *dfa, 0.6, &scratch, &bound);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(*pruned, 0.0);
+  EXPECT_TRUE(bound.pruned);
+}
+
+TEST(SfaViewTest, DecodeMatchesDeserializeStructurally) {
+  Sfa sfa = Figure1Sfa();
+  const std::string blob = sfa.Serialize();
+  auto back = Sfa::Deserialize(blob);
+  ASSERT_TRUE(back.ok());
+  SfaViewArena arena;
+  SfaView view;
+  ASSERT_TRUE(view.Decode(blob, &arena).ok());
+
+  EXPECT_EQ(view.NumNodes(), back->NumNodes());
+  EXPECT_EQ(view.NumEdges(), back->NumEdges());
+  EXPECT_EQ(view.NumTransitions(), back->NumTransitions());
+  EXPECT_EQ(view.start(), back->start());
+  EXPECT_EQ(view.final(), back->final());
+  EXPECT_EQ(view.TopologicalOrder(), back->TopologicalOrder());
+  EXPECT_TRUE(view.MassBoundSafe());
+  for (NodeId n = 0; n < view.NumNodes(); ++n) {
+    const std::vector<EdgeId>& out = back->OutEdges(n);
+    ASSERT_EQ(static_cast<size_t>(view.out_end(n) - view.out_begin(n)),
+              out.size());
+    for (size_t k = 0; k < out.size(); ++k) {
+      EdgeId ve = view.out_begin(n)[k];
+      const ViewEdge& e = view.edge(ve);
+      const Edge& se = back->edge(out[k]);
+      EXPECT_EQ(e.from, se.from);
+      EXPECT_EQ(e.to, se.to);
+      ASSERT_EQ(e.num_transitions, se.transitions.size());
+      for (uint32_t t = 0; t < e.num_transitions; ++t) {
+        const ViewTransition& vt = view.transition(e.first_transition + t);
+        EXPECT_EQ(std::string(vt.label), se.transitions[t].label);
+        EXPECT_EQ(vt.prob, se.transitions[t].prob);
+      }
+    }
+  }
+}
+
+TEST(SfaViewTest, RejectsCorruptBlobs) {
+  Sfa sfa = Figure1Sfa();
+  const std::string blob = sfa.Serialize();
+  SfaViewArena arena;
+  SfaView view;
+
+  std::string bad_magic = blob;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(view.Decode(bad_magic, &arena).ok());
+
+  // Every truncation must fail cleanly, never crash or accept.
+  for (size_t len = 0; len < blob.size(); ++len) {
+    EXPECT_FALSE(view.Decode(std::string_view(blob.data(), len), &arena).ok())
+        << "truncated at " << len;
+  }
+
+  std::string trailing = blob + "junk";
+  EXPECT_FALSE(view.Decode(trailing, &arena).ok());
+
+  // After all the failures, the arena still decodes a good blob.
+  ASSERT_TRUE(view.Decode(blob, &arena).ok());
+  EXPECT_EQ(view.NumNodes(), sfa.NumNodes());
 }
 
 }  // namespace

@@ -40,6 +40,68 @@ TEST(ParallelForTest, EmptyRangeNeverCallsTheBody) {
   EXPECT_EQ(calls.load(), 0u);
 }
 
+TEST(ParallelForWorkerTest, WorkerIdsAreStableSlotsWithinBounds) {
+  constexpr size_t kN = 500;
+  constexpr size_t kThreads = 4;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  // Record which worker slot visited each index; ids must stay < kThreads
+  // and distinct concurrent calls must never share a slot — that is what
+  // lets callers index per-worker scratch without locking.
+  std::vector<std::atomic<int>> owner(kN);
+  for (auto& o : owner) o.store(-1);
+  std::vector<std::atomic<int>> in_flight(kThreads);
+  for (auto& f : in_flight) f.store(0);
+  std::atomic<bool> overlap{false};
+  Status st = ParallelForWorker(
+      kN, /*grain=*/1,
+      [&](size_t worker, size_t i) -> Status {
+        if (worker >= kThreads) overlap.store(true);
+        if (in_flight[worker].fetch_add(1) != 0) overlap.store(true);
+        hits[i].fetch_add(1);
+        owner[i].store(static_cast<int>(worker));
+        in_flight[worker].fetch_sub(1);
+        return Status::OK();
+      },
+      {kThreads});
+  ASSERT_TRUE(st.ok());
+  EXPECT_FALSE(overlap.load()) << "two concurrent calls shared a worker slot";
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+    EXPECT_GE(owner[i].load(), 0) << i;
+  }
+}
+
+TEST(ParallelForWorkerTest, SerialRegionRunsAsWorkerZeroInOrder) {
+  std::vector<size_t> seen;
+  Status st = ParallelForWorker(
+      8, /*grain=*/1,
+      [&](size_t worker, size_t i) -> Status {
+        EXPECT_EQ(worker, 0u);
+        seen.push_back(i);
+        return Status::OK();
+      },
+      {/*threads=*/1});
+  ASSERT_TRUE(st.ok());
+  ASSERT_EQ(seen.size(), 8u);
+  for (size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(ParallelForWorkerTest, ErrorStopsTheRegion) {
+  std::atomic<size_t> calls{0};
+  Status st = ParallelForWorker(
+      1000, /*grain=*/1,
+      [&](size_t, size_t i) -> Status {
+        calls.fetch_add(1);
+        if (i == 17) return Status::InvalidArgument("boom");
+        return Status::OK();
+      },
+      {/*threads=*/4});
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_LT(calls.load(), 1000u) << "failure did not stop the region";
+}
+
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
   constexpr size_t kN = 1000;
   for (size_t grain : {size_t{1}, size_t{3}, size_t{64}}) {

@@ -139,6 +139,102 @@ TEST_P(EvaluatorAgreement, VectorMatrixAndBruteForceAgree) {
   }
 }
 
+TEST_P(EvaluatorAgreement, BoundedKernelsBitIdenticalAndPruneSoundly) {
+  Rng rng(GetParam() * 17 + 3);
+  OcrNoiseModel model;
+  model.alternatives = 3;
+  model.p_branch = 0.25;
+  auto sfa = OcrLineToSfa("Public Law 89", model, &rng);
+  ASSERT_TRUE(sfa.ok());
+  // Both the stochastic OCR transducer and a lossy approximation (mass
+  // leaks at every chunk, which is what makes pruning bite in practice).
+  auto approx = ApproximateSfa(*sfa, {4, 2, true});
+  ASSERT_TRUE(approx.ok());
+  EvalScratch scratch;  // deliberately shared across every case below
+  for (const Sfa* s : {&*sfa, &*approx}) {
+    const std::string blob = s->Serialize();
+    auto back = Sfa::Deserialize(blob);
+    ASSERT_TRUE(back.ok());
+    for (const char* pat : {"Law", "8", "\\d\\d", "Pub", "absent"}) {
+      auto dfa = Dfa::Compile(pat, MatchMode::kContains);
+      ASSERT_TRUE(dfa.ok());
+      const double reference = EvalSfaQuery(*s, *dfa);
+
+      // (a) Bounded at threshold 0 is the reference, to the bit.
+      EvalBound bound;
+      EXPECT_EQ(EvalSfaQueryBounded(*s, *dfa, 0.0, &scratch, &bound),
+                reference)
+          << pat;
+      EXPECT_FALSE(bound.pruned);
+
+      // (c) The flat view kernel over the stored blob is also bit-equal.
+      auto viewed = EvalSerializedSfaBounded(blob, *dfa, 0.0, &scratch);
+      ASSERT_TRUE(viewed.ok());
+      EXPECT_EQ(*viewed, reference) << pat;
+
+      // Pruning soundness: for any threshold, either the DP completes with
+      // the exact reference value, or it aborts — and then the true
+      // probability is provably below the threshold (so a pruned candidate
+      // could never have entered a top-k whose cutoff is the threshold).
+      for (double threshold : {0.05, 0.3, 0.7, 1.1}) {
+        auto p = EvalSerializedSfaBounded(blob, *dfa, threshold, &scratch,
+                                          &bound);
+        ASSERT_TRUE(p.ok());
+        if (bound.pruned) {
+          EXPECT_LT(reference, threshold) << pat << " thr=" << threshold;
+          EXPECT_LE(bound.steps, bound.steps_total);
+        } else {
+          EXPECT_EQ(*p, reference) << pat << " thr=" << threshold;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(EvaluatorAgreement, ViewDecodeMatchesDeserializeOnStoredBlobs) {
+  Rng rng(GetParam() * 101 + 13);
+  OcrNoiseModel model;
+  model.alternatives = 4;
+  model.p_branch = 0.3;
+  auto sfa = OcrLineToSfa("insurance claim", model, &rng);
+  ASSERT_TRUE(sfa.ok());
+  auto approx = ApproximateSfa(*sfa, {6, 3, true});
+  ASSERT_TRUE(approx.ok());
+  SfaViewArena arena;  // reused across blobs, like an executor worker
+  for (const Sfa* s : {&*sfa, &*approx}) {
+    const std::string blob = s->Serialize();
+    auto back = Sfa::Deserialize(blob);
+    ASSERT_TRUE(back.ok());
+    SfaView view;
+    ASSERT_TRUE(view.Decode(blob, &arena).ok());
+    ASSERT_EQ(view.NumNodes(), back->NumNodes());
+    ASSERT_EQ(view.NumEdges(), back->NumEdges());
+    EXPECT_EQ(view.start(), back->start());
+    EXPECT_EQ(view.final(), back->final());
+    EXPECT_EQ(view.TopologicalOrder(), back->TopologicalOrder());
+    uint64_t chars = 0;
+    for (NodeId n = 0; n < view.NumNodes(); ++n) {
+      const std::vector<EdgeId>& out = back->OutEdges(n);
+      ASSERT_EQ(static_cast<size_t>(view.out_end(n) - view.out_begin(n)),
+                out.size());
+      for (size_t k = 0; k < out.size(); ++k) {
+        const ViewEdge& ve = view.edge(view.out_begin(n)[k]);
+        const Edge& se = back->edge(out[k]);
+        ASSERT_EQ(ve.to, se.to);
+        ASSERT_EQ(ve.num_transitions, se.transitions.size());
+        for (uint32_t t = 0; t < ve.num_transitions; ++t) {
+          const ViewTransition& vt = view.transition(ve.first_transition + t);
+          EXPECT_EQ(std::string(vt.label), se.transitions[t].label);
+          EXPECT_EQ(vt.prob, se.transitions[t].prob);
+          chars += vt.label.size();
+        }
+      }
+    }
+    EXPECT_EQ(view.TotalLabelChars(), chars);
+    EXPECT_TRUE(view.MassBoundSafe());
+  }
+}
+
 TEST_P(EvaluatorAgreement, KBestAgreesWithEnumeration) {
   Rng rng(GetParam() * 31 + 7);
   OcrNoiseModel model;

@@ -625,6 +625,121 @@ TEST(SessionTest, ExecuteBatchSharesOneKMapScanAcrossStringQueries) {
   ExpectSameAnswers((*mixed_results)[qs.size()], *sfa_solo);
 }
 
+TEST(SessionTest, EarlyStopPruningIsAnswerNeutralAcrossThreads) {
+  auto wb = Workbench::Create(SmallSpec(/*index=*/true));
+  ASSERT_TRUE(wb.ok()) << wb.status().ToString();
+  Session session(&(*wb)->db());
+
+  // Selective top-k over the lossy Staccato representation: NumAns is far
+  // below the candidate count, and approximation leak makes many
+  // candidates' mass bound sink below the k-th best answer mid-DP. A
+  // short, common pattern keeps the k-th best probability high, which is
+  // what lets the threshold bite early (rare patterns have tiny top
+  // probabilities, so their bound only collapses at the end of the DP).
+  for (Approach approach : {Approach::kStaccato, Approach::kFullSfa}) {
+    QueryOptions q;
+    q.pattern = "an";
+    q.num_ans = 3;
+    q.index_mode = IndexMode::kNever;  // scan: every doc is a candidate
+
+    std::vector<Answer> reference;
+    bool have_reference = false;
+    for (bool early_stop : {false, true}) {
+      for (size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+        q.early_stop = early_stop;
+        q.eval_threads = threads;
+        auto pq = session.Prepare(approach, q);
+        ASSERT_TRUE(pq.ok()) << pq.status().ToString();
+        QueryStats stats;
+        auto ans = pq->Execute(&stats);
+        ASSERT_TRUE(ans.ok()) << ans.status().ToString();
+        if (!have_reference) {
+          reference = *ans;
+          have_reference = true;
+          ASSERT_FALSE(reference.empty());
+        } else {
+          ExpectSameAnswers(*ans, reference);
+        }
+        if (!early_stop) {
+          EXPECT_EQ(stats.eval_pruned, 0u);
+          EXPECT_EQ(stats.eval_steps_saved, 0u);
+        }
+      }
+    }
+
+    // With early-stop on and one thread the pruning outcome is
+    // deterministic; on the lossy representation it must actually bite.
+    q.early_stop = true;
+    q.eval_threads = 1;
+    auto pq = session.Prepare(approach, q);
+    ASSERT_TRUE(pq.ok());
+    QueryStats stats;
+    auto ans = pq->Execute(&stats);
+    ASSERT_TRUE(ans.ok());
+    ExpectSameAnswers(*ans, reference);
+    if (approach == Approach::kStaccato) {
+      EXPECT_GT(stats.eval_pruned, 0u) << "early-stop never fired";
+      EXPECT_GT(stats.eval_steps_saved, 0u);
+      EXPECT_LT(stats.eval_pruned, stats.candidates);
+    }
+
+    // The pruning outcome is rendered by the post-execution Explain.
+    std::string explained = rdbms::ExplainPlan(pq->plan(), stats);
+    EXPECT_NE(explained.find("Pruned: "), std::string::npos) << explained;
+    EXPECT_NE(explained.find("early-stop=on"), std::string::npos) << explained;
+    EXPECT_NE(explained.find("steps-saved="), std::string::npos) << explained;
+  }
+
+  // Toggling early-stop off on a prepared query reports it in Explain.
+  QueryOptions q;
+  q.pattern = "President";
+  auto off = session.Prepare(Approach::kStaccato, q);
+  ASSERT_TRUE(off.ok());
+  off->set_early_stop(false);
+  EXPECT_NE(off->Explain().find("early-stop=off"), std::string::npos)
+      << off->Explain();
+}
+
+TEST(SessionTest, BatchExecutePrunesPerQueryAndStaysBitIdentical) {
+  auto wb = Workbench::Create(SmallSpec(/*index=*/true));
+  ASSERT_TRUE(wb.ok());
+  Session session(&(*wb)->db());
+
+  std::vector<QueryOptions> qs;
+  for (const char* pat : {"President", "Congress", "act", "law"}) {
+    QueryOptions q;
+    q.pattern = pat;
+    q.num_ans = 3;
+    q.index_mode = IndexMode::kNever;
+    qs.push_back(q);
+  }
+  // Solo baseline with pruning disabled: the strictest possible reference.
+  std::vector<std::vector<Answer>> solo;
+  for (QueryOptions q : qs) {
+    q.early_stop = false;
+    auto pq = session.Prepare(Approach::kStaccato, q);
+    ASSERT_TRUE(pq.ok());
+    auto ans = pq->Execute();
+    ASSERT_TRUE(ans.ok());
+    solo.push_back(std::move(*ans));
+  }
+
+  auto batch = session.PrepareBatch(Approach::kStaccato, qs);
+  ASSERT_TRUE(batch.ok());
+  std::vector<PreparedQuery*> ptrs;
+  for (PreparedQuery& pq : *batch) ptrs.push_back(&pq);
+  rdbms::BatchStats stats;
+  auto results = session.ExecuteBatch(ptrs, &stats);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  for (size_t i = 0; i < qs.size(); ++i) {
+    ExpectSameAnswers((*results)[i], solo[i]);
+  }
+  // Batch-wide totals aggregate the per-query counters.
+  size_t per_query_pruned = 0;
+  for (const QueryStats& st : stats.per_query) per_query_pruned += st.eval_pruned;
+  EXPECT_EQ(stats.eval_pruned, per_query_pruned);
+}
+
 TEST(SessionTest, SessionDefaultsToParallelEval) {
   auto wb = Workbench::Create(SmallSpec());
   ASSERT_TRUE(wb.ok());
