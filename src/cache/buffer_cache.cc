@@ -1,0 +1,268 @@
+#include "cache/buffer_cache.h"
+
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <unordered_map>
+
+namespace staccato::cache {
+
+namespace {
+
+constexpr size_t kDefaultShards = 16;
+constexpr size_t kMaxShards = 256;
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit hash step.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+size_t CacheKeyHash::operator()(const CacheKey& k) const {
+  return static_cast<size_t>(Mix(k.space ^ Mix(k.id ^ Mix(k.version))));
+}
+
+CacheConfig CacheConfig::Default() {
+  CacheConfig cfg;
+  if (const char* env = std::getenv("STACCATO_CACHE_MB")) {
+    char* end = nullptr;
+    unsigned long long mb = std::strtoull(env, &end, 10);
+    // strtoull wraps a leading '-' instead of failing; a negative knob
+    // must not become a near-unbounded budget.
+    if (env[0] != '-' && end != env && *end == '\0' &&
+        mb <= (std::numeric_limits<size_t>::max() >> 20)) {
+      cfg.budget_bytes = static_cast<size_t>(mb) << 20;
+    }
+  }
+  return cfg;
+}
+
+struct BufferCache::Entry {
+  CacheKey key;
+  std::string value;
+  size_t charge = 0;
+  uint32_t refs = 0;      ///< outstanding handles, +1 while in the table
+  bool in_cache = false;  ///< still reachable through the shard table
+  Shard* shard = nullptr;  ///< null = detached (handle is the sole owner)
+  // Intrusive LRU links; non-null prev means "on the list" (evictable).
+  Entry* prev = nullptr;
+  Entry* next = nullptr;
+};
+
+struct BufferCache::Shard {
+  mutable std::mutex mu;
+  std::unordered_map<CacheKey, Entry*, CacheKeyHash> table;
+  Entry lru;  ///< sentinel: lru.next = coldest, lru.prev = hottest
+  size_t capacity = 0;
+  size_t usage = 0;  ///< Σ charge of in-cache entries (pinned included)
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+  uint64_t rejected = 0;
+
+  Shard() {
+    lru.prev = &lru;
+    lru.next = &lru;
+  }
+
+  static void ListRemove(Entry* e) {
+    e->prev->next = e->next;
+    e->next->prev = e->prev;
+    e->prev = nullptr;
+    e->next = nullptr;
+  }
+
+  /// Appends at the hot (sentinel.prev) end.
+  void AppendHot(Entry* e) {
+    e->prev = lru.prev;
+    e->next = &lru;
+    lru.prev->next = e;
+    lru.prev = e;
+  }
+};
+
+BufferCache::BufferCache(size_t budget_bytes, size_t shards)
+    : budget_(budget_bytes) {
+  size_t n = RoundUpPow2(shards == 0 ? kDefaultShards : shards);
+  if (n > kMaxShards) n = kMaxShards;
+  // Never hand a shard a zero budget while the cache as a whole has one:
+  // with fewer shards than budget bytes, collapse the shard count instead.
+  while (n > 1 && budget_bytes / n == 0) n >>= 1;
+  shard_mask_ = n - 1;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto* sh = new Shard();
+    sh->capacity = budget_bytes / n;
+    shards_.push_back(sh);
+  }
+}
+
+BufferCache::~BufferCache() {
+  // All handles must have been released by now (they pin entries whose
+  // shard pointers die with us).
+  for (Shard* sh : shards_) {
+    for (auto& [key, entry] : sh->table) delete entry;
+    delete sh;
+  }
+}
+
+BufferCache::Shard& BufferCache::ShardFor(const CacheKey& key) {
+  return *shards_[CacheKeyHash{}(key) & shard_mask_];
+}
+
+const std::string& BufferCache::Handle::value() const { return entry_->value; }
+
+void BufferCache::Release(Entry* e) {
+  Shard* sh = e->shard;
+  if (sh == nullptr) {  // detached: the handle was the sole owner
+    delete e;
+    return;
+  }
+  std::lock_guard<std::mutex> lock(sh->mu);
+  --e->refs;
+  if (e->refs == 0) {
+    delete e;  // was erased/evicted while pinned
+  } else if (e->refs == 1 && e->in_cache) {
+    // Last external pin gone: the entry becomes evictable again, at the
+    // hot end (it was just in use).
+    sh->AppendHot(e);
+  }
+}
+
+void BufferCache::FinishEraseLocked(Shard& sh, Entry* e) {
+  sh.table.erase(e->key);
+  if (e->prev != nullptr) Shard::ListRemove(e);
+  sh.usage -= e->charge;
+  e->in_cache = false;
+  --e->refs;  // drop the table's reference
+  if (e->refs == 0) delete e;
+  // else: outstanding handles keep the (now uncharged) bytes alive until
+  // the last Release.
+}
+
+BufferCache::Handle BufferCache::Lookup(const CacheKey& key) {
+  Shard& sh = ShardFor(key);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.table.find(key);
+  if (it == sh.table.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return Handle();
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  Entry* e = it->second;
+  ++e->refs;
+  if (e->prev != nullptr) Shard::ListRemove(e);  // pinned: off the LRU list
+  return Handle(e);
+}
+
+BufferCache::Handle BufferCache::Insert(const CacheKey& key,
+                                        std::string value) {
+  Shard& sh = ShardFor(key);
+  auto* e = new Entry();
+  e->key = key;
+  e->value = std::move(value);
+  e->charge = e->value.size() + kEntryOverhead;
+  std::lock_guard<std::mutex> lock(sh.mu);
+  // Replace-any-existing-entry holds on every path, including the reject
+  // below — a refused insert must not leave a superseded value readable.
+  auto it = sh.table.find(key);
+  if (it != sh.table.end()) FinishEraseLocked(sh, it->second);
+  if (e->charge > sh.capacity) {
+    // The value alone can never fit: refuse before flushing every
+    // resident entry of the shard for nothing.
+    ++sh.rejected;
+    e->refs = 1;
+    return Handle(e);  // shard stays null: detached
+  }
+  while (sh.usage + e->charge > sh.capacity && sh.lru.next != &sh.lru) {
+    FinishEraseLocked(sh, sh.lru.next);  // coldest first
+    ++sh.evictions;
+  }
+  if (sh.usage + e->charge > sh.capacity) {
+    // Strict budget: every resident entry is pinned (or the value alone
+    // exceeds the shard slice). Hand the bytes back uncached.
+    ++sh.rejected;
+    e->refs = 1;
+    return Handle(e);  // shard stays null: detached
+  }
+  e->shard = &sh;
+  e->in_cache = true;
+  e->refs = 2;  // the table + the returned handle
+  sh.table.emplace(e->key, e);
+  sh.usage += e->charge;
+  ++sh.inserts;
+  return Handle(e);
+}
+
+void BufferCache::Erase(const CacheKey& key) {
+  Shard& sh = ShardFor(key);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.table.find(key);
+  if (it != sh.table.end()) FinishEraseLocked(sh, it->second);
+}
+
+void BufferCache::EraseSpace(uint64_t space) {
+  for (Shard* sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    std::vector<Entry*> doomed;
+    for (auto& [key, entry] : sh->table) {
+      if (key.space == space) doomed.push_back(entry);
+    }
+    for (Entry* e : doomed) FinishEraseLocked(*sh, e);
+  }
+}
+
+void BufferCache::Clear() {
+  for (Shard* sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    std::vector<Entry*> doomed;
+    doomed.reserve(sh->table.size());
+    for (auto& [key, entry] : sh->table) doomed.push_back(entry);
+    for (Entry* e : doomed) FinishEraseLocked(*sh, e);
+  }
+}
+
+CacheStats BufferCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  for (Shard* sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    s.inserts += sh->inserts;
+    s.evictions += sh->evictions;
+    s.rejected += sh->rejected;
+    s.bytes_in_use += sh->usage;
+    s.entries += sh->table.size();
+    for (const auto& [key, entry] : sh->table) {
+      if (entry->refs > 1) ++s.pinned_entries;
+    }
+  }
+  return s;
+}
+
+uint64_t BufferCache::bytes_in_use() const {
+  uint64_t total = 0;
+  for (Shard* sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    total += sh->usage;
+  }
+  return total;
+}
+
+BufferCache::Handle BufferCache::Detached(std::string value) {
+  auto* e = new Entry();
+  e->value = std::move(value);
+  e->refs = 1;
+  return Handle(e);
+}
+
+}  // namespace staccato::cache

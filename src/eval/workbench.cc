@@ -29,7 +29,8 @@ Result<std::unique_ptr<Workbench>> Workbench::Create(const WorkbenchSpec& spec) 
   }
   STACCATO_ASSIGN_OR_RETURN(wb->dataset_,
                             GenerateOcrDataset(spec.corpus, spec.noise));
-  STACCATO_ASSIGN_OR_RETURN(wb->db_, StaccatoDb::Open(wb->spec_.work_dir));
+  STACCATO_ASSIGN_OR_RETURN(wb->db_,
+                            StaccatoDb::Open(wb->spec_.work_dir, spec.cache));
   STACCATO_RETURN_NOT_OK(wb->db_->Load(wb->dataset_, spec.load));
   if (spec.build_index) {
     std::vector<std::string> dict =

@@ -30,6 +30,9 @@ struct WorkbenchSpec {
   LoadOptions load;
   std::string work_dir;  ///< empty = unique directory under /tmp
   bool build_index = false;
+  /// Shared buffer-cache sizing passed to StaccatoDb::Open; the default
+  /// honors STACCATO_CACHE_MB, and budget_bytes = 0 disables caching.
+  cache::CacheConfig cache = cache::CacheConfig::Default();
 };
 
 /// \brief One measured query execution.

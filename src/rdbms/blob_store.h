@@ -2,25 +2,63 @@
 // FullSFA and StaccatoGraph columns point into (the paper stores serialized
 // transducers as Postgres large objects).
 //
-// Concurrency contract: Get is safe to call from any number of threads at
-// once — reads use positioned I/O (pread) on the underlying descriptor, so
-// they share no file-position state and proceed fully in parallel. This is
-// the storage half of the executor's parallel Fetch stage. Put and Flush
-// (and the load-time truncate/reopen in StaccatoDb::Load) require external
-// exclusion: no concurrent Gets while the store is being written.
+// Concurrency contract: Get/GetInto/GetCached are safe to call from any
+// number of threads at once — reads use positioned I/O (pread) on the
+// underlying descriptor, so they share no file-position state and proceed
+// fully in parallel. This is the storage half of the executor's parallel
+// Fetch stage. Put and Flush (and the load-time truncate/reopen in
+// StaccatoDb::Load) require external exclusion: no concurrent Gets while
+// the store is being written.
+//
+// Cache-aware reads: attach a shared BufferCache with set_cache and read
+// through GetCached, keyed on (representation, doc, load_generation) via
+// BlobCacheKey. A hit pins the cached bytes (no heap-table access, no
+// pread); a miss reads from disk and installs the blob under the key.
+// Because the key carries the database's load generation, Load /
+// BuildInvertedIndex invalidation falls out of the existing generation
+// bump — stale entries are simply never matched again.
 #pragma once
 
 #include <atomic>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 
+#include "cache/buffer_cache.h"
 #include "util/result.h"
 
 namespace staccato::rdbms {
 
 using BlobId = uint64_t;
+
+/// \brief Read accounting, counted identically by every read path: Get,
+/// GetInto, and GetCached all count one `reads`; `bytes_read` counts
+/// physical disk bytes only (a cache hit serves no physical bytes and
+/// counts under `cache_hits` instead). Counters are shared across
+/// concurrent readers, so per-query attribution is only meaningful when
+/// one query runs at a time — same caveat as HeapTable::io_stats().
+struct BlobIoStats {
+  uint64_t reads = 0;         ///< blob reads served (any path)
+  uint64_t bytes_read = 0;    ///< physical bytes read from disk
+  uint64_t cache_hits = 0;    ///< GetCached served from the buffer cache
+  uint64_t cache_misses = 0;  ///< GetCached that had to touch disk
+};
+
+/// Blob-cache key namespaces: one per stored representation. Table page
+/// namespaces are per-instance counters starting at 1, so these can never
+/// collide with them.
+inline constexpr uint64_t kCacheSpaceFullSfaBlob = ~uint64_t{0} - 1;
+inline constexpr uint64_t kCacheSpaceStaccatoBlob = ~uint64_t{0} - 2;
+
+/// The executor's blob-cache key: (representation, doc, load generation).
+inline cache::CacheKey BlobCacheKey(bool full_sfa, uint64_t doc,
+                                    uint64_t load_generation) {
+  return cache::CacheKey{
+      full_sfa ? kCacheSpaceFullSfaBlob : kCacheSpaceStaccatoBlob, doc,
+      load_generation};
+}
 
 /// \brief File-backed append-only blob store.
 class BlobStore {
@@ -44,8 +82,30 @@ class BlobStore {
   /// Buffer-reusing flavour for hot read loops: resizes `*out` to the blob
   /// length, reusing its capacity, so a worker that keeps one buffer warm
   /// reads successive blobs without heap allocation. Same concurrency
-  /// contract as Get; distinct callers must pass distinct buffers.
+  /// contract as Get; distinct callers must pass distinct buffers. Reports
+  /// exactly the io_stats() a Get of the same blob would.
   Status GetInto(BlobId id, std::string* out);
+
+  /// Cache-aware read: consults the attached buffer cache under `key`; on
+  /// a miss, reads the blob from disk and installs it. The returned handle
+  /// pins the bytes (zero-copy view) until released. Without an attached
+  /// cache this degrades to a plain disk read on a detached handle, so
+  /// callers need not branch. Same concurrency contract as Get.
+  Result<cache::BufferCache::Handle> GetCached(BlobId id,
+                                               const cache::CacheKey& key);
+
+  /// GetCached for callers whose blob id itself costs a lookup (the
+  /// executor resolves it with a heap point get): `resolve_id` runs only
+  /// on a cache miss, so a hit serves the pinned bytes with no heap-table
+  /// access and no pread at all.
+  Result<cache::BufferCache::Handle> GetCached(
+      const cache::CacheKey& key,
+      const std::function<Result<BlobId>()>& resolve_id);
+
+  /// Attaches the process-shared buffer cache (null detaches). Not
+  /// synchronized against concurrent reads: wire it at open/load time.
+  void set_cache(cache::BufferCache* cache) { cache_ = cache; }
+  cache::BufferCache* cache() const { return cache_; }
 
   /// Pushes buffered writes to disk. Call before another handle truncates
   /// or reopens the same file. The dirty flag is cleared only when the
@@ -58,10 +118,36 @@ class BlobStore {
   }
 
   uint64_t FileBytes() const { return end_; }
+
+  /// Snapshot of the read counters (see BlobIoStats for the contract).
+  BlobIoStats io_stats() const {
+    BlobIoStats s;
+    s.reads = reads_.load(std::memory_order_relaxed);
+    s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+    s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+    return s;
+  }
   uint64_t bytes_read() const {
     return bytes_read_.load(std::memory_order_relaxed);
   }
-  void ResetStats() { bytes_read_.store(0, std::memory_order_relaxed); }
+  void ResetStats() {
+    reads_.store(0, std::memory_order_relaxed);
+    bytes_read_.store(0, std::memory_order_relaxed);
+    cache_hits_.store(0, std::memory_order_relaxed);
+    cache_misses_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Lifetime (never reset) cache-hit counters over *blob* reads only —
+  /// what the planner's warm-cache Fetch pricing reads. The shared
+  /// BufferCache's own stats mix in heap-page traffic, which says nothing
+  /// about how warm the blobs are; these do.
+  uint64_t lifetime_cache_hits() const {
+    return lifetime_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t lifetime_cache_misses() const {
+    return lifetime_misses_.load(std::memory_order_relaxed);
+  }
 
  private:
   explicit BlobStore(std::string path) : path_(std::move(path)) {}
@@ -72,7 +158,13 @@ class BlobStore {
   uint64_t end_ = 0;   ///< mutated only under the external-exclusive contract
   std::atomic<bool> dirty_{false};  ///< writes buffered since the last flush
   std::mutex flush_mu_;             ///< serializes the flush-before-read
+  cache::BufferCache* cache_ = nullptr;  ///< borrowed; see set_cache
+  std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> lifetime_hits_{0};    ///< never reset (planner)
+  std::atomic<uint64_t> lifetime_misses_{0};  ///< never reset (planner)
 };
 
 }  // namespace staccato::rdbms

@@ -2,6 +2,8 @@
 
 #include <sys/stat.h>
 
+#include <atomic>
+
 #include "util/strings.h"
 
 namespace staccato::rdbms {
@@ -15,6 +17,16 @@ Result<FILE*> OpenFile(const std::string& path, bool truncate) {
   return f;
 }
 }  // namespace
+
+uint64_t HeapTable::NextCacheSpace() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+void HeapTable::SetSharedCache(cache::BufferCache* cache) {
+  std::lock_guard<std::mutex> lock(latch_);
+  shared_cache_ = cache;
+}
 
 Result<std::unique_ptr<HeapTable>> HeapTable::Create(const std::string& path,
                                                      Schema schema,
@@ -62,6 +74,13 @@ Status HeapTable::WritePage(uint32_t page_no, const SlottedPage& page) {
     return Status::IOError("short write");
   }
   ++io_.pages_written;
+  if (shared_cache_ != nullptr) {
+    // Write-through: the shared copy always matches what is on disk, so a
+    // later pool miss can serve it without a coherence check. The handle
+    // is dropped immediately — the entry goes straight onto the LRU list.
+    shared_cache_->Insert(cache::CacheKey{cache_space_, page_no, 0},
+                          std::string(page.raw(), kPageSize));
+  }
   return Status::OK();
 }
 
@@ -86,22 +105,41 @@ Result<HeapTable::Frame*> HeapTable::FetchPage(uint32_t page_no) {
     it->second.lru_it = lru_.begin();
     return &it->second;
   }
-  ++io_.page_misses;
-  io_.bytes_read += kPageSize;
   while (pool_.size() >= pool_cap_) {
     STACCATO_RETURN_NOT_OK(EvictOne());
   }
   Frame frame;
-  if (page_no < num_pages_) {
-    if (fseek(file_, static_cast<long>(page_no) * static_cast<long>(kPageSize),
-              SEEK_SET) != 0) {
-      return Status::IOError("seek failed");
+  bool filled = false;
+  if (page_no < num_pages_ && shared_cache_ != nullptr) {
+    // Second tier: a pool miss consults the shared buffer cache before
+    // disk. The pinned bytes are copied into the pool frame and released.
+    cache::BufferCache::Handle h =
+        shared_cache_->Lookup(cache::CacheKey{cache_space_, page_no, 0});
+    if (h && h.value().size() == kPageSize) {
+      std::memcpy(frame.page.raw(), h.value().data(), kPageSize);
+      ++io_.cache_hits;
+      filled = true;
     }
-    if (fread(frame.page.raw(), 1, kPageSize, file_) != kPageSize) {
-      return Status::IOError("short read");
+  }
+  if (!filled) {
+    ++io_.page_misses;
+    io_.bytes_read += kPageSize;
+    if (page_no < num_pages_) {
+      if (fseek(file_,
+                static_cast<long>(page_no) * static_cast<long>(kPageSize),
+                SEEK_SET) != 0) {
+        return Status::IOError("seek failed");
+      }
+      if (fread(frame.page.raw(), 1, kPageSize, file_) != kPageSize) {
+        return Status::IOError("short read");
+      }
+      if (shared_cache_ != nullptr) {
+        shared_cache_->Insert(cache::CacheKey{cache_space_, page_no, 0},
+                              std::string(frame.page.raw(), kPageSize));
+      }
+    } else {
+      frame.page.Init();
     }
-  } else {
-    frame.page.Init();
   }
   auto [ins, ok] = pool_.emplace(page_no, std::move(frame));
   lru_.push_front(page_no);
@@ -178,6 +216,9 @@ void HeapTable::EvictAll() {
   (void)FlushLocked();
   pool_.clear();
   lru_.clear();
+  // A "cold cache" must be cold in both tiers, or the next scan would be
+  // served warm from the shared cache.
+  if (shared_cache_ != nullptr) shared_cache_->EraseSpace(cache_space_);
 }
 
 }  // namespace staccato::rdbms

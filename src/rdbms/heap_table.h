@@ -24,6 +24,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "cache/buffer_cache.h"
 #include "rdbms/page.h"
 #include "rdbms/value.h"
 #include "util/result.h"
@@ -36,6 +37,9 @@ struct IoStats {
   uint64_t page_misses = 0;     ///< pages read from disk
   uint64_t pages_written = 0;
   uint64_t bytes_read = 0;      ///< physical bytes read from disk
+  /// Pool misses served by the shared buffer cache instead of disk (only
+  /// nonzero when a shared cache is attached; see SetSharedCache).
+  uint64_t cache_hits = 0;
 };
 
 /// \brief A heap file of tuples under a fixed schema.
@@ -89,12 +93,32 @@ class HeapTable {
     io_ = IoStats{};
   }
 
-  /// Drops all cached pages (simulates a cold cache for benchmarks).
+  /// Drops all cached pages (simulates a cold cache for benchmarks),
+  /// including this table's pages in the shared buffer cache.
   void EvictAll();
+
+  /// Attaches the process-shared buffer cache as a second tier behind the
+  /// table's own small pool: a pool miss consults the cache (keyed on this
+  /// table instance's id + page number) before going to disk, and every
+  /// page write is written through to the cache, so re-reads of evicted
+  /// pages skip disk while honoring the cache's memory budget. Null
+  /// detaches. Not synchronized against concurrent operations: wire it at
+  /// open/load time.
+  void SetSharedCache(cache::BufferCache* cache);
+
+  /// This table instance's cache-key namespace: unique per HeapTable
+  /// object, so a truncate-and-replace (StaccatoDb::Load) can never serve
+  /// pages cached by the previous instance.
+  uint64_t cache_space() const { return cache_space_; }
 
  private:
   HeapTable(std::string path, Schema schema, size_t pool_pages)
-      : path_(std::move(path)), schema_(std::move(schema)), pool_cap_(pool_pages) {}
+      : path_(std::move(path)), schema_(std::move(schema)),
+        pool_cap_(pool_pages), cache_space_(NextCacheSpace()) {}
+
+  /// Process-wide monotone counter (starting at 1) handing every table
+  /// instance a distinct cache-key namespace.
+  static uint64_t NextCacheSpace();
 
   struct Frame {
     SlottedPage page;
@@ -110,6 +134,8 @@ class HeapTable {
   std::string path_;
   Schema schema_;
   size_t pool_cap_;
+  cache::BufferCache* shared_cache_ = nullptr;  ///< borrowed second tier
+  const uint64_t cache_space_;  ///< per-instance key namespace
   FILE* file_ = nullptr;
   size_t num_pages_ = 0;
   uint64_t num_tuples_ = 0;

@@ -104,6 +104,22 @@ CostEstimate EstimateCost(const PlanContext& ctx, Approach approach,
   est.table_cardinality = ctx.num_sfas;
   est.equality_selectivity = std::pow(consts.equality_default_selectivity,
                                       static_cast<double>(num_equalities));
+  // Warm-cache Fetch pricing: the blob store's lifetime cached-read
+  // counters say what fraction of *blob* fetches have been skipping disk
+  // (the shared cache's own stats mix in heap-page traffic, which says
+  // nothing about blob warmth). A cold or absent cache estimates 0 and
+  // the formulas below degrade to the pure disk model. The estimate is a
+  // snapshot frozen into the plan — it does not chase the cache while the
+  // plan executes.
+  if (ctx.cache != nullptr && ctx.blobs != nullptr) {
+    const uint64_t hits = ctx.blobs->lifetime_cache_hits();
+    const uint64_t misses = ctx.blobs->lifetime_cache_misses();
+    if (hits + misses > 0) {
+      est.cache_hit_rate =
+          static_cast<double>(hits) / static_cast<double>(hits + misses);
+    }
+  }
+  const double miss_rate = 1.0 - est.cache_hit_rate;
   // Filtering costs one MasterData filescan to build the bitmap.
   const double filter_io =
       num_equalities > 0 && ctx.master != nullptr
@@ -137,8 +153,14 @@ CostEstimate EstimateCost(const PlanContext& ctx, Approach approach,
   } else {
     const double cand = static_cast<double>(est.scan.candidates);
     est.scan.fetch_bytes = cand * avg_blob_bytes;
-    est.scan.io_cost = filter_io + cand * consts.point_read_cost +
-                       est.scan.fetch_bytes / kPageSize;
+    // A cache hit skips the whole fetch unit — the blob-row point get
+    // AND the pread — paying cache_hit_cost instead (the executor probes
+    // the cache before resolving the blob id).
+    est.scan.io_cost =
+        filter_io +
+        miss_rate * (cand * consts.point_read_cost +
+                     est.scan.fetch_bytes / kPageSize) +
+        cand * est.cache_hit_rate * consts.cache_hit_cost;
     est.scan.eval_cost = cand * avg_blob_bytes * consts.eval_cost_per_byte;
   }
   est.scan.total = est.scan.io_cost + est.scan.eval_cost;
@@ -167,7 +189,9 @@ CostEstimate EstimateCost(const PlanContext& ctx, Approach approach,
     est.index.io_cost =
         filter_io +
         static_cast<double>(est.anchor_postings) * consts.point_read_cost +
-        cand * consts.point_read_cost + est.index.fetch_bytes / kPageSize;
+        miss_rate * (cand * consts.point_read_cost +
+                     est.index.fetch_bytes / kPageSize) +
+        cand * est.cache_hit_rate * consts.cache_hit_cost;
     est.index.eval_cost =
         cand * avg_blob_bytes * consts.eval_cost_per_byte *
         (use_projection ? consts.projection_eval_discount : 1.0);
@@ -180,6 +204,9 @@ std::string CostEstimate::ToString() const {
   const PathCost& c = chosen_cost();
   std::string out = StringPrintf("est-candidates=%zu sel=%.2f cost=%.1f",
                                  c.candidates, equality_selectivity, c.total);
+  if (cache_hit_rate > 0.0) {
+    out += StringPrintf(" warm-hit=%.2f", cache_hit_rate);
+  }
   out += StringPrintf(" [scan=%.1f", scan.total);
   if (index.feasible) {
     out += StringPrintf(" index=%.1f (postings=%zu docs=%zu)", index.total,
@@ -422,6 +449,10 @@ void InitQueryStats(QueryStats* stats, const PlanSpec& plan,
   stats->eval_steps_saved = 0;
   stats->batch_size = batch_size;
   stats->shared_candidate_pass = false;
+  stats->cache_hits = 0;
+  stats->cache_misses = 0;
+  stats->cache_bytes = 0;
+  stats->shared_plan_hit = false;
 }
 
 /// Entries built against older data are dead; start the cache over at the
@@ -652,7 +683,10 @@ Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
   const size_t horizon = plan.pattern.size() + 8;
   struct WorkerState {
     EvalScratch scratch;
-    std::string blob;
+    std::string blob;  ///< read buffer for the cacheless path
+    /// Pin on the candidate currently being evaluated (cached path).
+    /// Exactly one per worker: fetching the next candidate releases it.
+    cache::BufferCache::Handle pin;
   };
   std::vector<WorkerState> workers(threads);
   std::vector<double> prob(cands.size(), 0.0);
@@ -663,18 +697,39 @@ Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
     const size_t i = order[v];
     const SfaCandidate& cand = cands[i];
     WorkerState& ws = workers[worker];
-    if (cand.doc >= rids.size()) return Status::NotFound("no such DataKey");
-    STACCATO_ASSIGN_OR_RETURN(Tuple t, blob_table->Get(rids[cand.doc]));
-    STACCATO_RETURN_NOT_OK(ctx.blobs->GetInto(t[1].AsBlobId(), &ws.blob));
+    // Fetch: through the shared buffer cache when the database has one
+    // (the worker pins the cached bytes for the duration of its DP — a
+    // hit skips the heap point get and the pread entirely), via the
+    // reusable per-worker buffer otherwise. Same bytes either way.
+    const std::string* blob = &ws.blob;
+    if (ctx.cache != nullptr) {
+      STACCATO_ASSIGN_OR_RETURN(
+          ws.pin,
+          ctx.blobs->GetCached(
+              BlobCacheKey(full, cand.doc, ctx.load_generation),
+              [&]() -> Result<BlobId> {
+                if (cand.doc >= rids.size()) {
+                  return Status::NotFound("no such DataKey");
+                }
+                STACCATO_ASSIGN_OR_RETURN(Tuple t,
+                                          blob_table->Get(rids[cand.doc]));
+                return t[1].AsBlobId();
+              }));
+      blob = &ws.pin.value();
+    } else {
+      if (cand.doc >= rids.size()) return Status::NotFound("no such DataKey");
+      STACCATO_ASSIGN_OR_RETURN(Tuple t, blob_table->Get(rids[cand.doc]));
+      STACCATO_RETURN_NOT_OK(ctx.blobs->GetInto(t[1].AsBlobId(), &ws.blob));
+    }
     if (plan.fetch == FetchMethod::kProjection) {
       STACCATO_ASSIGN_OR_RETURN(
-          prob[i], EvalProjectedBlob(ws.blob, cand.postings, dfa, horizon));
+          prob[i], EvalProjectedBlob(*blob, cand.postings, dfa, horizon));
       return Status::OK();
     }
     EvalBound bound;
     const double threshold = prune ? topk.Get() : 0.0;
     STACCATO_ASSIGN_OR_RETURN(
-        prob[i], EvalSerializedSfaBounded(ws.blob, dfa, threshold,
+        prob[i], EvalSerializedSfaBounded(*blob, dfa, threshold,
                                           &ws.scratch, &bound));
     if (bound.pruned) {
       prob[i] = 0.0;
@@ -695,7 +750,13 @@ Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
   }
 
   if (stats != nullptr) {
-    stats->blob_bytes_read += ctx.blobs->bytes_read();
+    BlobIoStats bio = ctx.blobs->io_stats();
+    stats->blob_bytes_read += bio.bytes_read;
+    stats->cache_hits += bio.cache_hits;
+    stats->cache_misses += bio.cache_misses;
+    if (ctx.cache != nullptr) {
+      stats->cache_bytes = ctx.cache->bytes_in_use();
+    }
     stats->candidates = cands.size();
     stats->index_postings = total_postings;
     stats->selectivity = ctx.num_sfas == 0
@@ -876,16 +937,36 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
               full ? *ctx.fullsfa_rid : *ctx.graph_rid;
           if (doc >= rids.size()) return Status::NotFound("no such DataKey");
           HeapTable* table = full ? ctx.fullsfa : ctx.staccato_graph;
-          STACCATO_ASSIGN_OR_RETURN(Tuple t, table->Get(rids[doc]));
-          STACCATO_ASSIGN_OR_RETURN(std::string blob,
-                                    ctx.blobs->Get(t[1].AsBlobId()));
-          STACCATO_ASSIGN_OR_RETURN(fetches[k]->second.sfa,
-                                    Sfa::Deserialize(blob));
+          // Read through the shared buffer cache when present — like the
+          // solo path, a hit skips the heap point get too; the pin lives
+          // only for the deserialize. Plain read otherwise.
+          if (ctx.cache != nullptr) {
+            STACCATO_ASSIGN_OR_RETURN(
+                cache::BufferCache::Handle pin,
+                ctx.blobs->GetCached(
+                    BlobCacheKey(full, doc, ctx.load_generation),
+                    [&]() -> Result<BlobId> {
+                      STACCATO_ASSIGN_OR_RETURN(Tuple t,
+                                                table->Get(rids[doc]));
+                      return t[1].AsBlobId();
+                    }));
+            STACCATO_ASSIGN_OR_RETURN(fetches[k]->second.sfa,
+                                      Sfa::Deserialize(pin.value()));
+          } else {
+            STACCATO_ASSIGN_OR_RETURN(Tuple t, table->Get(rids[doc]));
+            STACCATO_ASSIGN_OR_RETURN(std::string blob,
+                                      ctx.blobs->Get(t[1].AsBlobId()));
+            STACCATO_ASSIGN_OR_RETURN(fetches[k]->second.sfa,
+                                      Sfa::Deserialize(blob));
+          }
           fetches[k]->second.info = ComputeSfaEvalInfo(fetches[k]->second.sfa);
           return Status::OK();
         },
         ParallelOptions{fetch_workers}));
-    const uint64_t fetched_bytes = ctx.blobs->bytes_read();
+    const BlobIoStats fetch_bio = ctx.blobs->io_stats();
+    const uint64_t fetched_bytes = fetch_bio.bytes_read;
+    const uint64_t fetch_cache_bytes =
+        ctx.cache != nullptr ? ctx.cache->bytes_in_use() : 0;
 
     // Eval every (query, candidate) pair on the pool; results gather
     // positionally per query, exactly as in solo execution. The shared
@@ -975,6 +1056,9 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
       }
       if (QueryStats* st = items[w.item].stats; st != nullptr) {
         st->blob_bytes_read += fetched_bytes;  // batch-wide shared pass
+        st->cache_hits += fetch_bio.cache_hits;
+        st->cache_misses += fetch_bio.cache_misses;
+        st->cache_bytes = fetch_cache_bytes;
         st->candidates = w.cands.size();
         st->index_postings = w.total_postings;
         st->selectivity = ctx.num_sfas == 0
@@ -1002,6 +1086,9 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
       batch_stats->distinct_docs_fetched = sfa_map.size();
       batch_stats->fetch_threads = fetch_workers;
       batch_stats->eval_threads = eval_workers;
+      batch_stats->cache_hits = fetch_bio.cache_hits;
+      batch_stats->cache_misses = fetch_bio.cache_misses;
+      batch_stats->cache_bytes = fetch_cache_bytes;
     }
   }
   return results;
@@ -1048,6 +1135,14 @@ std::string ExplainPlan(const PlanSpec& plan, const QueryStats& stats) {
         stats.eval_pruned, stats.candidates,
         static_cast<unsigned long long>(stats.eval_steps_saved),
         plan.early_stop ? "on" : "off");
+    // The Fetch stage's buffer-cache outcome (blob reads served warm vs
+    // from disk; zeros when the database runs cache-disabled).
+    out += StringPrintf(
+        "  Cache: hits=%llu misses=%llu resident=%llu B shared-plan=%s\n",
+        static_cast<unsigned long long>(stats.cache_hits),
+        static_cast<unsigned long long>(stats.cache_misses),
+        static_cast<unsigned long long>(stats.cache_bytes),
+        stats.shared_plan_hit ? "hit" : "miss");
   }
   if (stats.batch_size > 0) {
     out += StringPrintf("  Batch: size=%zu shared-candidate-pass=%s\n",

@@ -134,6 +134,18 @@ struct QueryStats {
   /// fetches and evaluates one candidate at a time, so fetch and eval
   /// share the same fan-out.
   size_t fetch_threads = 1;
+  // Buffer-cache observability for the Fetch stage: blob reads served
+  // from the shared memory-budgeted cache vs from disk, and the cache's
+  // resident bytes when the run finished. Counters are shared across
+  // concurrent queries (same caveat as the I/O counters); all three stay
+  // zero when the database runs with caching disabled.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_bytes = 0;
+  /// This Execute adopted CandidateGen/Filter artifacts from the owning
+  /// Session's shared plan-cache table (warmed by another PreparedQuery
+  /// with the same plan fingerprint) instead of recomputing them.
+  bool shared_plan_hit = false;
   // Early-termination observability. `eval_pruned` counts candidates whose
   // DP aborted because their probability upper bound fell below the
   // running k-th best answer; `eval_steps_saved` totals the DP steps
@@ -186,6 +198,11 @@ struct CostConstants {
   /// Selectivity guess per equality predicate (no histograms; System R's
   /// classic 1/10).
   double equality_default_selectivity = 0.1;
+  /// Cost of serving one blob fetch from the shared buffer cache (shard
+  /// hash probe + pin; no heap get, no pread), in cost units. The
+  /// estimated hit fraction of fetches is priced at this instead of the
+  /// per-byte read cost.
+  double cache_hit_cost = 0.25;
 };
 
 /// \brief One access path priced by the planner. Costs are abstract "cost
@@ -214,6 +231,11 @@ struct CostEstimate {
   /// Estimated fraction of docs passing all equality predicates (the
   /// classic 1/10-per-predicate guess; there are no column histograms).
   double equality_selectivity = 1.0;
+  /// Observed lifetime hit rate of the shared buffer cache at plan time
+  /// (hits / lookups; 0 when the cache is cold or disabled). The Fetch
+  /// terms of both paths price this fraction of blob reads as warm cache
+  /// hits (CostConstants::cache_hit_cost) instead of disk I/O.
+  double cache_hit_rate = 0.0;
   CandidateSource chosen = CandidateSource::kFullScan;
 
   const PathCost& chosen_cost() const {
@@ -269,6 +291,11 @@ struct PlanContext {
   const std::vector<RecordId>* fullsfa_rid = nullptr;
   const std::vector<RecordId>* graph_rid = nullptr;
   size_t num_sfas = 0;
+  /// The database-owned shared buffer cache; null when caching is
+  /// disabled. The Fetch stage reads blobs through it (with per-worker
+  /// pinned handles) and the planner folds its observed hit rate into
+  /// CostEstimate.
+  cache::BufferCache* cache = nullptr;
   /// Per-term posting statistics maintained by the index builder; may be
   /// null (no index). The cost model reads these instead of probing.
   const TermStatsMap* term_stats = nullptr;
@@ -341,6 +368,11 @@ struct BatchStats {
   /// Batch-wide early-termination totals (Σ of the per-query counters).
   size_t eval_pruned = 0;
   uint64_t eval_steps_saved = 0;
+  /// Buffer-cache totals of the shared Fetch pass (blob reads served warm
+  /// vs from disk) and the cache's resident bytes afterwards.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_bytes = 0;
   std::vector<QueryStats> per_query;  ///< filled by Session::ExecuteBatch
 };
 

@@ -1,13 +1,112 @@
 #include "rdbms/session.h"
 
+#include <iterator>
+
 #include "rdbms/sql.h"
 #include "rdbms/staccato_db.h"
+#include "util/strings.h"
 #include "util/timer.h"
 
 namespace staccato::rdbms {
 
-PreparedQuery::PreparedQuery(StaccatoDb* db, PlanSpec plan, Dfa dfa)
-    : db_(db), plan_(std::move(plan)), dfa_(std::move(dfa)) {}
+namespace {
+
+/// What the memoized artifacts depend on — nothing else: the equality
+/// bitmap is a function of the bound predicates, and the memoized
+/// CandidateSet of the probed anchor. NumAns, threads, early-stop,
+/// projection, and even the approach can differ between two plans that
+/// share these artifacts. Every variable-length field is length-prefixed
+/// so user-chosen strings (column values can contain any byte) can never
+/// collide with the field structure.
+std::string PlanFingerprint(const PlanSpec& plan) {
+  std::string fp = CandidateSourceName(plan.source);
+  auto append_field = [&fp](const std::string& field) {
+    fp += StringPrintf("|%zu:", field.size());
+    fp += field;
+  };
+  append_field(plan.anchor);
+  for (const BoundEquality& eq : plan.equalities) {
+    append_field(eq.column);
+    append_field(eq.value.ToString());
+  }
+  return fp;
+}
+
+/// Artifact richness, for "publish only if we know more" comparisons.
+int ArtifactCount(const PlanCache& cache) {
+  return (cache.bitmap_valid ? 1 : 0) + (cache.candidates_valid ? 1 : 0);
+}
+
+}  // namespace
+
+PreparedQuery::PreparedQuery(StaccatoDb* db, PlanSpec plan, Dfa dfa,
+                             std::shared_ptr<SharedPlanCacheTable> shared)
+    : db_(db),
+      plan_(std::move(plan)),
+      dfa_(std::move(dfa)),
+      shared_(std::move(shared)),
+      fingerprint_(PlanFingerprint(plan_)) {}
+
+bool PreparedQuery::AdoptSharedCache(uint64_t generation) {
+  if (shared_ == nullptr) return false;
+  const bool needs_bitmap = !plan_.equalities.empty();
+  const bool needs_cands = plan_.source == CandidateSource::kIndexProbe;
+  if (!needs_bitmap && !needs_cands) return false;  // nothing is memoized
+  const bool local_current = cache_.generation == generation;
+  if (local_current && (!needs_bitmap || cache_.bitmap_valid) &&
+      (!needs_cands || cache_.candidates_valid)) {
+    return false;  // locally warm already
+  }
+  std::shared_ptr<const PlanCache> entry;
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    auto it = shared_->entries.find(fingerprint_);
+    if (it != shared_->entries.end()) entry = it->second;
+  }
+  if (entry == nullptr || entry->generation != generation) return false;
+  if (!local_current) {
+    cache_ = PlanCache{};
+    cache_.generation = generation;
+  }
+  bool adopted = false;
+  if (needs_bitmap && !cache_.bitmap_valid && entry->bitmap_valid) {
+    cache_.bitmap = entry->bitmap;
+    cache_.bitmap_valid = true;
+    adopted = true;
+  }
+  if (needs_cands && !cache_.candidates_valid && entry->candidates_valid) {
+    cache_.candidates = entry->candidates;
+    cache_.candidates_valid = true;
+    adopted = true;
+  }
+  if (adopted) shared_->hits.fetch_add(1, std::memory_order_relaxed);
+  return adopted;
+}
+
+void PreparedQuery::PublishSharedCache(uint64_t generation) {
+  if (shared_ == nullptr || cache_.generation != generation) return;
+  if (ArtifactCount(cache_) == 0) return;
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  // The table is bounded: these are memoizations, so dropping them only
+  // costs a recompute. When full, first purge entries a reload already
+  // killed; if every entry is current, start the table over rather than
+  // grow without bound in a long-lived serving session.
+  if (shared_->entries.size() >= SharedPlanCacheTable::kMaxEntries &&
+      shared_->entries.find(fingerprint_) == shared_->entries.end()) {
+    for (auto it = shared_->entries.begin(); it != shared_->entries.end();) {
+      it = it->second->generation != generation ? shared_->entries.erase(it)
+                                                : std::next(it);
+    }
+    if (shared_->entries.size() >= SharedPlanCacheTable::kMaxEntries) {
+      shared_->entries.clear();
+    }
+  }
+  std::shared_ptr<const PlanCache>& slot = shared_->entries[fingerprint_];
+  if (slot == nullptr || slot->generation != generation ||
+      ArtifactCount(*slot) < ArtifactCount(cache_)) {
+    slot = std::make_shared<const PlanCache>(cache_);
+  }
+}
 
 Result<PreparedQuery> Session::Prepare(Approach approach,
                                        const QueryOptions& q) {
@@ -16,7 +115,7 @@ Result<PreparedQuery> Session::Prepare(Approach approach,
                             BuildPlan(ctx, approach, q, opts_.eval_threads));
   STACCATO_ASSIGN_OR_RETURN(Dfa dfa,
                             Dfa::Compile(q.pattern, MatchMode::kContains));
-  return PreparedQuery(db_, std::move(plan), std::move(dfa));
+  return PreparedQuery(db_, std::move(plan), std::move(dfa), shared_caches_);
 }
 
 Result<PreparedQuery> Session::PrepareSql(Approach approach,
@@ -51,7 +150,9 @@ Result<std::vector<std::vector<Answer>>> Session::ExecuteBatch(
     *stats = BatchStats{};
     stats->per_query.assign(queries.size(), QueryStats{});
   }
+  PlanContext ctx = db_->MakePlanContext();
   std::vector<BatchItem> items;
+  std::vector<char> adopted(queries.size(), 0);
   items.reserve(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     PreparedQuery* pq = queries[i];
@@ -62,20 +163,37 @@ Result<std::vector<std::vector<Answer>>> Session::ExecuteBatch(
       return Status::InvalidArgument(
           "batch contains a query prepared against a different database");
     }
+    adopted[i] = pq->AdoptSharedCache(ctx.load_generation) ? 1 : 0;
     items.push_back({&pq->plan_, &pq->dfa_, &pq->cache_,
                      stats != nullptr ? &stats->per_query[i] : nullptr});
   }
   Result<std::vector<std::vector<Answer>>> result =
-      ExecutePlanBatch(db_->MakePlanContext(), items, stats);
+      ExecutePlanBatch(ctx, items, stats);
+  if (result.ok()) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      queries[i]->PublishSharedCache(ctx.load_generation);
+      if (stats != nullptr && adopted[i]) {
+        stats->per_query[i].shared_plan_hit = true;
+      }
+    }
+  }
   if (stats != nullptr) stats->seconds = timer.ElapsedSeconds();
   return result;
 }
 
 Result<std::vector<Answer>> PreparedQuery::Execute(QueryStats* stats) {
   Timer timer;
+  PlanContext ctx = db_->MakePlanContext();
+  const bool adopted = AdoptSharedCache(ctx.load_generation);
   Result<std::vector<Answer>> result =
-      ExecutePlan(db_->MakePlanContext(), plan_, dfa_, stats, &cache_);
-  if (stats != nullptr) stats->seconds = timer.ElapsedSeconds();
+      ExecutePlan(ctx, plan_, dfa_, stats, &cache_);
+  if (result.ok()) PublishSharedCache(ctx.load_generation);
+  if (stats != nullptr) {
+    // Set after ExecutePlan: its stats prologue resets every run-scoped
+    // field, this one included.
+    stats->shared_plan_hit = adopted;
+    stats->seconds = timer.ElapsedSeconds();
+  }
   return result;
 }
 

@@ -26,15 +26,24 @@
 // filter_from_cache report this). Cached entries live until the database's
 // load generation moves — any Load or BuildInvertedIndex invalidates them
 // on the next Execute — and warm answers are always bit-identical to cold
-// ones. A PreparedQuery is not synchronized: run concurrent Executes on
-// separate PreparedQuery objects. Open streams the ranked answers through
-// a Cursor. The legacy StaccatoDb::Query call is a thin flag-driven
+// ones. Plan caches are also shared *across* the PreparedQueries of one
+// Session: after a successful Execute the warmed artifacts are published
+// (as immutable snapshots, keyed by plan fingerprint) into a session-wide
+// table, and a cold PreparedQuery with the same fingerprint adopts them
+// on its first Execute instead of recomputing (QueryStats::shared_plan_hit,
+// Session::shared_plan_hits). A PreparedQuery is not synchronized: run
+// concurrent Executes on separate PreparedQuery objects. Open streams the
+// ranked answers through a Cursor. The legacy StaccatoDb::Query call is a thin flag-driven
 // wrapper over this engine (it pins index_mode from use_index);
 // StaccatoDb::QuerySql is cost-based like any SQL prepare. Both run
 // prepare + execute in one shot, so they never hit the warm path.
 #pragma once
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "automata/dfa.h"
@@ -46,6 +55,30 @@ namespace staccato::rdbms {
 class StaccatoDb;
 class PreparedQuery;
 class Cursor;
+
+/// \brief The session-wide shared plan-cache table: immutable snapshots of
+/// warmed PlanCache artifacts, keyed by plan fingerprint (candidate
+/// source + anchor + bound equalities — exactly what the memoized
+/// CandidateSet and bitmap depend on). Entries carry their load
+/// generation inside the PlanCache; a PreparedQuery adopts an entry only
+/// when the generation still matches, and publishes a fresh snapshot
+/// after warming its own cache. Shared (via shared_ptr) between a Session
+/// and every PreparedQuery it creates, so queries stay valid if the
+/// Session dies first. All access goes through the mutex; the snapshots
+/// themselves are immutable, so concurrent Executes on separate
+/// PreparedQuery objects stay safe.
+struct SharedPlanCacheTable {
+  /// Bound on distinct fingerprints retained (each entry can hold an
+  /// O(num_docs) bitmap plus a CandidateSet). Publishing past the bound
+  /// purges stale-generation entries first, then starts over — entries
+  /// are memoizations, so the worst case is a recompute, never growth
+  /// without bound in a long-lived serving session.
+  static constexpr size_t kMaxEntries = 256;
+
+  std::mutex mu;
+  std::unordered_map<std::string, std::shared_ptr<const PlanCache>> entries;
+  std::atomic<uint64_t> hits{0};  ///< Executes that adopted an entry
+};
 
 /// \brief Session-wide defaults applied at prepare time.
 struct SessionOptions {
@@ -91,9 +124,19 @@ class Session {
   StaccatoDb* db() const { return db_; }
   const SessionOptions& options() const { return opts_; }
 
+  /// How many Executes (solo or batched) served CandidateGen/Filter from
+  /// the session's shared plan-cache table — i.e. were warmed by a
+  /// *different* PreparedQuery with the same plan fingerprint
+  /// (QueryStats::shared_plan_hit flags the individual executions).
+  uint64_t shared_plan_hits() const {
+    return shared_caches_->hits.load(std::memory_order_relaxed);
+  }
+
  private:
   StaccatoDb* db_;
   SessionOptions opts_;
+  std::shared_ptr<SharedPlanCacheTable> shared_caches_ =
+      std::make_shared<SharedPlanCacheTable>();
 };
 
 /// \brief A compiled, planned, repeatedly executable query.
@@ -131,13 +174,26 @@ class PreparedQuery {
 
  private:
   friend class Session;
-  PreparedQuery(StaccatoDb* db, PlanSpec plan, Dfa dfa);
+  PreparedQuery(StaccatoDb* db, PlanSpec plan, Dfa dfa,
+                std::shared_ptr<SharedPlanCacheTable> shared);
+
+  /// Copies any artifacts the plan will need from the session table into
+  /// the local cache, when the local cache lacks them for `generation`.
+  /// Returns true if anything was adopted.
+  bool AdoptSharedCache(uint64_t generation);
+  /// Publishes a snapshot of the warmed local cache into the session
+  /// table when it carries more artifacts than the current entry.
+  void PublishSharedCache(uint64_t generation);
 
   StaccatoDb* db_;
   PlanSpec plan_;
   Dfa dfa_;
   /// Memoized CandidateGen/Filter artifacts, generation-tagged (plan.h).
   PlanCache cache_;
+  /// The owning session's shared plan-cache table (null only for
+  /// hand-built queries) plus this plan's fingerprint into it.
+  std::shared_ptr<SharedPlanCacheTable> shared_;
+  std::string fingerprint_;
 };
 
 /// \brief Forward-only iteration over one execution's ranked answers.

@@ -56,7 +56,8 @@ Schema PostingsSchema() {
 
 }  // namespace
 
-Result<std::unique_ptr<StaccatoDb>> StaccatoDb::Open(const std::string& dir) {
+Result<std::unique_ptr<StaccatoDb>> StaccatoDb::Open(const std::string& dir,
+                                                     cache::CacheConfig cache) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) return Status::IOError("cannot create directory " + dir);
@@ -78,11 +79,16 @@ Result<std::unique_ptr<StaccatoDb>> StaccatoDb::Open(const std::string& dir) {
   STACCATO_ASSIGN_OR_RETURN(
       db->postings_, HeapTable::Create(dir + "/postings.tbl", PostingsSchema()));
   STACCATO_ASSIGN_OR_RETURN(db->blobs_, BlobStore::Create(dir + "/blobs.dat"));
+  if (cache.budget_bytes > 0) {
+    db->cache_ = std::make_unique<cache::BufferCache>(cache.budget_bytes,
+                                                      cache.shards);
+  }
+  db->WireCache();
   return db;
 }
 
 Result<std::unique_ptr<StaccatoDb>> StaccatoDb::OpenExisting(
-    const std::string& dir) {
+    const std::string& dir, cache::CacheConfig cache) {
   auto db = std::unique_ptr<StaccatoDb>(new StaccatoDb(dir));
   STACCATO_ASSIGN_OR_RETURN(db->master_,
                             HeapTable::Open(dir + "/master.tbl", MasterSchema()));
@@ -100,6 +106,11 @@ Result<std::unique_ptr<StaccatoDb>> StaccatoDb::OpenExisting(
   STACCATO_ASSIGN_OR_RETURN(
       db->postings_, HeapTable::Open(dir + "/postings.tbl", PostingsSchema()));
   STACCATO_ASSIGN_OR_RETURN(db->blobs_, BlobStore::Open(dir + "/blobs.dat"));
+  if (cache.budget_bytes > 0) {
+    db->cache_ = std::make_unique<cache::BufferCache>(cache.budget_bytes,
+                                                      cache.shards);
+  }
+  db->WireCache();
 
   // Recover the DataKey -> blob-row maps from the tables themselves.
   db->num_sfas_ = db->fullsfa_->NumTuples();
@@ -171,6 +182,11 @@ Status StaccatoDb::Load(const OcrDataset& dataset, const LoadOptions& opts) {
                                      StaccatoGraphSchema()));
   if (blobs_ != nullptr) blobs_->Flush();
   STACCATO_ASSIGN_OR_RETURN(blobs_, BlobStore::Create(dir_ + "/blobs.dat"));
+  WireCache();
+  // The generation bump above already makes every cached blob key stale
+  // and the fresh table instances carry fresh page namespaces; clearing
+  // just releases the dead entries' budget immediately.
+  if (cache_ != nullptr) cache_->Clear();
   // Index artifacts describe the old corpus: drop them (and truncate the
   // persisted postings relation) rather than let cost-based planning
   // silently probe stale postings. Callers rebuild with
@@ -296,11 +312,42 @@ Status StaccatoDb::ReplaceHeap(std::unique_ptr<HeapTable>* table,
   if (*table != nullptr) STACCATO_RETURN_NOT_OK((*table)->Flush());
   STACCATO_ASSIGN_OR_RETURN(
       *table, HeapTable::Create(dir_ + "/" + file, std::move(schema)));
+  // The fresh instance has a fresh cache namespace; wire it into the
+  // shared cache so its pages are second-tier cached like the old one's.
+  (*table)->SetSharedCache(cache_.get());
   return Status::OK();
+}
+
+void StaccatoDb::WireCache() {
+  cache::BufferCache* c = cache_.get();
+  blobs_->set_cache(c);
+  master_->SetSharedCache(c);
+  truth_->SetSharedCache(c);
+  kmap_->SetSharedCache(c);
+  fullsfa_->SetSharedCache(c);
+  staccato_->SetSharedCache(c);
+  staccato_graph_->SetSharedCache(c);
+  postings_->SetSharedCache(c);
 }
 
 Status StaccatoDb::ReplacePostingsRelation() {
   return ReplaceHeap(&postings_, "postings.tbl", PostingsSchema());
+}
+
+Result<cache::BufferCache::Handle> StaccatoDb::FetchBlobCached(DocId doc,
+                                                               bool full_sfa) {
+  // A cache hit serves the pinned bytes straight away; only a miss pays
+  // the heap point get that resolves the blob id — same shape as the
+  // executor's streaming Fetch.
+  return blobs_->GetCached(
+      BlobCacheKey(full_sfa, doc, load_gen_), [&]() -> Result<BlobId> {
+        const std::vector<RecordId>& rids =
+            full_sfa ? fullsfa_rid_ : graph_rid_;
+        if (doc >= rids.size()) return Status::NotFound("no such DataKey");
+        HeapTable* table = full_sfa ? fullsfa_.get() : staccato_graph_.get();
+        STACCATO_ASSIGN_OR_RETURN(Tuple t, table->Get(rids[doc]));
+        return t[1].AsBlobId();
+      });
 }
 
 Result<std::string> StaccatoDb::ReadStaccatoBlob(DocId doc) {
@@ -338,6 +385,7 @@ PlanContext StaccatoDb::MakePlanContext() {
   ctx.fullsfa_rid = &fullsfa_rid_;
   ctx.graph_rid = &graph_rid_;
   ctx.num_sfas = num_sfas_;
+  ctx.cache = cache_.get();
   ctx.term_stats = index_ ? &term_stats_ : nullptr;
   ctx.load_generation = load_gen_;
   return ctx;
@@ -393,6 +441,7 @@ StorageReport StaccatoDb::Storage() const {
 }
 
 void StaccatoDb::DropCaches() {
+  if (cache_ != nullptr) cache_->Clear();
   master_->EvictAll();
   truth_->EvictAll();
   kmap_->EvictAll();

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "automata/trie.h"
+#include "cache/buffer_cache.h"
 #include "metrics/metrics.h"
 #include "ocr/corpus.h"
 #include "rdbms/blob_store.h"
@@ -53,13 +54,20 @@ struct StorageReport {
 class StaccatoDb {
  public:
   /// Creates a database under `dir` (created if needed; files truncated).
-  static Result<std::unique_ptr<StaccatoDb>> Open(const std::string& dir);
+  /// `cache` sizes the shared buffer cache (pages + SFA blobs) the
+  /// database owns; the default honors STACCATO_CACHE_MB, and a zero
+  /// budget disables caching entirely (bit-identical answers either way).
+  static Result<std::unique_ptr<StaccatoDb>> Open(
+      const std::string& dir,
+      cache::CacheConfig cache = cache::CacheConfig::Default());
 
   /// Reopens a previously loaded database directory: heap files and the
   /// blob store are opened in place, the blob record ids are recovered by
   /// scanning the FullSFAData/StaccatoGraph tables, and the inverted index
   /// (if it was built) is reconstructed from the persisted postings table.
-  static Result<std::unique_ptr<StaccatoDb>> OpenExisting(const std::string& dir);
+  static Result<std::unique_ptr<StaccatoDb>> OpenExisting(
+      const std::string& dir,
+      cache::CacheConfig cache = cache::CacheConfig::Default());
 
   /// Loads an OCR dataset: populates MasterData, GroundTruth, kMAPData,
   /// FullSFAData, StaccatoData/StaccatoGraph per `opts`. Staccato
@@ -97,8 +105,22 @@ class StaccatoDb {
   size_t NumSfas() const { return num_sfas_; }
   StorageReport Storage() const;
 
-  /// Drops page/blob caches so the next query runs cold.
+  /// Drops page/blob caches (per-table pools and the shared buffer
+  /// cache) so the next query runs cold. Plan caches are untouched — the
+  /// data has not changed.
   void DropCaches();
+
+  /// The shared memory-budgeted buffer cache (pages + SFA blobs); null
+  /// when caching is disabled (zero budget).
+  cache::BufferCache* buffer_cache() const { return cache_.get(); }
+
+  /// Cache-aware blob read, exactly as the executor's Fetch stage
+  /// performs it: a heap point get resolves the blob id, then the store
+  /// reads through the buffer cache keyed on (representation, doc,
+  /// load_generation). Exposed for benches and tests that measure the
+  /// Fetch unit in isolation.
+  Result<cache::BufferCache::Handle> FetchBlobCached(DocId doc,
+                                                     bool full_sfa);
 
   /// Access to the loaded per-line chunked SFAs (for benches that need to
   /// inspect the representation directly).
@@ -141,6 +163,11 @@ class StaccatoDb {
                      Schema schema);
   Status ReplacePostingsRelation();
 
+  /// Points the blob store and every heap table at the shared buffer
+  /// cache (no-op when caching is disabled). Load re-runs it after
+  /// replacing the storage handles.
+  void WireCache();
+
   std::string dir_;
   size_t num_sfas_ = 0;
 
@@ -152,6 +179,7 @@ class StaccatoDb {
   std::unique_ptr<HeapTable> staccato_graph_;  // StaccatoGraph
   std::unique_ptr<HeapTable> postings_;     // InvertedIndex postings table
   std::unique_ptr<BlobStore> blobs_;
+  std::unique_ptr<cache::BufferCache> cache_;  // shared page/blob cache
 
   // DataKey -> RecordId of the blob-holding row, for point fetches.
   std::vector<RecordId> fullsfa_rid_;

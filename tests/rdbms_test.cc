@@ -202,6 +202,124 @@ TEST(BlobStoreTest, TracksBytesRead) {
   EXPECT_EQ((*store)->bytes_read(), 1000u + sizeof(uint64_t));
 }
 
+TEST(BlobStoreTest, GetAndGetIntoReportIdenticalIoStats) {
+  // Regression: every read path must count the same way — one `reads`
+  // and header+payload `bytes_read` per blob served, whether the caller
+  // used Get, GetInto, or a cacheless GetCached.
+  auto store = BlobStore::Create(TempPath("b3.dat"));
+  ASSERT_TRUE(store.ok());
+  auto id = (*store)->Put(std::string(500, 'q'));
+  ASSERT_TRUE(id.ok());
+  const uint64_t expect_bytes = 500u + sizeof(uint64_t);
+
+  (*store)->ResetStats();
+  ASSERT_TRUE((*store)->Get(*id).ok());
+  BlobIoStats via_get = (*store)->io_stats();
+  EXPECT_EQ(via_get.reads, 1u);
+  EXPECT_EQ(via_get.bytes_read, expect_bytes);
+
+  (*store)->ResetStats();
+  std::string buf;
+  ASSERT_TRUE((*store)->GetInto(*id, &buf).ok());
+  BlobIoStats via_into = (*store)->io_stats();
+  EXPECT_EQ(via_into.reads, via_get.reads);
+  EXPECT_EQ(via_into.bytes_read, via_get.bytes_read);
+
+  (*store)->ResetStats();
+  auto handle = (*store)->GetCached(*id, cache::CacheKey{1, 2, 3});
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(handle->value(), buf);
+  BlobIoStats via_cached = (*store)->io_stats();
+  EXPECT_EQ(via_cached.reads, via_get.reads);
+  EXPECT_EQ(via_cached.bytes_read, via_get.bytes_read);
+  // No cache attached: nothing to hit or miss.
+  EXPECT_EQ(via_cached.cache_hits, 0u);
+  EXPECT_EQ(via_cached.cache_misses, 0u);
+}
+
+TEST(BlobStoreTest, GetCachedServesFromBufferCache) {
+  auto store = BlobStore::Create(TempPath("b4.dat"));
+  ASSERT_TRUE(store.ok());
+  auto id = (*store)->Put(std::string(300, 'c'));
+  ASSERT_TRUE(id.ok());
+  cache::BufferCache cache(1 << 20);
+  (*store)->set_cache(&cache);
+  const cache::CacheKey key{9, 1, 1};
+
+  (*store)->ResetStats();
+  auto miss = (*store)->GetCached(id.ValueOrDie(), key);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_EQ(miss->value().size(), 300u);
+  BlobIoStats after_miss = (*store)->io_stats();
+  EXPECT_EQ(after_miss.reads, 1u);
+  EXPECT_EQ(after_miss.cache_misses, 1u);
+  EXPECT_EQ(after_miss.bytes_read, 300u + sizeof(uint64_t));
+
+  auto hit = (*store)->GetCached(id.ValueOrDie(), key);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->value(), miss->value());
+  BlobIoStats after_hit = (*store)->io_stats();
+  EXPECT_EQ(after_hit.reads, 2u);
+  EXPECT_EQ(after_hit.cache_hits, 1u);
+  // The hit served no physical bytes.
+  EXPECT_EQ(after_hit.bytes_read, after_miss.bytes_read);
+
+  // A different version word misses: generation-bump invalidation.
+  (*store)->ResetStats();
+  auto bumped = (*store)->GetCached(id.ValueOrDie(),
+                                    cache::CacheKey{9, 1, 2});
+  ASSERT_TRUE(bumped.ok());
+  EXPECT_EQ((*store)->io_stats().cache_misses, 1u);
+}
+
+TEST(HeapTableTest, SharedPageCacheServesEvictedPages) {
+  Schema schema({{"k", ValueType::kInt}, {"v", ValueType::kString}});
+  cache::BufferCache cache(4 << 20);
+  // Tiny pool so the scan constantly misses its first tier.
+  auto table = HeapTable::Create(TempPath("t5.tbl"), schema, /*pool_pages=*/2);
+  ASSERT_TRUE(table.ok());
+  (*table)->SetSharedCache(&cache);
+  std::string payload(500, 's');
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE((*table)->Insert({Value::Int(i), Value::String(payload)}).ok());
+  }
+  ASSERT_TRUE((*table)->Flush().ok());
+  ASSERT_GT((*table)->NumPages(), 10u);
+
+  // Pool evictions wrote every page through to the shared cache, so a
+  // full scan never needs disk — and still sees every tuple intact.
+  (*table)->ResetIoStats();
+  int count = 0;
+  ASSERT_TRUE((*table)
+                  ->Scan([&](RecordId, const Tuple& t) {
+                    EXPECT_EQ(t[1].AsString(), payload);
+                    ++count;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(count, 200);
+  IoStats warm = (*table)->io_stats();
+  EXPECT_EQ(warm.page_misses, 0u) << "shared cache should have served these";
+  EXPECT_EQ(warm.bytes_read, 0u);
+  EXPECT_GT(warm.cache_hits, 0u);
+
+  // EvictAll must cool BOTH tiers: the same scan then reads from disk.
+  (*table)->EvictAll();
+  (*table)->ResetIoStats();
+  count = 0;
+  ASSERT_TRUE((*table)
+                  ->Scan([&](RecordId, const Tuple& t) {
+                    EXPECT_EQ(t[1].AsString(), payload);
+                    ++count;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(count, 200);
+  IoStats cold = (*table)->io_stats();
+  EXPECT_GT(cold.page_misses, 0u);
+  EXPECT_EQ(cold.cache_hits, 0u);
+}
+
 TEST(BPlusTreeTest, InsertLookup) {
   BPlusTree tree;
   tree.Insert("beta", 2);

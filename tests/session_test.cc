@@ -740,6 +740,169 @@ TEST(SessionTest, BatchExecutePrunesPerQueryAndStaysBitIdentical) {
   EXPECT_EQ(stats.eval_pruned, per_query_pruned);
 }
 
+TEST(SessionTest, BufferCacheWarmExecuteBitIdenticalToColdAndToCacheOff) {
+  // The acceptance invariant of the buffer cache: answers are
+  // bit-identical cache-on vs cache-off, and warm (cache-served) vs cold.
+  WorkbenchSpec on_spec = SmallSpec();
+  on_spec.cache = cache::CacheConfig{/*budget_bytes=*/32 << 20, /*shards=*/4};
+  WorkbenchSpec off_spec = SmallSpec();
+  off_spec.cache = cache::CacheConfig{/*budget_bytes=*/0, /*shards=*/0};
+  auto on = Workbench::Create(on_spec);
+  auto off = Workbench::Create(off_spec);
+  ASSERT_TRUE(on.ok() && off.ok());
+  ASSERT_NE((*on)->db().buffer_cache(), nullptr);
+  ASSERT_EQ((*off)->db().buffer_cache(), nullptr);
+
+  for (Approach approach : {Approach::kFullSfa, Approach::kStaccato}) {
+    QueryOptions q;
+    q.pattern = "President";
+    q.index_mode = IndexMode::kNever;  // scan: the plan cache memoizes
+    q.eval_threads = 2;                // nothing, isolating the buffer cache
+
+    auto on_pq = Session(&(*on)->db()).Prepare(approach, q);
+    auto off_pq = Session(&(*off)->db()).Prepare(approach, q);
+    ASSERT_TRUE(on_pq.ok() && off_pq.ok());
+
+    (*on)->db().DropCaches();
+    QueryStats cold;
+    auto cold_ans = on_pq->Execute(&cold);
+    ASSERT_TRUE(cold_ans.ok());
+    EXPECT_EQ(cold.cache_hits, 0u) << "cold run served from a dropped cache";
+    EXPECT_GT(cold.cache_misses, 0u);
+    EXPECT_GT(cold.cache_bytes, 0u);
+    EXPECT_LE(cold.cache_bytes, on_spec.cache.budget_bytes);
+
+    QueryStats warm;
+    auto warm_ans = on_pq->Execute(&warm);
+    ASSERT_TRUE(warm_ans.ok());
+    EXPECT_GT(warm.cache_hits, 0u) << "warm run missed the buffer cache";
+    EXPECT_EQ(warm.cache_misses, 0u);
+    EXPECT_EQ(warm.blob_bytes_read, 0u) << "warm run still hit disk";
+
+    QueryStats uncached;
+    auto off_ans = off_pq->Execute(&uncached);
+    ASSERT_TRUE(off_ans.ok());
+    EXPECT_EQ(uncached.cache_hits, 0u);
+    EXPECT_EQ(uncached.cache_misses, 0u);
+    EXPECT_EQ(uncached.cache_bytes, 0u);
+
+    ExpectSameAnswers(*cold_ans, *warm_ans);
+    ExpectSameAnswers(*cold_ans, *off_ans);
+
+    // The post-execution Explain renders the cache outcome.
+    std::string explained = rdbms::ExplainPlan(on_pq->plan(), warm);
+    EXPECT_NE(explained.find("Cache: hits="), std::string::npos) << explained;
+  }
+}
+
+TEST(SessionTest, BufferCacheInvalidatesOnLoadGenerationBump) {
+  WorkbenchSpec spec = SmallSpec();
+  spec.cache = cache::CacheConfig{/*budget_bytes=*/32 << 20, /*shards=*/4};
+  auto wb = Workbench::Create(spec);
+  ASSERT_TRUE(wb.ok());
+  rdbms::StaccatoDb& db = (*wb)->db();
+  Session session(&db);
+  QueryOptions q;
+  q.pattern = "President";
+  q.index_mode = IndexMode::kNever;
+
+  auto pq = session.Prepare(Approach::kStaccato, q);
+  ASSERT_TRUE(pq.ok());
+  QueryStats first;
+  auto before = pq->Execute(&first);
+  ASSERT_TRUE(before.ok());
+  QueryStats warmed;
+  ASSERT_TRUE(pq->Execute(&warmed).ok());
+  ASSERT_GT(warmed.cache_hits, 0u);
+
+  // Reloading the same dataset bumps the load generation: the cached
+  // blobs are keyed by the old generation and must never be served again,
+  // with answers identical to the pre-reload run (same data).
+  ASSERT_TRUE(db.Load((*wb)->dataset(), SmallSpec().load).ok());
+  QueryStats reloaded;
+  auto after = pq->Execute(&reloaded);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(reloaded.cache_hits, 0u) << "stale generation served from cache";
+  EXPECT_GT(reloaded.cache_misses, 0u);
+  ExpectSameAnswers(*after, *before);
+
+  // And the cache re-warms under the new generation.
+  QueryStats rewarmed;
+  auto again = pq->Execute(&rewarmed);
+  ASSERT_TRUE(again.ok());
+  EXPECT_GT(rewarmed.cache_hits, 0u);
+  ExpectSameAnswers(*again, *before);
+}
+
+TEST(SessionTest, SharedPlanCacheWarmsSiblingPreparedQueries) {
+  auto wb = Workbench::Create(SmallSpec(/*index=*/true));
+  ASSERT_TRUE(wb.ok());
+  Session session(&(*wb)->db());
+  QueryOptions q;
+  q.pattern = "President";
+  q.index_mode = IndexMode::kForce;
+  q.equalities = {{"Year", "2010"}};
+
+  // First query computes and publishes its artifacts.
+  auto first = session.Prepare(Approach::kStaccato, q);
+  ASSERT_TRUE(first.ok());
+  QueryStats cold;
+  auto ref = first->Execute(&cold);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_FALSE(cold.shared_plan_hit);
+  EXPECT_FALSE(cold.filter_from_cache);
+  EXPECT_EQ(session.shared_plan_hits(), 0u);
+
+  // A sibling with the same fingerprint adopts them on its FIRST Execute:
+  // both operators come from cache, answers bit-identical.
+  auto sibling = session.Prepare(Approach::kStaccato, q);
+  ASSERT_TRUE(sibling.ok());
+  QueryStats adopted;
+  auto sib_ans = sibling->Execute(&adopted);
+  ASSERT_TRUE(sib_ans.ok());
+  EXPECT_TRUE(adopted.shared_plan_hit);
+  EXPECT_TRUE(adopted.filter_from_cache);
+  EXPECT_TRUE(adopted.candidates_from_cache);
+  EXPECT_EQ(session.shared_plan_hits(), 1u);
+  ExpectSameAnswers(*sib_ans, *ref);
+
+  // A different fingerprint (different predicate) shares nothing.
+  QueryOptions other = q;
+  other.equalities = {{"Year", "2011"}};
+  auto stranger = session.Prepare(Approach::kStaccato, other);
+  ASSERT_TRUE(stranger.ok());
+  QueryStats fresh;
+  ASSERT_TRUE(stranger->Execute(&fresh).ok());
+  EXPECT_FALSE(fresh.shared_plan_hit);
+  EXPECT_FALSE(fresh.filter_from_cache);
+
+  // Nor does a different Session: its table is its own.
+  Session other_session(&(*wb)->db());
+  auto foreign = other_session.Prepare(Approach::kStaccato, q);
+  ASSERT_TRUE(foreign.ok());
+  QueryStats isolated;
+  ASSERT_TRUE(foreign->Execute(&isolated).ok());
+  EXPECT_FALSE(isolated.shared_plan_hit);
+  EXPECT_EQ(other_session.shared_plan_hits(), 0u);
+
+  // A reload invalidates the shared entries like any plan cache: the
+  // frozen index-probe plan fails cleanly, and after a rebuild a new
+  // sibling recomputes rather than adopting stale artifacts.
+  rdbms::StaccatoDb& db = (*wb)->db();
+  ASSERT_TRUE(db.Load((*wb)->dataset(), SmallSpec().load).ok());
+  std::vector<std::string> dict =
+      BuildDictionaryFromCorpus((*wb)->dataset().corpus.lines);
+  ASSERT_TRUE(db.BuildInvertedIndex(dict).ok());
+  auto rebuilt = session.Prepare(Approach::kStaccato, q);
+  ASSERT_TRUE(rebuilt.ok());
+  QueryStats post;
+  auto post_ans = rebuilt->Execute(&post);
+  ASSERT_TRUE(post_ans.ok());
+  EXPECT_FALSE(post.shared_plan_hit) << "adopted artifacts from a dead gen";
+  EXPECT_FALSE(post.filter_from_cache);
+  ExpectSameAnswers(*post_ans, *ref);  // full replacement, same dataset
+}
+
 TEST(SessionTest, SessionDefaultsToParallelEval) {
   auto wb = Workbench::Create(SmallSpec());
   ASSERT_TRUE(wb.ok());
