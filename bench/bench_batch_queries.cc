@@ -71,7 +71,7 @@ bool BenchBatchVsSolo(Workbench& wb) {
         if (!pq.Execute().ok()) return false;
       }
     }
-    wb.db().DropCaches();
+    if (!wb.db().DropCaches().ok()) return false;
     Timer solo_timer;
     for (PreparedQuery& pq : *solo) {
       QueryStats st;
@@ -89,7 +89,7 @@ bool BenchBatchVsSolo(Workbench& wb) {
     if (warm) {
       if (!session.ExecuteBatch(ptrs).ok()) return false;
     }
-    wb.db().DropCaches();
+    if (!wb.db().DropCaches().ok()) return false;
     BatchStats bs;
     Timer batch_timer;
     if (auto r = session.ExecuteBatch(ptrs, &bs); !r.ok()) {
@@ -123,7 +123,7 @@ bool BenchFetchParallelism(Workbench& wb) {
       return false;
     }
     for (bool cold : {true, false}) {
-      if (cold) wb.db().DropCaches();
+      if (cold && !wb.db().DropCaches().ok()) return false;
       QueryStats st;
       if (auto r = pq->Execute(&st); !r.ok()) {
         fprintf(stderr, "execute: %s\n", r.status().ToString().c_str());

@@ -110,7 +110,7 @@ int main() {
   printf("%zu docs, %.1f KiB Staccato working set, %zu MiB budget, %zu shards\n\n",
          docs, working_set / 1024.0, kBudget >> 20,
          db.buffer_cache()->num_shards());
-  db.DropCaches();
+  if (!db.DropCaches().ok()) return 1;
   uint64_t sink = 0;
   double cold_s = FetchPass(db, &sink);
   if (cold_s < 0) return 1;
@@ -146,7 +146,7 @@ int main() {
   q.eval_threads = 1;
   auto pq = (*wb)->session().Prepare(Approach::kStaccato, q);
   if (!pq.ok()) return 1;
-  db.DropCaches();
+  if (!db.DropCaches().ok()) return 1;
   QueryStats e2e_cold;
   auto cold_ans = pq->Execute(&e2e_cold);
   if (!cold_ans.ok()) return 1;

@@ -46,7 +46,7 @@ bool RunShape(Workbench& wb, const Shape& shape, const std::string& pattern) {
     return false;
   }
 
-  wb.db().DropCaches();
+  if (!wb.db().DropCaches().ok()) return false;
   QueryStats cold;
   if (auto r = pq->Execute(&cold); !r.ok()) {
     fprintf(stderr, "cold execute(%s): %s\n", shape.name,

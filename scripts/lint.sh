@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Repo-invariant lint: greppable rules the compiler cannot express,
+# enforced in CI (see .github/workflows/ci.yml, `lint` job).
+#
+# Run locally from the repo root:  bash scripts/lint.sh
+#
+# Each rule prints every violation it finds; the script exits nonzero if
+# any rule fired. Rules live here (not in a wiki) so adding one is a
+# one-line diff reviewed next to the code it constrains.
+set -u
+
+cd "$(dirname "$0")/.."
+
+failures=0
+
+fail() {
+  echo "LINT FAIL: $1" >&2
+  shift
+  for line in "$@"; do echo "    $line" >&2; done
+  failures=$((failures + 1))
+}
+
+# ---------------------------------------------------------------------------
+# 1. Concurrency primitives live in util/ only.
+#
+# std::thread: the shared ThreadPool (util/parallel.*) is the engine's one
+# concurrency substrate — a stray std::thread elsewhere bypasses the
+# STACCATO_THREADS knob, nested-region inlining, and the TSan matrix.
+# (Promoted from the PR-3 CHANGES.md claim "grep std::thread src/ now hits
+# only util/parallel.*" into an enforced rule.)
+hits=$(grep -rn "std::thread" src/ --include="*.h" --include="*.cc" \
+  | grep -v "^src/util/parallel\." || true)
+if [ -n "$hits" ]; then
+  fail "raw std::thread outside util/parallel.* (use ThreadPool/ParallelFor)" "$hits"
+fi
+
+# std::mutex / std::condition_variable / lock guards: every component
+# locks through the annotated util::Mutex / util::MutexLock / util::CondVar
+# wrappers (util/mutex.h) so clang -Wthread-safety can check the lock
+# discipline. Raw primitives are allowed only inside util/ itself (the
+# wrappers' own implementation).
+hits=$(grep -rnE "std::(mutex|condition_variable|lock_guard|unique_lock|scoped_lock|shared_mutex|shared_lock)" \
+  src/ --include="*.h" --include="*.cc" \
+  | grep -v "^src/util/mutex\.h" || true)
+if [ -n "$hits" ]; then
+  fail "raw std::mutex/condvar/lock outside util/mutex.h (use util::Mutex/MutexLock/CondVar)" "$hits"
+fi
+
+# ---------------------------------------------------------------------------
+# 2. No #include of a .cc file (hides ODR violations and double-compiles).
+hits=$(grep -rnE "#include .*\.cc\"" src/ tests/ bench/ examples/ || true)
+if [ -n "$hits" ]; then
+  fail "#include of a .cc file" "$hits"
+fi
+
+# ---------------------------------------------------------------------------
+# 3. No `using namespace` at namespace scope in headers (leaks into every
+# includer). Function-local using-declarations are fine; headers are not.
+hits=$(grep -rn "using namespace" src/ --include="*.h" || true)
+if [ -n "$hits" ]; then
+  fail "'using namespace' in a header" "$hits"
+fi
+
+# ---------------------------------------------------------------------------
+# 4. Headers use #pragma once (the repo convention; a missing guard is an
+# eventual double-definition surprise).
+missing=""
+while IFS= read -r header; do
+  if ! grep -q "#pragma once" "$header"; then
+    missing="$missing$header"$'\n'
+  fi
+done < <(find src -name "*.h")
+if [ -n "$missing" ]; then
+  fail "header without #pragma once" "$missing"
+fi
+
+# ---------------------------------------------------------------------------
+# 5. Locking goes through the annotated wrappers: a bare Lock()/Unlock()
+# pair outside util/ evades the SCOPED_CAPABILITY analysis (MutexLock) and
+# is exception-unsafe. (AssertHeld and TryLock are fine.)
+hits=$(grep -rnE "\.(Lock|Unlock)\(\)|->(Lock|Unlock)\(\)" \
+  src/ --include="*.h" --include="*.cc" \
+  | grep -v "^src/util/" || true)
+if [ -n "$hits" ]; then
+  fail "manual Lock()/Unlock() outside util/ (use util::MutexLock)" "$hits"
+fi
+
+# ---------------------------------------------------------------------------
+# 6. No NO_THREAD_SAFETY_ANALYSIS escapes outside util/: the annotation
+# opt-out is for primitives the analysis genuinely cannot follow, not for
+# silencing violations in engine code.
+hits=$(grep -rn "NO_THREAD_SAFETY_ANALYSIS" src/ --include="*.h" --include="*.cc" \
+  | grep -v "^src/util/thread_annotations\.h" || true)
+if [ -n "$hits" ]; then
+  fail "NO_THREAD_SAFETY_ANALYSIS outside util/thread_annotations.h" "$hits"
+fi
+
+# ---------------------------------------------------------------------------
+if [ "$failures" -ne 0 ]; then
+  echo "" >&2
+  echo "lint: $failures rule(s) failed" >&2
+  exit 1
+fi
+echo "lint: all rules clean"

@@ -2,8 +2,9 @@
 
 #include <cstdlib>
 #include <limits>
-#include <mutex>
 #include <unordered_map>
+
+#include "util/mutex.h"
 
 namespace staccato::cache {
 
@@ -60,21 +61,25 @@ struct BufferCache::Entry {
 };
 
 struct BufferCache::Shard {
-  mutable std::mutex mu;
-  std::unordered_map<CacheKey, Entry*, CacheKeyHash> table;
-  Entry lru;  ///< sentinel: lru.next = coldest, lru.prev = hottest
-  size_t capacity = 0;
-  size_t usage = 0;  ///< Σ charge of in-cache entries (pinned included)
-  uint64_t inserts = 0;
-  uint64_t evictions = 0;
-  uint64_t rejected = 0;
+  util::Mutex mu;
+  std::unordered_map<CacheKey, Entry*, CacheKeyHash> table GUARDED_BY(mu);
+  /// Sentinel: lru.next = coldest, lru.prev = hottest. The intrusive
+  /// prev/next links of every entry in this shard are guarded by `mu`
+  /// too — Entry has no mutex of its own, so the REQUIRES(mu) on the
+  /// list-manipulation helpers below is what encodes that.
+  Entry lru GUARDED_BY(mu);
+  const size_t capacity;  ///< set once at construction; immutable after
+  size_t usage GUARDED_BY(mu) = 0;  ///< Σ charge of in-cache entries
+  uint64_t inserts GUARDED_BY(mu) = 0;
+  uint64_t evictions GUARDED_BY(mu) = 0;
+  uint64_t rejected GUARDED_BY(mu) = 0;
 
-  Shard() {
+  explicit Shard(size_t cap) : capacity(cap) {
     lru.prev = &lru;
     lru.next = &lru;
   }
 
-  static void ListRemove(Entry* e) {
+  void ListRemove(Entry* e) REQUIRES(mu) {
     e->prev->next = e->next;
     e->next->prev = e->prev;
     e->prev = nullptr;
@@ -82,11 +87,24 @@ struct BufferCache::Shard {
   }
 
   /// Appends at the hot (sentinel.prev) end.
-  void AppendHot(Entry* e) {
+  void AppendHot(Entry* e) REQUIRES(mu) {
     e->prev = lru.prev;
     e->next = &lru;
     lru.prev->next = e;
     lru.prev = e;
+  }
+
+  /// Removes `e` from the table, LRU list, and accounting; frees it
+  /// unless handles still pin it.
+  void FinishErase(Entry* e) REQUIRES(mu) {
+    table.erase(e->key);
+    if (e->prev != nullptr) ListRemove(e);
+    usage -= e->charge;
+    e->in_cache = false;
+    --e->refs;  // drop the table's reference
+    if (e->refs == 0) delete e;
+    // else: outstanding handles keep the (now uncharged) bytes alive
+    // until the last Release.
   }
 };
 
@@ -100,17 +118,20 @@ BufferCache::BufferCache(size_t budget_bytes, size_t shards)
   shard_mask_ = n - 1;
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    auto* sh = new Shard();
-    sh->capacity = budget_bytes / n;
-    shards_.push_back(sh);
+    shards_.push_back(new Shard(budget_bytes / n));
   }
 }
 
 BufferCache::~BufferCache() {
   // All handles must have been released by now (they pin entries whose
-  // shard pointers die with us).
+  // shard pointers die with us). Locking each shard is moot at this point
+  // but keeps the guarded-field accesses honest.
   for (Shard* sh : shards_) {
-    for (auto& [key, entry] : sh->table) delete entry;
+    {
+      util::MutexLock lock(&sh->mu);
+      for (auto& [key, entry] : sh->table) delete entry;
+      sh->table.clear();
+    }
     delete sh;
   }
 }
@@ -127,7 +148,7 @@ void BufferCache::Release(Entry* e) {
     delete e;
     return;
   }
-  std::lock_guard<std::mutex> lock(sh->mu);
+  util::MutexLock lock(&sh->mu);
   --e->refs;
   if (e->refs == 0) {
     delete e;  // was erased/evicted while pinned
@@ -138,20 +159,9 @@ void BufferCache::Release(Entry* e) {
   }
 }
 
-void BufferCache::FinishEraseLocked(Shard& sh, Entry* e) {
-  sh.table.erase(e->key);
-  if (e->prev != nullptr) Shard::ListRemove(e);
-  sh.usage -= e->charge;
-  e->in_cache = false;
-  --e->refs;  // drop the table's reference
-  if (e->refs == 0) delete e;
-  // else: outstanding handles keep the (now uncharged) bytes alive until
-  // the last Release.
-}
-
 BufferCache::Handle BufferCache::Lookup(const CacheKey& key) {
   Shard& sh = ShardFor(key);
-  std::lock_guard<std::mutex> lock(sh.mu);
+  util::MutexLock lock(&sh.mu);
   auto it = sh.table.find(key);
   if (it == sh.table.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -160,7 +170,7 @@ BufferCache::Handle BufferCache::Lookup(const CacheKey& key) {
   hits_.fetch_add(1, std::memory_order_relaxed);
   Entry* e = it->second;
   ++e->refs;
-  if (e->prev != nullptr) Shard::ListRemove(e);  // pinned: off the LRU list
+  if (e->prev != nullptr) sh.ListRemove(e);  // pinned: off the LRU list
   return Handle(e);
 }
 
@@ -171,11 +181,11 @@ BufferCache::Handle BufferCache::Insert(const CacheKey& key,
   e->key = key;
   e->value = std::move(value);
   e->charge = e->value.size() + kEntryOverhead;
-  std::lock_guard<std::mutex> lock(sh.mu);
+  util::MutexLock lock(&sh.mu);
   // Replace-any-existing-entry holds on every path, including the reject
   // below — a refused insert must not leave a superseded value readable.
   auto it = sh.table.find(key);
-  if (it != sh.table.end()) FinishEraseLocked(sh, it->second);
+  if (it != sh.table.end()) sh.FinishErase(it->second);
   if (e->charge > sh.capacity) {
     // The value alone can never fit: refuse before flushing every
     // resident entry of the shard for nothing.
@@ -184,7 +194,7 @@ BufferCache::Handle BufferCache::Insert(const CacheKey& key,
     return Handle(e);  // shard stays null: detached
   }
   while (sh.usage + e->charge > sh.capacity && sh.lru.next != &sh.lru) {
-    FinishEraseLocked(sh, sh.lru.next);  // coldest first
+    sh.FinishErase(sh.lru.next);  // coldest first
     ++sh.evictions;
   }
   if (sh.usage + e->charge > sh.capacity) {
@@ -205,29 +215,29 @@ BufferCache::Handle BufferCache::Insert(const CacheKey& key,
 
 void BufferCache::Erase(const CacheKey& key) {
   Shard& sh = ShardFor(key);
-  std::lock_guard<std::mutex> lock(sh.mu);
+  util::MutexLock lock(&sh.mu);
   auto it = sh.table.find(key);
-  if (it != sh.table.end()) FinishEraseLocked(sh, it->second);
+  if (it != sh.table.end()) sh.FinishErase(it->second);
 }
 
 void BufferCache::EraseSpace(uint64_t space) {
   for (Shard* sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh->mu);
+    util::MutexLock lock(&sh->mu);
     std::vector<Entry*> doomed;
     for (auto& [key, entry] : sh->table) {
       if (key.space == space) doomed.push_back(entry);
     }
-    for (Entry* e : doomed) FinishEraseLocked(*sh, e);
+    for (Entry* e : doomed) sh->FinishErase(e);
   }
 }
 
 void BufferCache::Clear() {
   for (Shard* sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh->mu);
+    util::MutexLock lock(&sh->mu);
     std::vector<Entry*> doomed;
     doomed.reserve(sh->table.size());
     for (auto& [key, entry] : sh->table) doomed.push_back(entry);
-    for (Entry* e : doomed) FinishEraseLocked(*sh, e);
+    for (Entry* e : doomed) sh->FinishErase(e);
   }
 }
 
@@ -236,7 +246,7 @@ CacheStats BufferCache::stats() const {
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   for (Shard* sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh->mu);
+    util::MutexLock lock(&sh->mu);
     s.inserts += sh->inserts;
     s.evictions += sh->evictions;
     s.rejected += sh->rejected;
@@ -252,7 +262,7 @@ CacheStats BufferCache::stats() const {
 uint64_t BufferCache::bytes_in_use() const {
   uint64_t total = 0;
   for (Shard* sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh->mu);
+    util::MutexLock lock(&sh->mu);
     total += sh->usage;
   }
   return total;

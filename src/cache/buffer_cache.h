@@ -147,9 +147,6 @@ class BufferCache {
   struct Shard;
 
   Shard& ShardFor(const CacheKey& key);
-  /// Removes `e` from its shard's table, LRU list, and accounting; frees
-  /// it unless handles still pin it. Caller holds the shard mutex.
-  static void FinishEraseLocked(Shard& sh, Entry* e);
   /// Handle destructor back-end: drop one pin.
   static void Release(Entry* e);
 

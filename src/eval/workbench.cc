@@ -63,7 +63,7 @@ Result<ExperimentRow> Workbench::Run(Approach approach,
   q.use_projection = use_projection;
   q.eval_threads = eval_threads;
   STACCATO_ASSIGN_OR_RETURN(PreparedQuery pq, session_->Prepare(approach, q));
-  db_->DropCaches();
+  STACCATO_RETURN_NOT_OK(db_->DropCaches());
   STACCATO_ASSIGN_OR_RETURN(std::vector<Answer> answers,
                             pq.Execute(&row.stats));
   STACCATO_ASSIGN_OR_RETURN(std::set<DocId> truth, db_->GroundTruthFor(pattern));

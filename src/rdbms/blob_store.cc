@@ -82,7 +82,7 @@ Status BlobStore::GetInto(BlobId id, std::string* out) {
   // lock. On flush failure the flag stays set — stale bytes must never be
   // served as a successful read.
   if (dirty_.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lock(flush_mu_);
+    util::MutexLock lock(&flush_mu_);
     if (dirty_.load(std::memory_order_relaxed)) {
       if (fflush(file_) != 0) {
         return Status::IOError(std::string("flush before blob read: ") +

@@ -23,10 +23,10 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "cache/buffer_cache.h"
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace staccato::rdbms {
@@ -157,7 +157,10 @@ class BlobStore {
   int fd_ = -1;        ///< fileno(file_), used by the pread read path
   uint64_t end_ = 0;   ///< mutated only under the external-exclusive contract
   std::atomic<bool> dirty_{false};  ///< writes buffered since the last flush
-  std::mutex flush_mu_;             ///< serializes the flush-before-read
+  /// Serializes the flush-before-read (the buffered FILE* state during
+  /// fflush); dirty_ is double-checked under it. No named field is
+  /// guarded: the steady read path is atomics + pread by design.
+  util::Mutex flush_mu_;
   cache::BufferCache* cache_ = nullptr;  ///< borrowed; see set_cache
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> bytes_read_{0};

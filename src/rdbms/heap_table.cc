@@ -24,7 +24,7 @@ uint64_t HeapTable::NextCacheSpace() {
 }
 
 void HeapTable::SetSharedCache(cache::BufferCache* cache) {
-  std::lock_guard<std::mutex> lock(latch_);
+  util::MutexLock lock(&latch_);
   shared_cache_ = cache;
 }
 
@@ -48,6 +48,9 @@ Result<std::unique_ptr<HeapTable>> HeapTable::Open(const std::string& path,
   if (size < 0 || size % static_cast<long>(kPageSize) != 0) {
     return Status::Corruption("heap file size is not a multiple of page size");
   }
+  // No other thread can hold the table yet, but FetchPage's contract is
+  // REQUIRES(latch_) — hold it so the contract stays uniform.
+  util::MutexLock lock(&table->latch_);
   table->num_pages_ = static_cast<size_t>(size) / kPageSize;
   // Recount tuples (cheap metadata pass; a production system would keep a
   // catalog entry instead).
@@ -148,7 +151,7 @@ Result<HeapTable::Frame*> HeapTable::FetchPage(uint32_t page_no) {
 }
 
 Result<RecordId> HeapTable::Insert(const Tuple& tuple) {
-  std::lock_guard<std::mutex> lock(latch_);
+  util::MutexLock lock(&latch_);
   STACCATO_RETURN_NOT_OK(schema_.CheckTuple(tuple));
   BinaryWriter w;
   schema_.EncodeTuple(tuple, &w);
@@ -172,7 +175,7 @@ Result<RecordId> HeapTable::Insert(const Tuple& tuple) {
 }
 
 Result<Tuple> HeapTable::Get(RecordId rid) {
-  std::lock_guard<std::mutex> lock(latch_);
+  util::MutexLock lock(&latch_);
   if (rid.page >= num_pages_) return Status::NotFound("page out of range");
   STACCATO_ASSIGN_OR_RETURN(Frame * frame, FetchPage(rid.page));
   STACCATO_ASSIGN_OR_RETURN(std::string_view rec, frame->page.Get(rid.slot));
@@ -181,7 +184,7 @@ Result<Tuple> HeapTable::Get(RecordId rid) {
 }
 
 Status HeapTable::Scan(const std::function<bool(RecordId, const Tuple&)>& fn) {
-  std::lock_guard<std::mutex> lock(latch_);
+  util::MutexLock lock(&latch_);
   for (uint32_t p = 0; p < num_pages_; ++p) {
     STACCATO_ASSIGN_OR_RETURN(Frame * frame, FetchPage(p));
     uint16_t slots = frame->page.NumSlots();
@@ -196,7 +199,7 @@ Status HeapTable::Scan(const std::function<bool(RecordId, const Tuple&)>& fn) {
 }
 
 Status HeapTable::Flush() {
-  std::lock_guard<std::mutex> lock(latch_);
+  util::MutexLock lock(&latch_);
   return FlushLocked();
 }
 
@@ -207,18 +210,24 @@ Status HeapTable::FlushLocked() {
       frame.dirty = false;
     }
   }
-  fflush(file_);
+  if (fflush(file_) != 0) {
+    return Status::IOError("heap table flush failed");
+  }
   return Status::OK();
 }
 
-void HeapTable::EvictAll() {
-  std::lock_guard<std::mutex> lock(latch_);
-  (void)FlushLocked();
+Status HeapTable::EvictAll() {
+  util::MutexLock lock(&latch_);
+  // Write dirty frames back BEFORE dropping them: swallowing a failed
+  // write-back here would make the next FetchPage silently serve stale
+  // bytes from disk (regression-tested in rdbms_test).
+  STACCATO_RETURN_NOT_OK(FlushLocked());
   pool_.clear();
   lru_.clear();
   // A "cold cache" must be cold in both tiers, or the next scan would be
   // served warm from the shared cache.
   if (shared_cache_ != nullptr) shared_cache_->EraseSpace(cache_space_);
+  return Status::OK();
 }
 
 }  // namespace staccato::rdbms

@@ -20,13 +20,13 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "cache/buffer_cache.h"
 #include "rdbms/page.h"
 #include "rdbms/value.h"
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace staccato::rdbms {
@@ -71,31 +71,34 @@ class HeapTable {
   Status Flush();
 
   size_t NumPages() const {
-    std::lock_guard<std::mutex> lock(latch_);
+    util::MutexLock lock(&latch_);
     return num_pages_;
   }
   uint64_t NumTuples() const {
-    std::lock_guard<std::mutex> lock(latch_);
+    util::MutexLock lock(&latch_);
     return num_tuples_;
   }
   uint64_t FileBytes() const {
-    std::lock_guard<std::mutex> lock(latch_);
+    util::MutexLock lock(&latch_);
     return static_cast<uint64_t>(num_pages_) * kPageSize;
   }
 
   /// Snapshot of the I/O counters, taken under the table latch.
   IoStats io_stats() const {
-    std::lock_guard<std::mutex> lock(latch_);
+    util::MutexLock lock(&latch_);
     return io_;
   }
   void ResetIoStats() {
-    std::lock_guard<std::mutex> lock(latch_);
+    util::MutexLock lock(&latch_);
     io_ = IoStats{};
   }
 
   /// Drops all cached pages (simulates a cold cache for benchmarks),
-  /// including this table's pages in the shared buffer cache.
-  void EvictAll();
+  /// including this table's pages in the shared buffer cache. Dirty pages
+  /// are written back first; a failed write-back is returned, not
+  /// swallowed — dropping the frame anyway would serve stale bytes from
+  /// disk on the next read.
+  Status EvictAll();
 
   /// Attaches the process-shared buffer cache as a second tier behind the
   /// table's own small pool: a pool miss consults the cache (keyed on this
@@ -126,24 +129,27 @@ class HeapTable {
     std::list<uint32_t>::iterator lru_it;
   };
 
-  Result<Frame*> FetchPage(uint32_t page_no);
-  Status WritePage(uint32_t page_no, const SlottedPage& page);
-  Status EvictOne();
-  Status FlushLocked();
+  Result<Frame*> FetchPage(uint32_t page_no) REQUIRES(latch_);
+  Status WritePage(uint32_t page_no, const SlottedPage& page)
+      REQUIRES(latch_);
+  Status EvictOne() REQUIRES(latch_);
+  Status FlushLocked() REQUIRES(latch_);
 
   std::string path_;
   Schema schema_;
   size_t pool_cap_;
-  cache::BufferCache* shared_cache_ = nullptr;  ///< borrowed second tier
+  cache::BufferCache* shared_cache_ GUARDED_BY(latch_) = nullptr;
   const uint64_t cache_space_;  ///< per-instance key namespace
+  /// Set once by Create/Open before the table is shared; closed by the
+  /// destructor. The latch covers every seek/read/write in between.
   FILE* file_ = nullptr;
-  size_t num_pages_ = 0;
-  uint64_t num_tuples_ = 0;
-  std::unordered_map<uint32_t, Frame> pool_;
-  std::list<uint32_t> lru_;  // front = most recent
-  IoStats io_;
+  size_t num_pages_ GUARDED_BY(latch_) = 0;
+  uint64_t num_tuples_ GUARDED_BY(latch_) = 0;
+  std::unordered_map<uint32_t, Frame> pool_ GUARDED_BY(latch_);
+  std::list<uint32_t> lru_ GUARDED_BY(latch_);  // front = most recent
+  IoStats io_ GUARDED_BY(latch_);
   /// Table latch: serializes every public operation (see file comment).
-  mutable std::mutex latch_;
+  mutable util::Mutex latch_;
 };
 
 }  // namespace staccato::rdbms

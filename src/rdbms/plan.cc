@@ -7,13 +7,13 @@
 #include <deque>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <numeric>
 #include <utility>
 
 #include "automata/pattern.h"
 #include "indexing/projection.h"
 #include "inference/query_eval.h"
+#include "util/mutex.h"
 #include "util/parallel.h"
 #include "util/strings.h"
 
@@ -525,7 +525,7 @@ class TopKThreshold {
     // Fast path once the heap is full: a probability at or below the
     // current cut cannot raise it.
     if (full_.load(std::memory_order_acquire) && p <= Get()) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     heap_.push_back(p);
     std::push_heap(heap_.begin(), heap_.end(), std::greater<double>());
     if (heap_.size() > k_) {
@@ -542,8 +542,8 @@ class TopKThreshold {
   const size_t k_;
   std::atomic<double> cut_{0.0};
   std::atomic<bool> full_{false};
-  std::mutex mu_;
-  std::vector<double> heap_;  // min-heap of the best k probabilities
+  util::Mutex mu_;
+  std::vector<double> heap_ GUARDED_BY(mu_);  // min-heap of the best k
 };
 
 /// Projection Eval over an already-deserialized transducer: score the

@@ -59,7 +59,7 @@ bool PreparedQuery::AdoptSharedCache(uint64_t generation) {
   }
   std::shared_ptr<const PlanCache> entry;
   {
-    std::lock_guard<std::mutex> lock(shared_->mu);
+    util::MutexLock lock(&shared_->mu);
     auto it = shared_->entries.find(fingerprint_);
     if (it != shared_->entries.end()) entry = it->second;
   }
@@ -86,7 +86,7 @@ bool PreparedQuery::AdoptSharedCache(uint64_t generation) {
 void PreparedQuery::PublishSharedCache(uint64_t generation) {
   if (shared_ == nullptr || cache_.generation != generation) return;
   if (ArtifactCount(cache_) == 0) return;
-  std::lock_guard<std::mutex> lock(shared_->mu);
+  util::MutexLock lock(&shared_->mu);
   // The table is bounded: these are memoizations, so dropping them only
   // costs a recompute. When full, first purge entries a reload already
   // killed; if every entry is current, start the table over rather than

@@ -41,13 +41,13 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "automata/dfa.h"
 #include "rdbms/plan.h"
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace staccato::rdbms {
@@ -75,8 +75,9 @@ struct SharedPlanCacheTable {
   /// without bound in a long-lived serving session.
   static constexpr size_t kMaxEntries = 256;
 
-  std::mutex mu;
-  std::unordered_map<std::string, std::shared_ptr<const PlanCache>> entries;
+  util::Mutex mu;
+  std::unordered_map<std::string, std::shared_ptr<const PlanCache>> entries
+      GUARDED_BY(mu);
   std::atomic<uint64_t> hits{0};  ///< Executes that adopted an entry
 };
 

@@ -440,15 +440,16 @@ StorageReport StaccatoDb::Storage() const {
   return r;
 }
 
-void StaccatoDb::DropCaches() {
+Status StaccatoDb::DropCaches() {
   if (cache_ != nullptr) cache_->Clear();
-  master_->EvictAll();
-  truth_->EvictAll();
-  kmap_->EvictAll();
-  fullsfa_->EvictAll();
-  staccato_->EvictAll();
-  staccato_graph_->EvictAll();
-  postings_->EvictAll();
+  STACCATO_RETURN_NOT_OK(master_->EvictAll());
+  STACCATO_RETURN_NOT_OK(truth_->EvictAll());
+  STACCATO_RETURN_NOT_OK(kmap_->EvictAll());
+  STACCATO_RETURN_NOT_OK(fullsfa_->EvictAll());
+  STACCATO_RETURN_NOT_OK(staccato_->EvictAll());
+  STACCATO_RETURN_NOT_OK(staccato_graph_->EvictAll());
+  STACCATO_RETURN_NOT_OK(postings_->EvictAll());
+  return Status::OK();
 }
 
 }  // namespace staccato::rdbms

@@ -107,8 +107,9 @@ class StaccatoDb {
 
   /// Drops page/blob caches (per-table pools and the shared buffer
   /// cache) so the next query runs cold. Plan caches are untouched — the
-  /// data has not changed.
-  void DropCaches();
+  /// data has not changed. Dirty pages are written back first; a failed
+  /// write-back is returned, never swallowed.
+  Status DropCaches();
 
   /// The shared memory-budgeted buffer cache (pages + SFA blobs); null
   /// when caching is disabled (zero budget).

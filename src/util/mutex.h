@@ -1,0 +1,91 @@
+// Annotated mutex primitives: thin wrappers over std::mutex /
+// std::condition_variable carrying the Clang thread-safety attributes
+// from util/thread_annotations.h. Every component outside util/ locks
+// through these (scripts/lint.sh enforces it), so the compiler — not a
+// sanitizer run — checks that guarded state is only touched under its
+// lock.
+//
+// Usage:
+//   util::Mutex mu_;
+//   int value_ GUARDED_BY(mu_);
+//   void Bump() { util::MutexLock lock(&mu_); ++value_; }
+//
+// Wrappers are deliberately minimal (LevelDB port lineage): no
+// try-scoped-lock, no shared mutex — the engine has no reader-writer
+// locking today, and a smaller surface keeps the annotations airtight.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace staccato::util {
+
+class CondVar;
+
+/// \brief An annotated exclusive mutex. Prefer MutexLock over manual
+/// Lock/Unlock pairs; the scoped form is what the analysis tracks best.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  ~Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Documents (to the analysis and the reader) that the caller holds
+  /// this mutex on paths the analysis cannot follow. No runtime effect.
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief RAII lock over a Mutex; the scoped capability the analysis
+/// understands natively.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// \brief Condition variable bound to one Mutex. Wait() must be called
+/// with the mutex held (via MutexLock); it atomically releases the mutex
+/// while blocked and reacquires it before returning, so from the
+/// analysis's point of view the capability is held across the call —
+/// which is exactly the invariant the caller's guarded accesses rely on.
+/// Always Wait() in a predicate loop; wakeups may be spurious.
+class CondVar {
+ public:
+  explicit CondVar(Mutex* mu) : mu_(mu) {}
+  ~CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait() {
+    // Adopt the already-held lock for the duration of the wait, then
+    // release it back to the caller's MutexLock without unlocking.
+    std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+  Mutex* const mu_;
+};
+
+}  // namespace staccato::util

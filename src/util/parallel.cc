@@ -16,12 +16,18 @@ ThreadPool::ThreadPool(size_t capacity)
     : capacity_(capacity == 0 ? DefaultThreads() : capacity) {}
 
 ThreadPool::~ThreadPool() {
+  // Move the worker handles out under the lock, then join without it:
+  // joining while holding mu_ would deadlock with workers blocked on the
+  // condition variable (and the analysis rightly wants workers_ accessed
+  // under its guard).
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     stop_ = true;
+    workers = std::move(workers_);
   }
-  cv_.notify_all();
-  for (std::thread& w : workers_) w.join();
+  cv_.SignalAll();
+  for (std::thread& w : workers) w.join();
 }
 
 size_t ThreadPool::DefaultThreads() {
@@ -48,7 +54,7 @@ bool ThreadPool::OnWorkerThread() const { return tls_worker_pool == this; }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (!started_) {
       started_ = true;
       workers_.reserve(capacity_);
@@ -58,7 +64,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     }
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.Signal();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -66,8 +72,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stop_ || queue_head_ < queue_.size(); });
+      util::MutexLock lock(&mu_);
+      while (!stop_ && queue_head_ >= queue_.size()) cv_.Wait();
       if (stop_) return;
       task = std::move(queue_[queue_head_++]);
       if (queue_head_ == queue_.size()) {
@@ -90,9 +96,9 @@ struct ForState {
   std::atomic<size_t> cursor{0};
   std::atomic<bool> failed{false};
   std::atomic<size_t> active{0};  // helpers not yet finished
-  std::mutex mu;
-  std::condition_variable done;
-  Status error;  // first failure; guarded by mu
+  util::Mutex mu;
+  util::CondVar done{&mu};
+  Status error GUARDED_BY(mu);  // first failure
   size_t n = 0;
   size_t grain = 1;
   // Valid while active. Called as fn(worker, i); the plain ParallelFor
@@ -107,7 +113,7 @@ struct ForState {
       for (size_t i = begin; i < end; ++i) {
         Status st = (*fn)(worker, i);
         if (!st.ok()) {
-          std::lock_guard<std::mutex> lock(mu);
+          util::MutexLock lock(&mu);
           if (error.ok()) error = std::move(st);
           failed.store(true, std::memory_order_release);
           return;
@@ -145,17 +151,17 @@ Status ParallelForWorker(size_t n, size_t grain,
   for (size_t h = 0; h < helpers; ++h) {
     pool.Submit([&state, h] {
       state.Drain(h + 1);
-      std::lock_guard<std::mutex> lock(state.mu);
+      util::MutexLock lock(&state.mu);
       if (state.active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        state.done.notify_all();
+        state.done.SignalAll();
       }
     });
   }
   state.Drain(0);
-  std::unique_lock<std::mutex> lock(state.mu);
-  state.done.wait(lock, [&] {
-    return state.active.load(std::memory_order_acquire) == 0;
-  });
+  util::MutexLock lock(&state.mu);
+  while (state.active.load(std::memory_order_acquire) != 0) {
+    state.done.Wait();
+  }
   return state.error;
 }
 

@@ -16,12 +16,11 @@
 // degrade gracefully instead of deadlocking.
 #pragma once
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace staccato {
@@ -58,13 +57,13 @@ class ThreadPool {
   void WorkerLoop();
 
   const size_t capacity_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<std::function<void()>> queue_;  // FIFO via head index
-  size_t queue_head_ = 0;
-  std::vector<std::thread> workers_;  // spawned lazily, joined in dtor
-  bool started_ = false;
-  bool stop_ = false;
+  util::Mutex mu_;
+  util::CondVar cv_{&mu_};  // signalled on new work and on stop
+  std::vector<std::function<void()>> queue_ GUARDED_BY(mu_);  // FIFO via head
+  size_t queue_head_ GUARDED_BY(mu_) = 0;
+  std::vector<std::thread> workers_ GUARDED_BY(mu_);  // spawned lazily
+  bool started_ GUARDED_BY(mu_) = false;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 /// \brief Scheduling knobs for ParallelFor / ParallelMap.

@@ -10,9 +10,11 @@
 
 namespace staccato {
 
-/// \brief Holds either a value of type T or an error Status.
+/// \brief Holds either a value of type T or an error Status. Marked
+/// [[nodiscard]] for the same reason as Status: a dropped Result hides
+/// the failure *and* throws away the value that was paid for.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from value and from error Status keeps call sites
   // terse: `return 42;` or `return Status::InvalidArgument(...)`.

@@ -26,7 +26,12 @@ enum class StatusCode : uint8_t {
 ///
 /// The OK state carries no allocation; error states allocate a small state
 /// block. Statuses are cheap to move and to test for success.
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a latent corruption-swallowing bug
+/// (a failed write-back or flush that nobody notices), so discarding one
+/// is a compile error under -Werror. The rare genuinely best-effort call
+/// (e.g. flush-on-destruct) must say so with an explicit `(void)` cast.
+class [[nodiscard]] Status {
  public:
   Status() = default;
 

@@ -1,0 +1,83 @@
+// Clang thread-safety-analysis annotations (the capability-attribute
+// dialect used by Abseil/RocksDB). Under clang with -Wthread-safety these
+// turn the repo's locking contracts — which mutex guards which field,
+// which functions require or acquire which lock — into compile-time
+// checks: deleting an annotation or touching a guarded field without its
+// lock is a build break, not a TSan flake. Under GCC (and any compiler
+// without the attributes) every macro expands to nothing, so annotated
+// code stays portable.
+//
+// Conventions in this repo (see docs/ARCHITECTURE.md, "Locking discipline
+// & static analysis"):
+//   * Every mutex is a `staccato::util::Mutex` (util/mutex.h); the raw
+//     standard-library primitives are allowed only inside util/ itself
+//     (enforced by scripts/lint.sh).
+//   * Fields a mutex protects carry GUARDED_BY(mu_); private helpers that
+//     assume the lock is held carry REQUIRES(mu_).
+//   * Functions that must NOT be called with a lock held (they take it
+//     themselves) may carry EXCLUDES(mu_).
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define STACCATO_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define STACCATO_THREAD_ANNOTATION__(x)  // no-op
+#endif
+
+/// Marks a class as a lockable capability ("mutex").
+#define CAPABILITY(x) STACCATO_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII class whose lifetime holds a capability (MutexLock).
+#define SCOPED_CAPABILITY STACCATO_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field is protected by the given mutex.
+#define GUARDED_BY(x) STACCATO_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the given mutex.
+#define PT_GUARDED_BY(x) STACCATO_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Lock-ordering declarations (documented, checked when both are held).
+#define ACQUIRED_BEFORE(...) \
+  STACCATO_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  STACCATO_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Caller must hold the given capability (exclusively / shared).
+#define REQUIRES(...) \
+  STACCATO_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  STACCATO_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define ACQUIRE(...) \
+  STACCATO_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  STACCATO_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry).
+#define RELEASE(...) \
+  STACCATO_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  STACCATO_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define TRY_ACQUIRE(...) \
+  STACCATO_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  STACCATO_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (function takes it itself).
+#define EXCLUDES(...) STACCATO_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (AssertHeld).
+#define ASSERT_CAPABILITY(x) STACCATO_THREAD_ANNOTATION__(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  STACCATO_THREAD_ANNOTATION__(assert_shared_capability(x))
+
+/// Function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) STACCATO_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: the analysis cannot follow this function (e.g. lock
+/// juggling through a runtime pointer). Use sparingly, with a comment.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  STACCATO_THREAD_ANNOTATION__(no_thread_safety_analysis)

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <filesystem>
+
+#include <sys/resource.h>
 
 #include "rdbms/blob_store.h"
 #include "rdbms/btree.h"
@@ -304,7 +307,7 @@ TEST(HeapTableTest, SharedPageCacheServesEvictedPages) {
   EXPECT_GT(warm.cache_hits, 0u);
 
   // EvictAll must cool BOTH tiers: the same scan then reads from disk.
-  (*table)->EvictAll();
+  ASSERT_TRUE((*table)->EvictAll().ok());
   (*table)->ResetIoStats();
   count = 0;
   ASSERT_TRUE((*table)
@@ -318,6 +321,49 @@ TEST(HeapTableTest, SharedPageCacheServesEvictedPages) {
   IoStats cold = (*table)->io_stats();
   EXPECT_GT(cold.page_misses, 0u);
   EXPECT_EQ(cold.cache_hits, 0u);
+}
+
+// Regression for a swallowed write-back error: EvictAll used to call
+// FlushLocked() and throw the status away, so a failed dirty-page write
+// dropped the only good copy of the page — the next read silently served
+// stale bytes from disk. With [[nodiscard]] Status plumbed through,
+// EvictAll must surface the failure instead. The failure is forced with
+// RLIMIT_FSIZE: the heap file cannot grow past one page, so writing back
+// dirty page 1 fails deterministically.
+TEST(HeapTableTest, EvictAllSurfacesWriteBackFailure) {
+  Schema schema({{"k", ValueType::kInt}, {"v", ValueType::kString}});
+  auto table = HeapTable::Create(TempPath("t6.tbl"), schema);
+  ASSERT_TRUE(table.ok());
+  std::string payload(500, 'e');
+  // Three pages of dirty frames, none written back yet (pool holds them).
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE((*table)->Insert({Value::Int(i), Value::String(payload)}).ok());
+  }
+  ASSERT_GT((*table)->NumPages(), 2u);
+
+  // Cap the file at one page. Writes past the cap raise SIGXFSZ (fatal by
+  // default) and then fail with EFBIG once ignored.
+  auto* old_handler = std::signal(SIGXFSZ, SIG_IGN);
+  struct rlimit old_limit;
+  ASSERT_EQ(getrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  struct rlimit capped = old_limit;
+  capped.rlim_cur = kPageSize;
+  ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &capped), 0);
+
+  Status st = (*table)->EvictAll();
+
+  ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  std::signal(SIGXFSZ, old_handler);
+
+  EXPECT_FALSE(st.ok()) << "a failed write-back must not be swallowed";
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+
+  // And with the limit restored the data is still recoverable: the dirty
+  // frames were not dropped on the failure path.
+  ASSERT_TRUE((*table)->EvictAll().ok());
+  auto tuple = (*table)->Get(RecordId{2, 0});
+  ASSERT_TRUE(tuple.ok());
+  EXPECT_EQ((*tuple)[1].AsString(), payload);
 }
 
 TEST(BPlusTreeTest, InsertLookup) {

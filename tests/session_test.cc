@@ -763,7 +763,7 @@ TEST(SessionTest, BufferCacheWarmExecuteBitIdenticalToColdAndToCacheOff) {
     auto off_pq = Session(&(*off)->db()).Prepare(approach, q);
     ASSERT_TRUE(on_pq.ok() && off_pq.ok());
 
-    (*on)->db().DropCaches();
+    ASSERT_TRUE((*on)->db().DropCaches().ok());
     QueryStats cold;
     auto cold_ans = on_pq->Execute(&cold);
     ASSERT_TRUE(cold_ans.ok());

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Proves the thread-safety annotations are enforced, not decorative:
+# compiles tests/thread_annotations_neg.cc under clang with
+# -Wthread-safety -Werror once per violation case and asserts each case
+# FAILS, while the baseline (no violation macro) compiles clean.
+#
+# Usage: thread_annotations_compile_test.sh <cxx-compiler> <src-include-dir>
+# Registered by CMake as ctest `thread_annotations_compile_test`.
+#
+# The annotations are clang-only (no-ops elsewhere), so on a non-clang
+# compiler there is nothing to check: exit 77, which CMake maps to a
+# ctest SKIP via SKIP_RETURN_CODE.
+set -u
+
+CXX="${1:?usage: $0 <cxx-compiler> <src-include-dir>}"
+INCLUDE_DIR="${2:?usage: $0 <cxx-compiler> <src-include-dir>}"
+SRC="$(dirname "$0")/thread_annotations_neg.cc"
+
+if ! "$CXX" --version 2>/dev/null | grep -qi "clang"; then
+  echo "SKIP: $CXX is not clang; -Wthread-safety has no effect here"
+  exit 77
+fi
+
+FLAGS=(-std=c++17 -Wthread-safety -Werror -fsyntax-only -I "$INCLUDE_DIR")
+
+compile() {
+  "$CXX" "${FLAGS[@]}" "$@" "$SRC" 2>&1
+}
+
+failures=0
+
+# Baseline: the fixture with no violation enabled must compile clean —
+# otherwise the "expected failures" below would be meaningless.
+if ! out=$(compile); then
+  echo "FAIL: baseline (no violation) did not compile:" >&2
+  echo "$out" >&2
+  failures=$((failures + 1))
+fi
+
+for case in CASE_UNGUARDED_READ CASE_REQUIRES_UNHELD CASE_LEAKED_LOCK; do
+  if out=$(compile "-D$case"); then
+    echo "FAIL: $case compiled, but -Wthread-safety should reject it" >&2
+    failures=$((failures + 1))
+  elif ! echo "$out" | grep -q "thread-safety"; then
+    # It must fail for the right reason, not a stray syntax error.
+    echo "FAIL: $case failed without a -Wthread-safety diagnostic:" >&2
+    echo "$out" >&2
+    failures=$((failures + 1))
+  else
+    echo "OK: $case rejected ($(echo "$out" | grep -c "error:") error(s))"
+  fi
+done
+
+if [ "$failures" -ne 0 ]; then
+  exit 1
+fi
+echo "thread_annotations_compile_test: all cases behaved as expected"

@@ -1,0 +1,71 @@
+// Negative-compilation fixture for clang -Wthread-safety. Each CASE_*
+// block below is a deliberate lock-discipline violation; the driver
+// (tests/thread_annotations_compile_test.sh) compiles this file once per
+// case with -Wthread-safety -Werror and asserts that every violation
+// FAILS to compile while the CASE_BASELINE build succeeds. This is the
+// proof that the annotations in util/mutex.h actually bite: delete a
+// GUARDED_BY or touch a guarded field without its lock, and the build
+// breaks instead of shipping a race.
+//
+// Named *_neg.cc, not *_test.cc, so the CMake test glob does not turn it
+// into a gtest executable — it is only ever compiled by the driver.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    staccato::util::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  int UnguardedRead() {
+#if defined(CASE_UNGUARDED_READ)
+    // VIOLATION: reading a GUARDED_BY field without holding mu_.
+    return value_;
+#else
+    staccato::util::MutexLock lock(&mu_);
+    return value_;
+#endif
+  }
+
+  void CallsRequiresWithoutLock() {
+#if defined(CASE_REQUIRES_UNHELD)
+    // VIOLATION: BumpLocked() REQUIRES(mu_) but mu_ is not held here.
+    BumpLocked();
+#else
+    staccato::util::MutexLock lock(&mu_);
+    BumpLocked();
+#endif
+  }
+
+  void ForgetsToUnlock() {
+#if defined(CASE_LEAKED_LOCK)
+    // VIOLATION: acquiring without releasing — the capability is still
+    // held when the function returns.
+    mu_.Lock();
+    ++value_;
+#else
+    staccato::util::MutexLock lock(&mu_);
+    ++value_;
+#endif
+  }
+
+ private:
+  void BumpLocked() REQUIRES(mu_) { ++value_; }
+
+  staccato::util::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  c.CallsRequiresWithoutLock();
+  c.ForgetsToUnlock();
+  return c.UnguardedRead() == 0 ? 1 : 0;
+}
