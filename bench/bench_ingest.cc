@@ -1,0 +1,256 @@
+// Incremental-ingest bench: WAL append throughput, query latency while
+// ingesting, and checkpoint / recovery cost.
+//
+// Three sections:
+//
+//  1. Append throughput under both WAL sync policies: STACCATO_WAL_SYNC=
+//     never (OS-buffered) vs commit (fsync per append). The gap is the
+//     price of single-append durability; batch loaders that can re-ingest
+//     after a crash run with `never` and checkpoint at the end.
+//
+//  2. Query latency while ingesting: a STACCATO scan query measured idle
+//     (no writer) and then again while a background thread appends the
+//     second half of the corpus. Appends only swap an immutable delta
+//     snapshot under a mutex, so the reader should see modest slowdown,
+//     not serialization.
+//
+//  3. Checkpoint & recovery cost: time to replay the WAL on reopen with
+//     the delta un-checkpointed, time for Checkpoint() to fold the delta
+//     into a fresh epoch, and reopen time after the fold.
+//
+// Writes BENCH_ingest.json with the headline numbers for CI artifacts.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eval/workbench.h"
+#include "ocr/corpus.h"
+#include "ocr/generator.h"
+#include "rdbms/session.h"
+#include "rdbms/staccato_db.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+using namespace staccato;
+using rdbms::Approach;
+using rdbms::DocumentInput;
+using rdbms::IndexMode;
+using rdbms::LoadOptions;
+using rdbms::QueryOptions;
+using rdbms::Session;
+using rdbms::SessionOptions;
+using rdbms::StaccatoDb;
+
+namespace {
+
+OcrDataset MakeDataset() {
+  CorpusSpec spec;
+  spec.kind = DatasetKind::kCongressActs;
+  spec.num_pages = 3;
+  spec.lines_per_page = 30;
+  spec.seed = 4242;
+  OcrNoiseModel noise;
+  noise.alternatives = 8;
+  auto data = GenerateOcrDataset(spec, noise);
+  if (!data.ok()) {
+    fprintf(stderr, "dataset: %s\n", data.status().ToString().c_str());
+    exit(1);
+  }
+  return std::move(*data);
+}
+
+LoadOptions BenchLoad() {
+  LoadOptions opts;
+  opts.kmap_k = 10;
+  opts.staccato = {25, 10, true};
+  return opts;
+}
+
+OcrDataset Prefix(const OcrDataset& d, size_t n) {
+  OcrDataset p;
+  p.corpus.name = d.corpus.name;
+  p.corpus.num_pages = d.corpus.num_pages;
+  p.corpus.lines.assign(d.corpus.lines.begin(), d.corpus.lines.begin() + n);
+  p.corpus.page_of_line.assign(d.corpus.page_of_line.begin(),
+                               d.corpus.page_of_line.begin() + n);
+  p.sfas.assign(d.sfas.begin(), d.sfas.begin() + n);
+  return p;
+}
+
+DocumentInput InputFor(const OcrDataset& d, size_t i) {
+  DocumentInput in;
+  const uint32_t page = d.corpus.page_of_line[i];
+  in.doc_name = StringPrintf("%s-page-%u", d.corpus.name.c_str(), page);
+  in.year = 2010 + page;
+  in.truth = d.corpus.lines[i];
+  in.sfa = d.sfas[i];
+  return in;
+}
+
+std::unique_ptr<StaccatoDb> OpenLoaded(const OcrDataset& data, size_t n,
+                                       const char* sync_policy) {
+  setenv("STACCATO_WAL_SYNC", sync_policy, 1);
+  auto db = StaccatoDb::Open(eval::MakeScratchDir("bench_ingest"));
+  unsetenv("STACCATO_WAL_SYNC");
+  if (!db.ok()) {
+    fprintf(stderr, "open: %s\n", db.status().ToString().c_str());
+    exit(1);
+  }
+  Status s = (*db)->Load(Prefix(data, n), BenchLoad());
+  if (!s.ok()) {
+    fprintf(stderr, "load: %s\n", s.ToString().c_str());
+    exit(1);
+  }
+  return std::move(*db);
+}
+
+double RunQueryMs(StaccatoDb* db, const std::string& pattern) {
+  Session session(db, SessionOptions{/*eval_threads=*/2, /*num_ans=*/50});
+  QueryOptions q;
+  q.pattern = pattern;
+  q.num_ans = 50;
+  q.eval_threads = 2;
+  Timer t;
+  auto pq = session.Prepare(Approach::kStaccato, q);
+  if (!pq.ok() || !pq->Execute().ok()) {
+    fprintf(stderr, "query failed\n");
+    exit(1);
+  }
+  return t.ElapsedMillis();
+}
+
+}  // namespace
+
+int main() {
+  const OcrDataset data = MakeDataset();
+  const size_t total = data.sfas.size();
+  const size_t base = total / 2;
+  const std::string pattern = DatasetQueries(DatasetKind::kCongressActs)[0];
+
+  // ---- 1. Append throughput: sync=never vs sync=commit -------------------
+  eval::PrintHeader("Append throughput (WAL + delta materialization)");
+  eval::PrintRow({"sync", "docs", "secs", "appends/s", "us/append"},
+                 {8, 6, 9, 11, 11});
+  double appends_per_sec[2] = {0, 0};
+  const char* policies[2] = {"never", "commit"};
+  for (int p = 0; p < 2; ++p) {
+    auto db = OpenLoaded(data, base, policies[p]);
+    Timer t;
+    for (size_t i = base; i < total; ++i) {
+      Status s = db->Append(InputFor(data, i));
+      if (!s.ok()) {
+        fprintf(stderr, "append: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+    const double secs = t.ElapsedSeconds();
+    const size_t n = total - base;
+    appends_per_sec[p] = n / secs;
+    eval::PrintRow({policies[p], std::to_string(n),
+                    StringPrintf("%.3f", secs),
+                    StringPrintf("%.0f", appends_per_sec[p]),
+                    StringPrintf("%.1f", secs / n * 1e6)},
+                   {8, 6, 9, 11, 11});
+  }
+
+  // ---- 2. Query latency while ingesting ----------------------------------
+  eval::PrintHeader("STACCATO scan latency: idle vs during ingest");
+  auto db = OpenLoaded(data, base, "commit");
+  constexpr int kIdleRuns = 20;
+  double idle_ms = 0;
+  for (int i = 0; i < kIdleRuns; ++i) idle_ms += RunQueryMs(db.get(), pattern);
+  idle_ms /= kIdleRuns;
+
+  // Sample latency continuously while a background writer appends the
+  // second half; stop once the writer is done (every sample overlaps at
+  // least part of the ingest because appends dominate the wall clock).
+  std::vector<double> busy_samples;
+  std::thread appender([&] {
+    for (size_t i = base; i < total; ++i) {
+      if (!db->Append(InputFor(data, i)).ok()) {
+        fprintf(stderr, "append during bench failed\n");
+        exit(1);
+      }
+    }
+  });
+  while (busy_samples.size() < 200) {
+    busy_samples.push_back(RunQueryMs(db.get(), pattern));
+    if (db->DeltaDocs() >= total - base) break;  // writer done
+  }
+  appender.join();
+  double busy_ms = 0;
+  for (double ms : busy_samples) busy_ms += ms;
+  busy_ms /= busy_samples.size();
+  eval::PrintRow({"state", "runs", "avg ms"}, {10, 6, 9});
+  eval::PrintRow({"idle", std::to_string(kIdleRuns),
+                  StringPrintf("%.3f", idle_ms)},
+                 {10, 6, 9});
+  eval::PrintRow({"ingesting", std::to_string(busy_samples.size()),
+                  StringPrintf("%.3f", busy_ms)},
+                 {10, 6, 9});
+
+  // ---- 3. Checkpoint & recovery cost -------------------------------------
+  eval::PrintHeader("Checkpoint / WAL-replay cost");
+  const std::string dir = eval::MakeScratchDir("bench_ingest_ckpt");
+  {
+    setenv("STACCATO_WAL_SYNC", "never", 1);
+    auto writer_db = StaccatoDb::Open(dir);
+    unsetenv("STACCATO_WAL_SYNC");
+    if (!writer_db.ok()) return 1;
+    if (!(*writer_db)->Load(Prefix(data, base), BenchLoad()).ok()) return 1;
+    for (size_t i = base; i < total; ++i) {
+      if (!(*writer_db)->Append(InputFor(data, i)).ok()) return 1;
+    }
+  }
+  Timer replay_t;
+  auto reopened = StaccatoDb::OpenExisting(dir);
+  const double replay_ms = replay_t.ElapsedMillis();
+  if (!reopened.ok()) {
+    fprintf(stderr, "reopen: %s\n", reopened.status().ToString().c_str());
+    return 1;
+  }
+  Timer ckpt_t;
+  if (!(*reopened)->Checkpoint().ok()) return 1;
+  const double checkpoint_ms = ckpt_t.ElapsedMillis();
+  reopened->reset();
+  Timer clean_t;
+  auto clean = StaccatoDb::OpenExisting(dir);
+  const double clean_open_ms = clean_t.ElapsedMillis();
+  if (!clean.ok()) return 1;
+
+  eval::PrintRow({"phase", "ms"}, {26, 10});
+  eval::PrintRow({"reopen, replay WAL", StringPrintf("%.2f", replay_ms)},
+                 {26, 10});
+  eval::PrintRow({"checkpoint (fold delta)", StringPrintf("%.2f",
+                                                          checkpoint_ms)},
+                 {26, 10});
+  eval::PrintRow({"reopen after checkpoint", StringPrintf("%.2f",
+                                                          clean_open_ms)},
+                 {26, 10});
+
+  FILE* json = fopen("BENCH_ingest.json", "w");
+  if (json != nullptr) {
+    fprintf(json,
+            "{\n"
+            "  \"bench\": \"ingest\",\n"
+            "  \"docs_total\": %zu,\n"
+            "  \"docs_appended\": %zu,\n"
+            "  \"appends_per_sec_never\": %.1f,\n"
+            "  \"appends_per_sec_commit\": %.1f,\n"
+            "  \"query_idle_ms\": %.3f,\n"
+            "  \"query_during_ingest_ms\": %.3f,\n"
+            "  \"ingest_samples\": %zu,\n"
+            "  \"wal_replay_reopen_ms\": %.3f,\n"
+            "  \"checkpoint_ms\": %.3f,\n"
+            "  \"clean_reopen_ms\": %.3f\n"
+            "}\n",
+            total, total - base, appends_per_sec[0], appends_per_sec[1],
+            idle_ms, busy_ms, busy_samples.size(), replay_ms, checkpoint_ms,
+            clean_open_ms);
+    fclose(json);
+    printf("wrote BENCH_ingest.json\n");
+  }
+  return 0;
+}

@@ -96,6 +96,20 @@ if [ -n "$hits" ]; then
 fi
 
 # ---------------------------------------------------------------------------
+# 7. The WAL's on-disk format is private to src/rdbms/wal.*: every other
+# component resolves the log file through WalPath() and reads/writes
+# records through WalWriter/WalReader, so recovery invariants live in one
+# place. The "wal.log" literal and the physical framing constants must
+# not leak (tests/wal_test.cc, the format's own test harness, is the one
+# exception).
+hits=$(grep -rnE '"wal\.log"|kWal(Zero|Full|First|Middle|Last|BlockSize|HeaderSize)' \
+  src/ tests/ bench/ examples/ --include="*.h" --include="*.cc" \
+  | grep -vE "^(src/rdbms/wal\.(h|cc)|tests/wal_test\.cc):" || true)
+if [ -n "$hits" ]; then
+  fail "WAL format internals outside src/rdbms/wal.* (use WalPath/WalWriter/WalReader)" "$hits"
+fi
+
+# ---------------------------------------------------------------------------
 if [ "$failures" -ne 0 ]; then
   echo "" >&2
   echo "lint: $failures rule(s) failed" >&2

@@ -5,6 +5,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/fault_fs.h"
 #include "util/serde.h"
 
 namespace staccato::rdbms {
@@ -36,12 +37,9 @@ Result<BlobId> BlobStore::Put(const std::string& data) {
     return Status::IOError("seek failed");
   }
   uint64_t len = data.size();
-  if (fwrite(&len, sizeof(len), 1, file_) != 1) {
-    return Status::IOError("short write (header)");
-  }
-  if (!data.empty() && fwrite(data.data(), 1, data.size(), file_) != data.size()) {
-    return Status::IOError("short write (payload)");
-  }
+  STACCATO_RETURN_NOT_OK(util::CheckedWrite(file_, &len, sizeof(len), path_));
+  STACCATO_RETURN_NOT_OK(
+      util::CheckedWrite(file_, data.data(), data.size(), path_));
   BlobId id = end_;
   end_ += sizeof(len) + data.size();
   dirty_.store(true, std::memory_order_release);
@@ -68,6 +66,20 @@ Status PreadExact(int fd, void* buf, size_t n, uint64_t offset) {
 }
 
 }  // namespace
+
+Status BlobStore::Flush() {
+  if (file_ == nullptr) return Status::OK();
+  STACCATO_RETURN_NOT_OK(util::CheckedFlush(file_, path_));
+  dirty_.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
+Status BlobStore::Sync() {
+  if (file_ == nullptr) return Status::OK();
+  STACCATO_RETURN_NOT_OK(util::CheckedSync(file_, path_));
+  dirty_.store(false, std::memory_order_release);
+  return Status::OK();
+}
 
 Result<std::string> BlobStore::Get(BlobId id) {
   std::string data;

@@ -111,11 +111,11 @@ class BlobStore {
   /// or reopens the same file. The dirty flag is cleared only when the
   /// flush actually succeeds, so a failed flush is retried (and surfaced)
   /// by the next Get instead of silently reading stale bytes.
-  void Flush() {
-    if (file_ != nullptr && fflush(file_) == 0) {
-      dirty_.store(false, std::memory_order_release);
-    }
-  }
+  Status Flush();
+
+  /// Flush + fsync: the durability barrier Checkpoint uses before
+  /// committing a new epoch's blob file.
+  Status Sync();
 
   uint64_t FileBytes() const { return end_; }
 

@@ -4,6 +4,7 @@
 
 #include <atomic>
 
+#include "util/fault_fs.h"
 #include "util/strings.h"
 
 namespace staccato::rdbms {
@@ -73,9 +74,7 @@ Status HeapTable::WritePage(uint32_t page_no, const SlottedPage& page) {
             SEEK_SET) != 0) {
     return Status::IOError("seek failed");
   }
-  if (fwrite(page.raw(), 1, kPageSize, file_) != kPageSize) {
-    return Status::IOError("short write");
-  }
+  STACCATO_RETURN_NOT_OK(util::CheckedWrite(file_, page.raw(), kPageSize, path_));
   ++io_.pages_written;
   if (shared_cache_ != nullptr) {
     // Write-through: the shared copy always matches what is on disk, so a
@@ -210,10 +209,13 @@ Status HeapTable::FlushLocked() {
       frame.dirty = false;
     }
   }
-  if (fflush(file_) != 0) {
-    return Status::IOError("heap table flush failed");
-  }
-  return Status::OK();
+  return util::CheckedFlush(file_, path_);
+}
+
+Status HeapTable::Sync() {
+  util::MutexLock lock(&latch_);
+  STACCATO_RETURN_NOT_OK(FlushLocked());
+  return util::CheckedSync(file_, path_);
 }
 
 Status HeapTable::EvictAll() {

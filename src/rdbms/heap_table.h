@@ -70,6 +70,10 @@ class HeapTable {
   /// Flushes dirty pages to disk.
   Status Flush();
 
+  /// Flush + fsync: the durability barrier Checkpoint uses before
+  /// committing a new epoch's tables.
+  Status Sync();
+
   size_t NumPages() const {
     util::MutexLock lock(&latch_);
     return num_pages_;

@@ -354,6 +354,18 @@ Result<CandidateSet> ProbeIndex(const PlanContext& ctx,
         static_cast<uint64_t>(t[2].AsInt()));
     ++set.total_postings;
   }
+  // Delta documents keep their postings in memory (computed with the same
+  // BuildPostings the index builder uses, already sorted per term), so a
+  // probe sees appended documents exactly as it would after a checkpoint
+  // folded them into the postings relation.
+  for (size_t i = 0; i < ctx.delta.docs.size(); ++i) {
+    const auto it = ctx.delta.docs[i]->postings.find(anchor);
+    if (it == ctx.delta.docs[i]->postings.end()) continue;
+    std::vector<uint64_t>& dst =
+        set.postings[static_cast<DocId>(ctx.delta.base_docs + i)];
+    dst.insert(dst.end(), it->second.begin(), it->second.end());
+    set.total_postings += it->second.size();
+  }
   return set;
 }
 
@@ -384,6 +396,26 @@ Result<const std::vector<char>*> EqualityBitmap(const PlanContext& ctx,
     if (key < allowed.size()) allowed[key] = 1;
     return true;
   }));
+  // Delta documents have no MasterData row yet; evaluate the bound
+  // equalities against the same column values Load would have written
+  // (DataKey, DocName, Year, SFANum), so filtering is representation-
+  // independent of where the document currently lives.
+  for (size_t i = 0; i < ctx.delta.docs.size(); ++i) {
+    const DeltaDoc& d = *ctx.delta.docs[i];
+    const size_t key = ctx.delta.base_docs + i;
+    if (key >= allowed.size()) continue;
+    const int64_t k = static_cast<int64_t>(key);
+    const Tuple row{Value::Int(k), Value::String(d.doc_name),
+                    Value::Int(d.year), Value::Int(k)};
+    bool pass = true;
+    for (const BoundEquality& eq : plan.equalities) {
+      if (row[static_cast<size_t>(eq.column_index)] != eq.value) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) allowed[key] = 1;
+  }
   if (stats != nullptr) {
     stats->heap_pages_read += ctx.master->io_stats().page_reads;
   }
@@ -410,6 +442,27 @@ void AccumulateKMapRow(const PlanSpec& plan, const Dfa& dfa,
   if (plan.map_only && t[1].AsInt() != 0) return;
   if (dfa.Matches(t[2].AsString())) {
     (*prob)[key] += std::exp(t[3].AsDouble());
+  }
+}
+
+/// Delta documents' k-map rows, applied after the kMAPData scan through
+/// the same AccumulateKMapRow rule in the same rank-ascending order the
+/// table stores — so the per-doc accumulation (and therefore the summed
+/// probability, bit for bit) matches what a rebuilt database computes.
+void AccumulateDeltaKMap(const PlanContext& ctx, const PlanSpec& plan,
+                         const Dfa& dfa, const std::vector<char>& allowed,
+                         std::vector<double>* prob) {
+  for (size_t i = 0; i < ctx.delta.docs.size(); ++i) {
+    const DeltaDoc& d = *ctx.delta.docs[i];
+    const size_t key = ctx.delta.base_docs + i;
+    if (key >= prob->size()) continue;
+    for (size_t r = 0; r < d.kmap.size(); ++r) {
+      const Tuple row{Value::Int(static_cast<int64_t>(key)),
+                      Value::Int(static_cast<int64_t>(r)),
+                      Value::String(d.kmap[r].str),
+                      Value::Double(d.kmap[r].log_prob)};
+      AccumulateKMapRow(plan, dfa, allowed, row, key, prob);
+    }
   }
 }
 
@@ -479,6 +532,7 @@ Result<std::vector<Answer>> ExecuteStrings(const PlanContext& ctx,
     }
     return true;
   }));
+  AccumulateDeltaKMap(ctx, plan, dfa, allowed, &prob);
   if (stats != nullptr) {
     size_t candidates = CountStringCandidates(ctx, plan, allowed);
     stats->heap_pages_read += ctx.kmap->io_stats().page_reads;
@@ -702,11 +756,17 @@ Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
     // hit skips the heap point get and the pread entirely), via the
     // reusable per-worker buffer otherwise. Same bytes either way.
     const std::string* blob = &ws.blob;
-    if (ctx.cache != nullptr) {
+    if (ctx.delta.Contains(cand.doc)) {
+      // Appended documents serve their serialized SFA straight from the
+      // delta (no heap get, no pread, no cache entry) — the bytes are
+      // identical to what a checkpoint or rebuild would store.
+      const DeltaDoc& d = ctx.delta.Doc(cand.doc);
+      blob = full ? &d.full_blob : &d.graph_blob;
+    } else if (ctx.cache != nullptr) {
       STACCATO_ASSIGN_OR_RETURN(
           ws.pin,
           ctx.blobs->GetCached(
-              BlobCacheKey(full, cand.doc, ctx.load_generation),
+              BlobCacheKey(full, cand.doc, ctx.blob_generation),
               [&]() -> Result<BlobId> {
                 if (cand.doc >= rids.size()) {
                   return Status::NotFound("no such DataKey");
@@ -858,6 +918,11 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
       }
       return true;
     }));
+    for (size_t j = 0; j < m; ++j) {
+      AccumulateDeltaKMap(ctx, *items[strings_items[j]].plan,
+                          *items[strings_items[j]].dfa,
+                          *allowed[strings_items[j]], &prob[j]);
+    }
     const uint64_t scan_reads = ctx.kmap->io_stats().page_reads;
     for (size_t j = 0; j < m; ++j) {
       const size_t i = strings_items[j];
@@ -933,6 +998,14 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
         [&](size_t k) -> Status {
           const bool full = fetches[k]->first.first;
           const DocId doc = fetches[k]->first.second;
+          if (ctx.delta.Contains(doc)) {
+            const DeltaDoc& d = ctx.delta.Doc(doc);
+            STACCATO_ASSIGN_OR_RETURN(
+                fetches[k]->second.sfa,
+                Sfa::Deserialize(full ? d.full_blob : d.graph_blob));
+            fetches[k]->second.info = ComputeSfaEvalInfo(fetches[k]->second.sfa);
+            return Status::OK();
+          }
           const std::vector<RecordId>& rids =
               full ? *ctx.fullsfa_rid : *ctx.graph_rid;
           if (doc >= rids.size()) return Status::NotFound("no such DataKey");
@@ -944,7 +1017,7 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
             STACCATO_ASSIGN_OR_RETURN(
                 cache::BufferCache::Handle pin,
                 ctx.blobs->GetCached(
-                    BlobCacheKey(full, doc, ctx.load_generation),
+                    BlobCacheKey(full, doc, ctx.blob_generation),
                     [&]() -> Result<BlobId> {
                       STACCATO_ASSIGN_OR_RETURN(Tuple t,
                                                 table->Get(rids[doc]));

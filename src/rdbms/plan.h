@@ -57,6 +57,7 @@
 #include "metrics/metrics.h"
 #include "rdbms/blob_store.h"
 #include "rdbms/btree.h"
+#include "rdbms/delta.h"
 #include "rdbms/heap_table.h"
 #include "rdbms/sql.h"
 #include "util/result.h"
@@ -300,9 +301,16 @@ struct PlanContext {
   /// null (no index). The cost model reads these instead of probing.
   const TermStatsMap* term_stats = nullptr;
   /// Monotone counter the owning database bumps on every Load /
-  /// BuildInvertedIndex; PlanCache entries from older generations are
-  /// invalid.
+  /// BuildInvertedIndex / Append / Checkpoint; PlanCache entries from
+  /// older generations are invalid.
   uint64_t load_generation = 0;
+  /// Bumped only when blob *contents* change per doc id (Load) — Append
+  /// and Checkpoint preserve every existing doc's bytes, so blob-cache
+  /// entries keyed on this survive them. See BlobCacheKey.
+  uint64_t blob_generation = 0;
+  /// Snapshot of the mutable delta generation (appended documents). Doc
+  /// ids >= delta.base_docs resolve here instead of in the base tables.
+  DeltaView delta;
 };
 
 /// Resolves a logical query into a physical plan: prices the full-scan and

@@ -7,8 +7,19 @@
 //   k-MAP    — the k most likely transcriptions per line
 //   FullSFA  — the entire transducer, stored as a BLOB
 //   Staccato — the chunked approximation of Section 3
+//
+// Incremental ingest: after a bulk Load, single documents arrive through
+// Append. Each append is made durable by a CRC-framed write-ahead log
+// record (rdbms/wal.h) before it is applied to a mutable in-memory delta
+// generation; queries merge the delta with the immutable base tables at
+// candidate generation, fetch, and eval. Checkpoint folds the delta into a
+// fresh epoch of base files and commits it atomically through the
+// `staccato.meta` pointer file, so a crash at any instant recovers exactly
+// the committed prefix of appends (OpenExisting replays the log).
 #pragma once
 
+#include <atomic>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -20,10 +31,13 @@
 #include "ocr/corpus.h"
 #include "rdbms/blob_store.h"
 #include "rdbms/btree.h"
+#include "rdbms/delta.h"
 #include "rdbms/heap_table.h"
 #include "rdbms/plan.h"
+#include "rdbms/wal.h"
 #include "sfa/sfa.h"
 #include "staccato/chunking.h"
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace staccato::rdbms {
@@ -40,6 +54,18 @@ struct LoadOptions {
   size_t construction_threads = 0;
 };
 
+/// \brief One incrementally ingested document (Append). The SFA is the
+/// full transducer; every derived representation (k-MAP rows, the chunked
+/// Staccato graph, postings) is computed by the database with the same
+/// parameters the bulk Load used, so an appended document is
+/// indistinguishable from a bulk-loaded one.
+struct DocumentInput {
+  std::string doc_name;
+  int64_t year = 0;
+  std::string truth;
+  Sfa sfa;
+};
+
 /// \brief Storage-size report (Table 2 / Figure 20).
 struct StorageReport {
   uint64_t text_bytes = 0;       // k-MAP rank-0 text
@@ -51,6 +77,12 @@ struct StorageReport {
 };
 
 /// \brief The database. Construct with Open(), then Load() a dataset.
+///
+/// Concurrency: Append is safe against concurrent query execution (the
+/// delta generation is snapshotted into every PlanContext under the ingest
+/// mutex, and published documents are immutable). Load, Checkpoint, and
+/// BuildInvertedIndex replace storage handles wholesale and keep the
+/// external-exclusive contract: no concurrent queries while they run.
 class StaccatoDb {
  public:
   /// Creates a database under `dir` (created if needed; files truncated).
@@ -61,10 +93,12 @@ class StaccatoDb {
       const std::string& dir,
       cache::CacheConfig cache = cache::CacheConfig::Default());
 
-  /// Reopens a previously loaded database directory: heap files and the
-  /// blob store are opened in place, the blob record ids are recovered by
-  /// scanning the FullSFAData/StaccatoGraph tables, and the inverted index
-  /// (if it was built) is reconstructed from the persisted postings table.
+  /// Reopens a previously loaded database directory: the epoch named by
+  /// `staccato.meta` (epoch 0 when absent) is opened in place, the blob
+  /// record ids are recovered by scanning the FullSFAData/StaccatoGraph
+  /// tables, the inverted index (if it was built) is reconstructed from
+  /// the persisted postings table, and the write-ahead log is replayed —
+  /// every committed append is recovered, a torn tail is discarded.
   static Result<std::unique_ptr<StaccatoDb>> OpenExisting(
       const std::string& dir,
       cache::CacheConfig cache = cache::CacheConfig::Default());
@@ -72,8 +106,33 @@ class StaccatoDb {
   /// Loads an OCR dataset: populates MasterData, GroundTruth, kMAPData,
   /// FullSFAData, StaccatoData/StaccatoGraph per `opts`. Staccato
   /// construction is parallelized across SFAs (it is embarrassingly
-  /// parallel, as the paper notes).
+  /// parallel, as the paper notes). Resets the WAL and drops any pending
+  /// delta: Load replaces the dataset wholesale.
   Status Load(const OcrDataset& dataset, const LoadOptions& opts);
+
+  /// Appends one document incrementally. The document is logged (WAL
+  /// record + commit record, fsynced per STACCATO_WAL_SYNC) before it is
+  /// materialized into the in-memory delta generation, so a crash after
+  /// Append returns loses nothing. Derived representations reuse the
+  /// LoadOptions of the last Load. Safe against concurrent query
+  /// execution. When STACCATO_DELTA_DOCS is set and the delta reaches
+  /// that many documents, an automatic Checkpoint runs inline (that path
+  /// is external-exclusive, like an explicit Checkpoint).
+  Status Append(const DocumentInput& doc);
+
+  /// Folds the delta generation into a fresh epoch of base files, commits
+  /// it atomically (write new files, fsync, then atomically replace
+  /// `staccato.meta`), and truncates the WAL. A crash before the meta
+  /// commit leaves the previous epoch + WAL authoritative; a crash after
+  /// it replays no delta (WAL sequence numbers below the new base are
+  /// skipped). External-exclusive: no concurrent queries.
+  Status Checkpoint();
+
+  /// Number of documents currently in the in-memory delta generation.
+  size_t DeltaDocs() const;
+
+  /// The committed base-file epoch (bumped by every Checkpoint).
+  uint64_t Epoch() const;
 
   /// Builds the dictionary inverted index over the Staccato representation.
   Status BuildInvertedIndex(const std::vector<std::string>& dictionary_terms);
@@ -102,7 +161,7 @@ class StaccatoDb {
   /// Ground-truth answer set: lines whose true transcription matches.
   Result<std::set<DocId>> GroundTruthFor(const std::string& pattern);
 
-  size_t NumSfas() const { return num_sfas_; }
+  size_t NumSfas() const { return num_sfas_.load(std::memory_order_acquire); }
   StorageReport Storage() const;
 
   /// Drops page/blob caches (per-table pools and the shared buffer
@@ -118,19 +177,20 @@ class StaccatoDb {
   /// Cache-aware blob read, exactly as the executor's Fetch stage
   /// performs it: a heap point get resolves the blob id, then the store
   /// reads through the buffer cache keyed on (representation, doc,
-  /// load_generation). Exposed for benches and tests that measure the
+  /// blob_generation). Delta documents are served from memory on a
+  /// detached handle. Exposed for benches and tests that measure the
   /// Fetch unit in isolation.
   Result<cache::BufferCache::Handle> FetchBlobCached(DocId doc,
                                                      bool full_sfa);
 
   /// Access to the loaded per-line chunked SFAs (for benches that need to
-  /// inspect the representation directly).
+  /// inspect the representation directly). Delta-aware.
   Result<Sfa> LoadStaccatoSfa(DocId doc);
   Result<Sfa> LoadFullSfa(DocId doc);
 
   /// Raw serialized-transducer blobs, exactly as the Eval stage fetches
   /// them (for kernel benches that measure decode/eval without the
-  /// executor around them).
+  /// executor around them). Delta-aware.
   Result<std::string> ReadStaccatoBlob(DocId doc);
   Result<std::string> ReadFullSfaBlob(DocId doc);
 
@@ -138,10 +198,22 @@ class StaccatoDb {
     return dict_ ? &*dict_ : nullptr;
   }
 
-  /// Monotone data-version counter: bumped by every Load and
-  /// BuildInvertedIndex (and set by OpenExisting). PreparedQuery plan
-  /// caches are tagged with it and self-invalidate when it moves.
-  uint64_t load_generation() const { return load_gen_; }
+  /// Monotone data-version counter: bumped by every Load, Append,
+  /// Checkpoint and BuildInvertedIndex (and set by OpenExisting).
+  /// PreparedQuery plan caches are tagged with it and self-invalidate
+  /// when it moves.
+  uint64_t load_generation() const {
+    return load_gen_.load(std::memory_order_acquire);
+  }
+
+  /// Blob-content version counter: bumped only when the bytes behind a
+  /// (representation, doc) pair can change — i.e. by Load. Append and
+  /// Checkpoint preserve every existing document's serialized SFAs
+  /// byte-for-byte, so the warm blob cache survives them (BlobCacheKey
+  /// carries this generation, not load_generation).
+  uint64_t blob_generation() const {
+    return blob_gen_.load(std::memory_order_acquire);
+  }
 
   /// Per-term posting statistics of the inverted index (posting count and
   /// distinct-doc count), maintained at build time for the cost-based
@@ -155,22 +227,39 @@ class StaccatoDb {
   explicit StaccatoDb(std::string dir) : dir_(std::move(dir)) {}
 
   /// Borrowed storage views for the planner/executor (rdbms/plan.h).
+  /// Snapshots the delta generation under the ingest mutex, so a
+  /// concurrent Append never mutates state a running query observes.
   PlanContext MakePlanContext();
 
   /// Truncates and reopens one heap relation (Load replaces every table
   /// wholesale; index rebuilds replace the postings relation). Keeps the
   /// old handle on failure — the member is never left null.
-  Status ReplaceHeap(std::unique_ptr<HeapTable>* table, const char* file,
-                     Schema schema);
-  Status ReplacePostingsRelation();
+  Status ReplaceHeap(std::unique_ptr<HeapTable>* table,
+                     const std::string& path, Schema schema);
+  Status ReplacePostingsRelation() REQUIRES(ingest_mu_);
 
   /// Points the blob store and every heap table at the shared buffer
   /// cache (no-op when caching is disabled). Load re-runs it after
   /// replacing the storage handles.
   void WireCache();
 
+  /// Replays the write-ahead log into the delta generation (OpenExisting)
+  /// and positions the writer at the end of the committed prefix,
+  /// truncating any torn tail.
+  Status RecoverWal() REQUIRES(ingest_mu_);
+
+  /// Computes every derived representation of a logged document: k-MAP
+  /// strings, the chunked Staccato graph, and (when an index exists)
+  /// packed postings. Both the live Append path and WAL replay build the
+  /// delta from the *serialized* record, so a recovered document is
+  /// bit-identical to the one the crashed process served.
+  Result<std::shared_ptr<const DeltaDoc>> MaterializeDelta(
+      const WalDocRecord& rec) REQUIRES(ingest_mu_);
+
+  Status CheckpointLocked() REQUIRES(ingest_mu_);
+
   std::string dir_;
-  size_t num_sfas_ = 0;
+  std::atomic<size_t> num_sfas_{0};
 
   std::unique_ptr<HeapTable> master_;       // MasterData
   std::unique_ptr<HeapTable> truth_;        // GroundTruth
@@ -189,7 +278,22 @@ class StaccatoDb {
   std::unique_ptr<BPlusTree> index_;  // term -> postings-table record
   std::optional<DictionaryTrie> dict_;
   TermStatsMap term_stats_;  // planner statistics, rebuilt with the index
-  uint64_t load_gen_ = 0;    // see load_generation()
+  std::atomic<uint64_t> load_gen_{0};  // see load_generation()
+  std::atomic<uint64_t> blob_gen_{0};  // see blob_generation()
+
+  /// Serializes ingest against plan-context snapshots: Append's
+  /// log-then-apply sequence, the delta vector, and the base/epoch
+  /// bookkeeping all live under it. Queries hold it only for the snapshot
+  /// in MakePlanContext, never during execution.
+  mutable util::Mutex ingest_mu_;
+  std::vector<std::shared_ptr<const DeltaDoc>> delta_ GUARDED_BY(ingest_mu_);
+  size_t base_docs_ GUARDED_BY(ingest_mu_) = 0;  ///< docs folded into tables
+  LoadOptions load_opts_ GUARDED_BY(ingest_mu_);  ///< params appends reuse
+  std::unique_ptr<WalWriter> wal_ GUARDED_BY(ingest_mu_);
+  uint64_t epoch_ GUARDED_BY(ingest_mu_) = 0;  ///< committed base-file epoch
+  /// STACCATO_DELTA_DOCS: auto-checkpoint once the delta holds this many
+  /// documents (0 = never; explicit Checkpoint only). Read once at open.
+  size_t delta_checkpoint_docs_ = 0;
 };
 
 }  // namespace staccato::rdbms

@@ -1,0 +1,178 @@
+// Crash-safe write-ahead log for incremental ingest.
+//
+// Physical layer (LevelDB log_format lineage): the file is a sequence of
+// 32 KiB blocks; each record is split into fragments, one fragment per
+// contiguous run inside a block, framed as
+//
+//     +---------+--------+------+----------------------+
+//     | crc32 4B| len 2B | type | payload (len bytes)  |
+//     +---------+--------+------+----------------------+
+//
+// with type FULL / FIRST / MIDDLE / LAST and the CRC covering the type
+// byte plus the payload. A trailer of < 7 bytes at the end of a block is
+// zero-filled before the next fragment starts, so every byte of the file
+// belongs to exactly one record's span — which is what makes the
+// recovery matrix's expectations exact (corrupting any byte of record i
+// recovers precisely records 0..i-1).
+//
+// Logical layer (header-last commit): each appended document is written
+// as a doc record ('D' tag, the full serialized document) followed by a
+// commit record ('C' tag: sequence number + CRC32 of the doc record
+// bytes). Recovery applies a document only after seeing its intact
+// commit record, so a torn doc record — even one whose fragment CRCs
+// happen to verify — can never be half-applied.
+//
+// This header and wal.cc are the only code allowed to touch the on-disk
+// log format (scripts/lint.sh rule 7).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace staccato {
+namespace rdbms {
+
+// ---- Physical framing constants --------------------------------------------
+
+constexpr size_t kWalBlockSize = 32768;
+constexpr size_t kWalHeaderSize = 7;  // crc32[4] + length[2] + type[1]
+
+constexpr uint8_t kWalZero = 0;  // zero-filled block trailer padding
+constexpr uint8_t kWalFull = 1;
+constexpr uint8_t kWalFirst = 2;
+constexpr uint8_t kWalMiddle = 3;
+constexpr uint8_t kWalLast = 4;
+
+// ---- Policy / paths ---------------------------------------------------------
+
+/// \brief When the WAL reaches durable storage.
+enum class WalSyncPolicy : uint8_t {
+  kNever = 0,   ///< OS-buffered only; fast, loses the tail on power cut
+  kCommit = 1,  ///< fsync on every Commit() (the default)
+};
+
+/// \brief Reads STACCATO_WAL_SYNC ("never" | "commit"); default kCommit.
+WalSyncPolicy WalSyncPolicyFromEnv();
+
+/// \brief The log file for a database directory (`<dir>/wal.log`).
+std::string WalPath(const std::string& dir);
+
+// ---- Writer -----------------------------------------------------------------
+
+/// \brief Appends framed records to the log. Not thread-safe; the caller
+/// (StaccatoDb::Append) serializes access.
+class WalWriter {
+ public:
+  /// Opens (creating if needed) the log and truncates it to
+  /// `resume_offset` — the end of the last intact record as reported by
+  /// recovery — so a torn tail never precedes fresh appends.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 uint64_t resume_offset,
+                                                 WalSyncPolicy policy);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record. On failure the file is truncated back to the
+  /// previous record boundary so a torn fragment cannot sit in front of
+  /// later successful appends; if even the truncate fails the writer
+  /// becomes sticky-errored.
+  Status AddRecord(std::string_view payload);
+
+  /// Makes prior records visible to a reopening process: fflush, plus
+  /// fsync when the policy is kCommit.
+  Status Commit();
+
+  /// Forces durability regardless of policy (checkpoint barrier).
+  Status Sync();
+
+  /// Truncates the log to empty (after a checkpoint folded its contents
+  /// into the base segments).
+  Status Reset();
+
+  /// End of the last successfully appended record.
+  uint64_t offset() const { return offset_; }
+
+ private:
+  WalWriter(FILE* file, std::string path, uint64_t offset,
+            WalSyncPolicy policy);
+
+  FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t offset_ = 0;  // end of last complete record
+  WalSyncPolicy policy_ = WalSyncPolicy::kCommit;
+  Status sticky_error_;
+};
+
+// ---- Reader -----------------------------------------------------------------
+
+/// \brief Sequentially decodes records, stopping at the first anomaly
+/// (bad CRC, torn fragment, nonzero trailer garbage). Everything before
+/// the stop point is the committed prefix; `last_record_end()` is where a
+/// writer should resume.
+class WalReader {
+ public:
+  static Result<std::unique_ptr<WalReader>> Open(const std::string& path);
+
+  /// Returns true and fills `*out` with the next record; false at end of
+  /// the intact prefix (clean or torn — check torn_tail()).
+  bool ReadRecord(std::string* out);
+
+  /// True if reading stopped because of a torn/corrupt tail rather than
+  /// a clean end of file.
+  bool torn_tail() const { return torn_tail_; }
+
+  /// Byte offset just past the last intact record.
+  uint64_t last_record_end() const { return last_record_end_; }
+
+ private:
+  explicit WalReader(std::string data);
+
+  std::string data_;
+  size_t pos_ = 0;
+  uint64_t last_record_end_ = 0;
+  bool torn_tail_ = false;
+  bool done_ = false;
+};
+
+// ---- Logical records --------------------------------------------------------
+
+constexpr uint8_t kWalDocTag = 'D';
+constexpr uint8_t kWalCommitTag = 'C';
+
+/// \brief One appended document, self-contained: recovery re-derives the
+/// k-map rows, chunked SFA, and postings from the serialized SFA with the
+/// same load parameters the live Append used, guaranteeing replay builds
+/// byte-identical delta state.
+struct WalDocRecord {
+  uint64_t seq = 0;  ///< absolute document id (base + delta position)
+  std::string doc_name;
+  int64_t year = 0;
+  std::string truth;
+  uint64_t kmap_k = 0;      ///< LoadOptions::kmap_k at append time
+  uint64_t staccato_m = 0;  ///< StaccatoParams::m
+  uint64_t staccato_k = 0;  ///< StaccatoParams::k
+  std::string full_sfa;     ///< Sfa::Serialize() bytes
+};
+
+std::string EncodeWalDoc(const WalDocRecord& rec);
+Result<WalDocRecord> DecodeWalDoc(std::string_view bytes);
+
+/// \brief Header-last commit marker: binds `seq` to the CRC of the doc
+/// record it commits.
+struct WalCommitRecord {
+  uint64_t seq = 0;
+  uint32_t payload_crc = 0;  ///< Crc32 of the full encoded doc record
+};
+
+std::string EncodeWalCommit(const WalCommitRecord& rec);
+Result<WalCommitRecord> DecodeWalCommit(std::string_view bytes);
+
+}  // namespace rdbms
+}  // namespace staccato

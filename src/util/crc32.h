@@ -1,0 +1,44 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven. Used to frame
+// WAL records and the checkpoint meta file; header-only so the storage
+// layer picks it up without a new dependency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace staccato {
+namespace util {
+
+namespace detail {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+}  // namespace detail
+
+/// \brief CRC-32 of `n` bytes starting at `data`.
+inline uint32_t Crc32(const void* data, size_t n) {
+  static const detail::Crc32Table table;
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table.entries[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+inline uint32_t Crc32(std::string_view s) { return Crc32(s.data(), s.size()); }
+
+}  // namespace util
+}  // namespace staccato

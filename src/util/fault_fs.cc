@@ -1,0 +1,98 @@
+#include "util/fault_fs.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace staccato {
+namespace util {
+
+FaultInjector* FaultInjector::Global() {
+  static FaultInjector injector;
+  return &injector;
+}
+
+void FaultInjector::Install(FaultRule rule) {
+  util::MutexLock lock(&mu_);
+  rules_.push_back(std::move(rule));
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Clear() {
+  util::MutexLock lock(&mu_);
+  rules_.clear();
+  armed_.store(false, std::memory_order_release);
+}
+
+bool FaultInjector::ShouldFail(FaultOp op, const std::string& path,
+                               size_t* short_bytes) {
+  if (!armed_.load(std::memory_order_acquire)) return false;
+  util::MutexLock lock(&mu_);
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    FaultRule& rule = rules_[i];
+    if (rule.op != op) continue;
+    if (!rule.path_substr.empty() &&
+        path.find(rule.path_substr) == std::string::npos) {
+      continue;
+    }
+    if (rule.countdown > 0) {
+      --rule.countdown;
+      continue;
+    }
+    if (short_bytes != nullptr) *short_bytes = rule.short_bytes;
+    if (!rule.sticky) {
+      rules_.erase(rules_.begin() + static_cast<ptrdiff_t>(i));
+      if (rules_.empty()) armed_.store(false, std::memory_order_release);
+    }
+    return true;
+  }
+  return false;
+}
+
+Status CheckedWrite(FILE* file, const void* data, size_t n,
+                    const std::string& path) {
+  size_t short_bytes = 0;
+  if (FaultInjector::Global()->ShouldFail(FaultOp::kWrite, path,
+                                          &short_bytes)) {
+    if (short_bytes > 0 && short_bytes < n) {
+      // A torn write: persist the prefix so recovery tests see realistic
+      // partially-written bytes, then report failure.
+      if (fwrite(data, 1, short_bytes, file) == short_bytes) {
+        (void)fflush(file);
+      }
+    }
+    return Status::IOError("injected write fault: " + path);
+  }
+  if (n != 0 && fwrite(data, 1, n, file) != n) {
+    return Status::IOError("short write: " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status CheckedFlush(FILE* file, const std::string& path) {
+  if (FaultInjector::Global()->ShouldFail(FaultOp::kFlush, path, nullptr)) {
+    return Status::IOError("injected flush fault: " + path);
+  }
+  if (fflush(file) != 0) {
+    return Status::IOError("fflush failed: " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status CheckedSync(FILE* file, const std::string& path) {
+  STACCATO_RETURN_NOT_OK(CheckedFlush(file, path));
+  if (FaultInjector::Global()->ShouldFail(FaultOp::kSync, path, nullptr)) {
+    return Status::IOError("injected sync fault: " + path);
+  }
+  if (fsync(fileno(file)) != 0) {
+    return Status::IOError("fsync failed: " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace util
+}  // namespace staccato

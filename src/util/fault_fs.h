@@ -1,0 +1,74 @@
+// Deterministic fault injection for the stdio file operations the storage
+// layer depends on (WAL appends, heap-page write-back, blob flushes).
+//
+// Production code calls CheckedWrite/CheckedFlush/CheckedSync instead of
+// bare fwrite/fflush/fsync. Each wrapper consults the process-global
+// FaultInjector first: tests Install() rules that make the Nth matching
+// operation fail (optionally as a *short* write that really leaves torn
+// bytes on disk), then assert the failure surfaces as a Status instead of
+// being swallowed. With no rules armed the wrappers are a single relaxed
+// atomic load away from the bare calls.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/status.h"
+
+namespace staccato {
+namespace util {
+
+enum class FaultOp : uint8_t {
+  kWrite = 0,  ///< fwrite via CheckedWrite
+  kFlush = 1,  ///< fflush via CheckedFlush
+  kSync = 2,   ///< fsync via CheckedSync
+};
+
+/// \brief One injected failure: the `countdown`-th matching operation on a
+/// path containing `path_substr` fails. `short_bytes` > 0 turns a kWrite
+/// fault into a short write that actually persists that many prefix bytes
+/// (a torn write, not a clean no-op). `sticky` keeps the rule armed so
+/// every later match fails too (a dead disk rather than a glitch).
+struct FaultRule {
+  FaultOp op = FaultOp::kWrite;
+  std::string path_substr;
+  int countdown = 0;
+  size_t short_bytes = 0;
+  bool sticky = false;
+};
+
+/// \brief Process-global registry of fault rules. Thread-safe; the armed
+/// flag keeps the no-faults fast path lock-free.
+class FaultInjector {
+ public:
+  static FaultInjector* Global();
+
+  void Install(FaultRule rule);
+  void Clear();
+
+  /// True if `op` on `path` should fail now. For short writes,
+  /// `*short_bytes` receives how many bytes to persist before failing.
+  bool ShouldFail(FaultOp op, const std::string& path, size_t* short_bytes);
+
+ private:
+  util::Mutex mu_;
+  std::vector<FaultRule> rules_ GUARDED_BY(mu_);
+  std::atomic<bool> armed_{false};
+};
+
+/// \brief fwrite(data, 1, n, file) with fault injection; flushes before a
+/// short-write fault so the torn prefix really reaches the file.
+Status CheckedWrite(FILE* file, const void* data, size_t n,
+                    const std::string& path);
+
+/// \brief fflush(file) with fault injection.
+Status CheckedFlush(FILE* file, const std::string& path);
+
+/// \brief fflush + fsync(fileno(file)) with fault injection.
+Status CheckedSync(FILE* file, const std::string& path);
+
+}  // namespace util
+}  // namespace staccato

@@ -1,0 +1,199 @@
+// Unit tests for the fault-injection seam (util/fault_fs.h): injected
+// short writes, flush failures, and fsync failures must surface as
+// Status errors through every storage layer that writes bytes —
+// HeapTable, BlobStore, and the WAL writer — instead of being swallowed.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "eval/workbench.h"
+#include "rdbms/blob_store.h"
+#include "rdbms/heap_table.h"
+#include "rdbms/value.h"
+#include "rdbms/wal.h"
+#include "util/fault_fs.h"
+
+namespace staccato {
+namespace util {
+namespace {
+
+std::string ReadFileBytes(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  fclose(f);
+  return out;
+}
+
+class FaultFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Global()->Clear();
+    dir_ = eval::MakeScratchDir("fault_fs_test");
+  }
+  void TearDown() override { FaultInjector::Global()->Clear(); }
+
+  std::string Path(const char* name) { return dir_ + "/" + name; }
+
+  std::string dir_;
+};
+
+TEST_F(FaultFsTest, CheckedWriteFailsAndPersistsShortPrefix) {
+  const std::string path = Path("short.bin");
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+
+  // A short write persists exactly `short_bytes` of the payload before
+  // failing — the torn-prefix shape a real partial write leaves behind.
+  FaultInjector::Global()->Install({FaultOp::kWrite, "short.bin", 0, 3, false});
+  Status s = CheckedWrite(f, "0123456789", 10, path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+
+  // The rule was one-shot: the next write goes through.
+  EXPECT_TRUE(CheckedWrite(f, "AB", 2, path).ok());
+  fclose(f);
+  EXPECT_EQ(ReadFileBytes(path), "012AB");
+}
+
+TEST_F(FaultFsTest, PathSubstringScopesTheRule) {
+  const std::string hit = Path("victim.bin");
+  const std::string miss = Path("bystander.bin");
+  FILE* fh = fopen(hit.c_str(), "wb");
+  FILE* fm = fopen(miss.c_str(), "wb");
+  ASSERT_NE(fh, nullptr);
+  ASSERT_NE(fm, nullptr);
+
+  FaultInjector::Global()->Install({FaultOp::kWrite, "victim", 0, 0, false});
+  EXPECT_TRUE(CheckedWrite(fm, "ok", 2, miss).ok());  // other file unaffected
+  EXPECT_FALSE(CheckedWrite(fh, "xx", 2, hit).ok());
+  fclose(fh);
+  fclose(fm);
+}
+
+TEST_F(FaultFsTest, CountdownDelaysTheFault) {
+  const std::string path = Path("countdown.bin");
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+
+  FaultInjector::Global()->Install(
+      {FaultOp::kWrite, "countdown", /*countdown=*/2, 0, false});
+  EXPECT_TRUE(CheckedWrite(f, "a", 1, path).ok());
+  EXPECT_TRUE(CheckedWrite(f, "b", 1, path).ok());
+  EXPECT_FALSE(CheckedWrite(f, "c", 1, path).ok());
+  EXPECT_TRUE(CheckedWrite(f, "d", 1, path).ok());  // rule consumed
+  fclose(f);
+}
+
+TEST_F(FaultFsTest, StickyRuleFailsUntilCleared) {
+  const std::string path = Path("sticky.bin");
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+
+  FaultInjector::Global()->Install({FaultOp::kSync, "sticky", 0, 0, true});
+  EXPECT_FALSE(CheckedSync(f, path).ok());
+  EXPECT_FALSE(CheckedSync(f, path).ok());
+  FaultInjector::Global()->Clear();
+  EXPECT_TRUE(CheckedSync(f, path).ok());
+  fclose(f);
+}
+
+TEST_F(FaultFsTest, FlushAndSyncOpsAreDistinct) {
+  const std::string path = Path("ops.bin");
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+
+  FaultInjector::Global()->Install({FaultOp::kFlush, "ops", 0, 0, false});
+  EXPECT_TRUE(CheckedWrite(f, "x", 1, path).ok());  // write op unaffected
+  EXPECT_FALSE(CheckedFlush(f, path).ok());
+  EXPECT_TRUE(CheckedFlush(f, path).ok());
+
+  // CheckedSync flushes first, so a flush fault also fails the sync.
+  FaultInjector::Global()->Install({FaultOp::kFlush, "ops", 0, 0, false});
+  EXPECT_FALSE(CheckedSync(f, path).ok());
+  fclose(f);
+}
+
+TEST_F(FaultFsTest, HeapTableSurfacesWriteFaults) {
+  rdbms::Schema schema({{"Id", rdbms::ValueType::kInt},
+                        {"Name", rdbms::ValueType::kString}});
+  const std::string path = Path("table.tbl");
+  auto table_or = rdbms::HeapTable::Create(path, schema);
+  ASSERT_TRUE(table_or.ok()) << table_or.status().ToString();
+  auto& table = *table_or;
+  ASSERT_TRUE(
+      table->Insert({rdbms::Value::Int(1), rdbms::Value::String("a")}).ok());
+
+  FaultInjector::Global()->Install({FaultOp::kWrite, "table.tbl", 0, 0, true});
+  EXPECT_FALSE(table->Flush().ok());
+  FaultInjector::Global()->Clear();
+  EXPECT_TRUE(table->Flush().ok());
+
+  // EvictAll writes back dirty pages; a write fault must surface rather
+  // than letting the frame drop and serve stale bytes later.
+  ASSERT_TRUE(
+      table->Insert({rdbms::Value::Int(2), rdbms::Value::String("b")}).ok());
+  FaultInjector::Global()->Install({FaultOp::kWrite, "table.tbl", 0, 0, true});
+  EXPECT_FALSE(table->EvictAll().ok());
+  FaultInjector::Global()->Clear();
+
+  FaultInjector::Global()->Install({FaultOp::kSync, "table.tbl", 0, 0, false});
+  EXPECT_FALSE(table->Sync().ok());
+  EXPECT_TRUE(table->Sync().ok());
+}
+
+TEST_F(FaultFsTest, BlobStoreSurfacesWriteFaults) {
+  const std::string path = Path("blobs.dat");
+  auto store_or = rdbms::BlobStore::Create(path);
+  ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+  auto& store = *store_or;
+
+  FaultInjector::Global()->Install({FaultOp::kWrite, "blobs.dat", 0, 0, true});
+  EXPECT_FALSE(store->Put("payload").ok());
+  FaultInjector::Global()->Clear();
+
+  auto id = store->Put("payload");
+  ASSERT_TRUE(id.ok());
+
+  FaultInjector::Global()->Install({FaultOp::kFlush, "blobs.dat", 0, 0, false});
+  EXPECT_FALSE(store->Flush().ok());
+  // The dirty flag survived the failed flush: the retry pushes the bytes
+  // and the blob reads back intact.
+  EXPECT_TRUE(store->Flush().ok());
+  auto got = store->Get(*id);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "payload");
+
+  FaultInjector::Global()->Install({FaultOp::kSync, "blobs.dat", 0, 0, false});
+  EXPECT_FALSE(store->Sync().ok());
+  EXPECT_TRUE(store->Sync().ok());
+}
+
+TEST_F(FaultFsTest, WalWriterSurfacesFaults) {
+  const std::string path = Path("faulty_wal.log");
+  auto writer_or =
+      rdbms::WalWriter::Open(path, 0, rdbms::WalSyncPolicy::kCommit);
+  ASSERT_TRUE(writer_or.ok());
+  auto& writer = *writer_or;
+
+  FaultInjector::Global()->Install(
+      {FaultOp::kWrite, "faulty_wal", 0, 0, false});
+  EXPECT_FALSE(writer->AddRecord("doomed").ok());
+  EXPECT_EQ(writer->offset(), 0u);
+
+  ASSERT_TRUE(writer->AddRecord("record").ok());
+  // kCommit policy fsyncs on Commit, so a sync fault fails it.
+  FaultInjector::Global()->Install({FaultOp::kSync, "faulty_wal", 0, 0, false});
+  EXPECT_FALSE(writer->Commit().ok());
+  EXPECT_TRUE(writer->Commit().ok());
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace staccato

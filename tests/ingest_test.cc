@@ -1,0 +1,433 @@
+// Differential property tests for incremental ingest (StaccatoDb::Append,
+// Checkpoint, WAL recovery).
+//
+// The invariant under test: a database grown by Load(prefix) followed by
+// Append() of the remaining documents — with checkpoints, crashes, and
+// reopens interleaved anywhere — answers every query bit-identically to a
+// database bulk-loaded with the full dataset. "Bit-identical" means the
+// same ranked documents with exactly equal probabilities, across
+// approaches, early-stop on/off, and 1/4/8 eval threads.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/workbench.h"
+#include "ocr/corpus.h"
+#include "ocr/generator.h"
+#include "rdbms/session.h"
+#include "rdbms/staccato_db.h"
+#include "rdbms/wal.h"
+#include "util/strings.h"
+
+namespace staccato {
+namespace rdbms {
+namespace {
+
+CorpusSpec SmallSpec() {
+  CorpusSpec spec;
+  spec.kind = DatasetKind::kCongressActs;
+  spec.num_pages = 2;
+  spec.lines_per_page = 10;
+  spec.max_line_chars = 40;
+  spec.seed = 4242;
+  return spec;
+}
+
+OcrNoiseModel Noise() {
+  OcrNoiseModel noise;
+  noise.alternatives = 6;
+  return noise;
+}
+
+LoadOptions SmallLoad() {
+  LoadOptions opts;
+  opts.kmap_k = 8;
+  opts.staccato.m = 16;
+  opts.staccato.k = 8;
+  return opts;
+}
+
+/// The first `n` documents of `d`, presented as a dataset of its own (the
+/// corpus name is preserved so appended docs land in the same pages).
+OcrDataset Prefix(const OcrDataset& d, size_t n) {
+  OcrDataset p;
+  p.corpus.name = d.corpus.name;
+  p.corpus.num_pages = d.corpus.num_pages;
+  p.corpus.lines.assign(d.corpus.lines.begin(), d.corpus.lines.begin() + n);
+  p.corpus.page_of_line.assign(d.corpus.page_of_line.begin(),
+                               d.corpus.page_of_line.begin() + n);
+  p.sfas.assign(d.sfas.begin(), d.sfas.begin() + n);
+  return p;
+}
+
+/// Mirrors what Load() derives for document i, so an Append()ed document
+/// is indistinguishable from a bulk-loaded one.
+DocumentInput InputFor(const OcrDataset& d, size_t i) {
+  DocumentInput in;
+  const uint32_t page = d.corpus.page_of_line[i];
+  in.doc_name = StringPrintf("%s-page-%u", d.corpus.name.c_str(), page);
+  in.year = 2010 + page;
+  in.truth = d.corpus.lines[i];
+  in.sfa = d.sfas[i];
+  return in;
+}
+
+std::vector<Answer> RunQuery(StaccatoDb* db, Approach approach,
+                             const std::string& pattern, IndexMode index_mode,
+                             size_t threads, bool early_stop) {
+  Session session(db, SessionOptions{threads, 50});
+  QueryOptions q;
+  q.pattern = pattern;
+  q.num_ans = 50;
+  q.index_mode = index_mode;
+  q.eval_threads = threads;
+  q.early_stop = early_stop;
+  auto pq = session.Prepare(approach, q);
+  EXPECT_TRUE(pq.ok()) << pq.status().ToString();
+  auto ans = pq->Execute();
+  EXPECT_TRUE(ans.ok()) << ans.status().ToString();
+  return ans.ok() ? *ans : std::vector<Answer>{};
+}
+
+void ExpectSameAnswers(const std::vector<Answer>& want,
+                       const std::vector<Answer>& got, const char* what) {
+  ASSERT_EQ(want.size(), got.size()) << what;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].doc, got[i].doc) << what << " rank " << i;
+    EXPECT_EQ(want[i].prob, got[i].prob)
+        << what << " rank " << i << " (must be bit-identical)";
+  }
+}
+
+/// Compares `subject` against `oracle` on every benchmark pattern for
+/// the given approach, plus ground truth for one pattern.
+void ExpectSameDb(StaccatoDb* oracle, StaccatoDb* subject, Approach approach,
+                  IndexMode index_mode, size_t threads, bool early_stop,
+                  const std::vector<std::string>& patterns) {
+  ASSERT_EQ(oracle->NumSfas(), subject->NumSfas());
+  for (const std::string& pat : patterns) {
+    auto want = RunQuery(oracle, approach, pat, index_mode, threads,
+                         early_stop);
+    auto got = RunQuery(subject, approach, pat, index_mode, threads,
+                        early_stop);
+    ExpectSameAnswers(want, got, pat.c_str());
+  }
+  auto truth_want = oracle->GroundTruthFor(patterns[0]);
+  auto truth_got = subject->GroundTruthFor(patterns[0]);
+  ASSERT_TRUE(truth_want.ok());
+  ASSERT_TRUE(truth_got.ok());
+  EXPECT_EQ(*truth_want, *truth_got);
+}
+
+class IngestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto data = GenerateOcrDataset(SmallSpec(), Noise());
+    ASSERT_TRUE(data.ok()) << data.status().ToString();
+    full_ = std::move(*data);
+    total_ = full_.sfas.size();
+    patterns_ = DatasetQueries(DatasetKind::kCongressActs);
+    patterns_.resize(3);  // two keywords + one regex keep runtime sane
+  }
+
+  std::unique_ptr<StaccatoDb> OpenAt(const std::string& dir) {
+    auto db = StaccatoDb::Open(dir);
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    return std::move(*db);
+  }
+
+  /// Bulk-loads the first `n` documents into a fresh directory.
+  std::unique_ptr<StaccatoDb> Oracle(size_t n) {
+    auto db = OpenAt(eval::MakeScratchDir("ingest_oracle"));
+    Status s = db->Load(Prefix(full_, n), SmallLoad());
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return db;
+  }
+
+  Status AppendRange(StaccatoDb* db, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      STACCATO_RETURN_NOT_OK(db->Append(InputFor(full_, i)));
+    }
+    return Status::OK();
+  }
+
+  OcrDataset full_;
+  size_t total_ = 0;
+  std::vector<std::string> patterns_;
+};
+
+// The core differential property: Load(prefix) + Append(rest) must be
+// bit-identical to Load(full), across the whole execution matrix.
+TEST_F(IngestTest, AppendMatchesBulkLoad) {
+  auto oracle = Oracle(total_);
+  auto subject = OpenAt(eval::MakeScratchDir("ingest_subject"));
+  ASSERT_TRUE(subject->Load(Prefix(full_, total_ / 2), SmallLoad()).ok());
+  ASSERT_TRUE(AppendRange(subject.get(), total_ / 2, total_).ok());
+  ASSERT_EQ(subject->DeltaDocs(), total_ - total_ / 2);
+
+  // Full matrix on the paper's main approach...
+  for (bool early_stop : {true, false}) {
+    for (size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+      ExpectSameDb(oracle.get(), subject.get(), Approach::kStaccato,
+                   IndexMode::kNever, threads, early_stop, patterns_);
+    }
+  }
+  // ...and one configuration each for the other approaches.
+  for (Approach a : {Approach::kMap, Approach::kKMap, Approach::kFullSfa}) {
+    ExpectSameDb(oracle.get(), subject.get(), a, IndexMode::kNever, 4, true,
+                 patterns_);
+  }
+}
+
+// Appending into a database whose inverted index predates the appends:
+// delta postings are derived at Append time and probed identically.
+TEST_F(IngestTest, AppendWithInvertedIndex) {
+  std::vector<std::string> terms;
+  for (const std::string& line : full_.corpus.lines) {
+    size_t start = 0;
+    for (size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() || line[i] == ' ') {
+        if (i - start >= 4) terms.push_back(line.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+  }
+  auto oracle = Oracle(total_);
+  ASSERT_TRUE(oracle->BuildInvertedIndex(terms).ok());
+
+  auto subject = OpenAt(eval::MakeScratchDir("ingest_subject_idx"));
+  ASSERT_TRUE(subject->Load(Prefix(full_, total_ / 2), SmallLoad()).ok());
+  ASSERT_TRUE(subject->BuildInvertedIndex(terms).ok());
+  ASSERT_TRUE(AppendRange(subject.get(), total_ / 2, total_).ok());
+
+  ExpectSameDb(oracle.get(), subject.get(), Approach::kStaccato,
+               IndexMode::kForce, 4, true, patterns_);
+  // Rebuilding the index after the appends (delta postings recomputed
+  // from the delta blobs) must agree too.
+  ASSERT_TRUE(subject->BuildInvertedIndex(terms).ok());
+  ExpectSameDb(oracle.get(), subject.get(), Approach::kStaccato,
+               IndexMode::kForce, 4, true, patterns_);
+}
+
+// Random interleavings of Append and Checkpoint, compared against a
+// bulk-loaded oracle of the same prefix at several cut points.
+TEST_F(IngestTest, RandomInterleavingMatchesRebuild) {
+  std::mt19937 rng(20260808);
+  auto subject = OpenAt(eval::MakeScratchDir("ingest_interleave"));
+  const size_t base = 4;
+  ASSERT_TRUE(subject->Load(Prefix(full_, base), SmallLoad()).ok());
+
+  size_t next = base;
+  while (next < total_) {
+    const size_t burst =
+        std::min<size_t>(1 + rng() % 4, total_ - next);
+    ASSERT_TRUE(AppendRange(subject.get(), next, next + burst).ok());
+    next += burst;
+    if (rng() % 3 == 0) {
+      ASSERT_TRUE(subject->Checkpoint().ok());
+      ASSERT_EQ(subject->DeltaDocs(), 0u);
+    }
+    if (rng() % 2 == 0) {
+      auto oracle = Oracle(next);
+      ExpectSameDb(oracle.get(), subject.get(), Approach::kStaccato,
+                   IndexMode::kNever, 4, true, patterns_);
+    }
+  }
+  auto oracle = Oracle(total_);
+  ExpectSameDb(oracle.get(), subject.get(), Approach::kStaccato,
+               IndexMode::kNever, 1, false, patterns_);
+}
+
+// Close without checkpointing: reopening replays the WAL and the delta
+// generation is reconstructed bit-identically.
+TEST_F(IngestTest, ReopenReplaysWal) {
+  const std::string dir = eval::MakeScratchDir("ingest_reopen");
+  {
+    auto subject = OpenAt(dir);
+    ASSERT_TRUE(subject->Load(Prefix(full_, total_ / 2), SmallLoad()).ok());
+    ASSERT_TRUE(AppendRange(subject.get(), total_ / 2, total_).ok());
+  }  // destructor: no checkpoint, the WAL is the only record of the delta
+
+  auto reopened = StaccatoDb::OpenExisting(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->DeltaDocs(), total_ - total_ / 2);
+  auto oracle = Oracle(total_);
+  ExpectSameDb(oracle.get(), reopened->get(), Approach::kStaccato,
+               IndexMode::kNever, 4, true, patterns_);
+}
+
+// Checkpoint then reopen: the delta was folded into a fresh epoch whose
+// meta commit carries the load parameters, so the reopened base answers
+// identically and further appends derive with the same knobs.
+TEST_F(IngestTest, CheckpointPersistsAcrossReopen) {
+  const std::string dir = eval::MakeScratchDir("ingest_ckpt");
+  {
+    auto subject = OpenAt(dir);
+    ASSERT_TRUE(subject->Load(Prefix(full_, total_ - 2), SmallLoad()).ok());
+    ASSERT_TRUE(AppendRange(subject.get(), total_ - 2, total_ - 1).ok());
+    ASSERT_TRUE(subject->Checkpoint().ok());
+    EXPECT_EQ(subject->Epoch(), 1u);
+    EXPECT_EQ(subject->DeltaDocs(), 0u);
+  }
+  auto reopened = StaccatoDb::OpenExisting(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->Epoch(), 1u);
+  EXPECT_EQ((*reopened)->NumSfas(), total_ - 1);
+  // Appends after reopen must use the meta-preserved LoadOptions.
+  ASSERT_TRUE(AppendRange(reopened->get(), total_ - 1, total_).ok());
+  auto oracle = Oracle(total_);
+  ExpectSameDb(oracle.get(), reopened->get(), Approach::kStaccato,
+               IndexMode::kNever, 4, true, patterns_);
+}
+
+// A torn WAL tail (crash mid-write) is discarded on reopen: whatever
+// committed prefix survives answers identically to a bulk load of
+// exactly that many documents.
+TEST_F(IngestTest, TornWalTailRecoversCommittedPrefix) {
+  const std::string dir = eval::MakeScratchDir("ingest_torn");
+  const size_t base = total_ / 2;
+  {
+    auto subject = OpenAt(dir);
+    ASSERT_TRUE(subject->Load(Prefix(full_, base), SmallLoad()).ok());
+    ASSERT_TRUE(AppendRange(subject.get(), base, total_).ok());
+  }
+
+  // Chop one byte off the log: the last commit record is torn, so the
+  // last append must vanish while every earlier one survives.
+  const std::string wal = WalPath(dir);
+  FILE* f = fopen(wal.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(fseek(f, 0, SEEK_END), 0);
+  const long size = ftell(f);
+  ASSERT_GT(size, 1);
+  ASSERT_EQ(ftruncate(fileno(f), size - 1), 0);
+  fclose(f);
+
+  auto reopened = StaccatoDb::OpenExisting(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->NumSfas(), total_ - 1);
+  {
+    auto oracle = Oracle(total_ - 1);
+    ExpectSameDb(oracle.get(), reopened->get(), Approach::kStaccato,
+                 IndexMode::kNever, 4, true, patterns_);
+  }
+
+  // More aggressive crash: keep only 40% of the log. The recovered count
+  // n' is some committed prefix in [base, total], and the database must
+  // be bit-identical to a bulk load of exactly n' documents.
+  reopened->reset();
+  f = fopen(wal.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(fseek(f, 0, SEEK_END), 0);
+  const long size2 = ftell(f);
+  ASSERT_EQ(ftruncate(fileno(f), size2 * 2 / 5), 0);
+  fclose(f);
+
+  reopened = StaccatoDb::OpenExisting(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const size_t recovered = (*reopened)->NumSfas();
+  EXPECT_GE(recovered, base);
+  EXPECT_LE(recovered, total_);
+  auto oracle = Oracle(recovered);
+  ExpectSameDb(oracle.get(), reopened->get(), Approach::kStaccato,
+               IndexMode::kNever, 4, true, patterns_);
+}
+
+// STACCATO_DELTA_DOCS triggers an automatic checkpoint once the delta
+// reaches the threshold.
+TEST_F(IngestTest, AutoCheckpointEnvThreshold) {
+  setenv("STACCATO_DELTA_DOCS", "2", 1);
+  auto subject = OpenAt(eval::MakeScratchDir("ingest_autockpt"));
+  unsetenv("STACCATO_DELTA_DOCS");
+  ASSERT_TRUE(subject->Load(Prefix(full_, total_ - 3), SmallLoad()).ok());
+  ASSERT_TRUE(AppendRange(subject.get(), total_ - 3, total_ - 1).ok());
+  EXPECT_EQ(subject->Epoch(), 1u);
+  EXPECT_EQ(subject->DeltaDocs(), 0u);
+  ASSERT_TRUE(AppendRange(subject.get(), total_ - 1, total_).ok());
+  EXPECT_EQ(subject->DeltaDocs(), 1u);
+
+  auto oracle = Oracle(total_);
+  ExpectSameDb(oracle.get(), subject.get(), Approach::kStaccato,
+               IndexMode::kNever, 4, true, patterns_);
+}
+
+// The sync policy changes durability, never answers.
+TEST_F(IngestTest, SyncNeverPolicyAnswersIdentically) {
+  setenv("STACCATO_WAL_SYNC", "never", 1);
+  auto subject = OpenAt(eval::MakeScratchDir("ingest_syncnever"));
+  unsetenv("STACCATO_WAL_SYNC");
+  ASSERT_TRUE(subject->Load(Prefix(full_, total_ / 2), SmallLoad()).ok());
+  ASSERT_TRUE(AppendRange(subject.get(), total_ / 2, total_).ok());
+  auto oracle = Oracle(total_);
+  ExpectSameDb(oracle.get(), subject.get(), Approach::kStaccato,
+               IndexMode::kNever, 1, true, patterns_);
+}
+
+// Appends racing query execution (run under TSan in CI): queries see a
+// consistent snapshot — some prefix of the appends — and the final state
+// matches the oracle.
+TEST_F(IngestTest, ConcurrentAppendAndExecute) {
+  auto subject = OpenAt(eval::MakeScratchDir("ingest_race"));
+  const size_t base = total_ / 2;
+  ASSERT_TRUE(subject->Load(Prefix(full_, base), SmallLoad()).ok());
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  StaccatoDb* db = subject.get();
+  const std::string pattern = patterns_[0];
+
+  // Append only: Checkpoint swaps the storage handles a PlanContext
+  // snapshot points at, so it requires quiesced execution (see the
+  // Checkpoint doc comment); Append is the operation advertised as safe
+  // against concurrent queries.
+  std::thread appender([&] {
+    for (size_t i = base; i < total_; ++i) {
+      if (!db->Append(InputFor(full_, i)).ok()) failures.fetch_add(1);
+    }
+    done.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      while (!done.load()) {
+        Session session(db, SessionOptions{2, 50});
+        QueryOptions q;
+        q.pattern = pattern;
+        q.num_ans = 50;
+        q.eval_threads = 2;
+        auto pq = session.Prepare(Approach::kStaccato, q);
+        if (!pq.ok()) {
+          failures.fetch_add(1);
+          break;
+        }
+        auto ans = pq->Execute();
+        if (!ans.ok()) {
+          failures.fetch_add(1);
+          break;
+        }
+      }
+    });
+  }
+  appender.join();
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  auto oracle = Oracle(total_);
+  ExpectSameDb(oracle.get(), subject.get(), Approach::kStaccato,
+               IndexMode::kNever, 4, true, patterns_);
+}
+
+}  // namespace
+}  // namespace rdbms
+}  // namespace staccato
