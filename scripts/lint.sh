@@ -110,6 +110,18 @@ if [ -n "$hits" ]; then
 fi
 
 # ---------------------------------------------------------------------------
+# 8. Shard directory naming is private to src/rdbms/shard.*: every other
+# component resolves a shard's directory through ShardDirName() (and the
+# shard count through shards.meta via Open/OpenExisting), so the on-disk
+# layout can change in one place. The '"shard."' literal must not leak.
+hits=$(grep -rn '"shard\.' src/ tests/ bench/ examples/ \
+  --include="*.h" --include="*.cc" \
+  | grep -vE "^src/rdbms/shard\.(h|cc):" || true)
+if [ -n "$hits" ]; then
+  fail "shard directory literal outside src/rdbms/shard.* (use ShardDirName)" "$hits"
+fi
+
+# ---------------------------------------------------------------------------
 if [ "$failures" -ne 0 ]; then
   echo "" >&2
   echo "lint: $failures rule(s) failed" >&2

@@ -54,6 +54,12 @@ struct BufferCache::Entry {
   size_t charge = 0;
   uint32_t refs = 0;      ///< outstanding handles, +1 while in the table
   bool in_cache = false;  ///< still reachable through the shard table
+  /// Segmented-LRU state: false = probation (inserted, not re-referenced
+  /// since), true = protected (hit at least once while resident). For an
+  /// on-list entry the flag names its list; for a pinned (off-list)
+  /// entry it names the list Release will append it to. Flipped only
+  /// while off-list, so list accounting can trust it.
+  bool hot = false;
   Shard* shard = nullptr;  ///< null = detached (handle is the sole owner)
   // Intrusive LRU links; non-null prev means "on the list" (evictable).
   Entry* prev = nullptr;
@@ -63,38 +69,73 @@ struct BufferCache::Entry {
 struct BufferCache::Shard {
   util::Mutex mu;
   std::unordered_map<CacheKey, Entry*, CacheKeyHash> table GUARDED_BY(mu);
-  /// Sentinel: lru.next = coldest, lru.prev = hottest. The intrusive
-  /// prev/next links of every entry in this shard are guarded by `mu`
-  /// too — Entry has no mutex of its own, so the REQUIRES(mu) on the
-  /// list-manipulation helpers below is what encodes that.
-  Entry lru GUARDED_BY(mu);
+  /// Segmented LRU (scan resistance): two lists per shard, each a
+  /// sentinel with next = coldest, prev = hottest. New entries enter
+  /// `probation`; an entry that gets a Lookup hit is promoted to
+  /// `shielded` when its last pin drops. Eviction drains probation
+  /// first, so a below-budget sequential scan — whose pages are
+  /// inserted once and never re-referenced — churns only the probation
+  /// segment and cannot flush the re-referenced working set. The
+  /// shielded segment is capped at half the shard budget; overflow
+  /// demotes its coldest entries back to probation (hot end), where
+  /// they outlive the scan's single-touch pages but can eventually age
+  /// out. The intrusive prev/next links of every entry in this shard
+  /// are guarded by `mu` — Entry has no mutex of its own, so the
+  /// REQUIRES(mu) on the list-manipulation helpers below is what
+  /// encodes that.
+  Entry probation GUARDED_BY(mu);
+  Entry shielded GUARDED_BY(mu);
   const size_t capacity;  ///< set once at construction; immutable after
+  const size_t shielded_cap;  ///< budget slice of the protected segment
   size_t usage GUARDED_BY(mu) = 0;  ///< Σ charge of in-cache entries
+  size_t shielded_usage GUARDED_BY(mu) = 0;  ///< Σ charge on `shielded`
   uint64_t inserts GUARDED_BY(mu) = 0;
   uint64_t evictions GUARDED_BY(mu) = 0;
   uint64_t rejected GUARDED_BY(mu) = 0;
 
-  explicit Shard(size_t cap) : capacity(cap) {
-    lru.prev = &lru;
-    lru.next = &lru;
+  explicit Shard(size_t cap) : capacity(cap), shielded_cap(cap / 2) {
+    probation.prev = &probation;
+    probation.next = &probation;
+    shielded.prev = &shielded;
+    shielded.next = &shielded;
   }
 
   void ListRemove(Entry* e) REQUIRES(mu) {
+    if (e->hot) shielded_usage -= e->charge;
     e->prev->next = e->next;
     e->next->prev = e->prev;
     e->prev = nullptr;
     e->next = nullptr;
   }
 
-  /// Appends at the hot (sentinel.prev) end.
+  /// Appends at the hot (sentinel.prev) end of the list `e->hot` names,
+  /// then demotes shielded overflow back to probation.
   void AppendHot(Entry* e) REQUIRES(mu) {
-    e->prev = lru.prev;
-    e->next = &lru;
-    lru.prev->next = e;
-    lru.prev = e;
+    Entry* list = e->hot ? &shielded : &probation;
+    e->prev = list->prev;
+    e->next = list;
+    list->prev->next = e;
+    list->prev = e;
+    if (e->hot) {
+      shielded_usage += e->charge;
+      while (shielded_usage > shielded_cap && shielded.next != &shielded) {
+        Entry* demoted = shielded.next;  // coldest of the protected set
+        ListRemove(demoted);
+        demoted->hot = false;
+        AppendHot(demoted);  // probation hot end
+      }
+    }
   }
 
-  /// Removes `e` from the table, LRU list, and accounting; frees it
+  /// The next eviction victim: probation coldest first, the protected
+  /// segment only once probation is empty. Null when both lists are.
+  Entry* EvictionVictim() REQUIRES(mu) {
+    if (probation.next != &probation) return probation.next;
+    if (shielded.next != &shielded) return shielded.next;
+    return nullptr;
+  }
+
+  /// Removes `e` from the table, its LRU list, and accounting; frees it
   /// unless handles still pin it.
   void FinishErase(Entry* e) REQUIRES(mu) {
     table.erase(e->key);
@@ -171,6 +212,9 @@ BufferCache::Handle BufferCache::Lookup(const CacheKey& key) {
   Entry* e = it->second;
   ++e->refs;
   if (e->prev != nullptr) sh.ListRemove(e);  // pinned: off the LRU list
+  // A hit is a re-reference: the entry has earned the protected segment.
+  // Flipped while off-list (Release appends to the list the flag names).
+  e->hot = true;
   return Handle(e);
 }
 
@@ -193,8 +237,10 @@ BufferCache::Handle BufferCache::Insert(const CacheKey& key,
     e->refs = 1;
     return Handle(e);  // shard stays null: detached
   }
-  while (sh.usage + e->charge > sh.capacity && sh.lru.next != &sh.lru) {
-    sh.FinishErase(sh.lru.next);  // coldest first
+  while (sh.usage + e->charge > sh.capacity) {
+    Entry* victim = sh.EvictionVictim();  // probation coldest first
+    if (victim == nullptr) break;
+    sh.FinishErase(victim);
     ++sh.evictions;
   }
   if (sh.usage + e->charge > sh.capacity) {

@@ -22,6 +22,14 @@
 //     which is what lets executor workers borrow cached blob bytes
 //     zero-copy during a DP. Releasing the last pin re-appends the entry
 //     to the hot end of its shard's LRU list.
+//   * Scan resistance (segmented LRU). Each shard keeps two LRU
+//     segments: new entries enter a probation segment, and only an entry
+//     that is re-referenced while resident is promoted to the protected
+//     segment (capped at half the shard budget; overflow demotes back to
+//     probation). Eviction drains probation first, so a sequential scan
+//     larger than the budget — every block inserted once, never touched
+//     again — churns probation and leaves the re-referenced working set
+//     (hot SFA blobs during a shard scan) resident.
 //   * Invalidation by key, not by flush. Keys carry a version word (the
 //     database's load generation for blobs, a per-table-instance id for
 //     pages), so data replacement invalidates by construction: the new

@@ -67,6 +67,16 @@ class HeapTable {
   /// Full filescan in storage order. The callback returns false to stop.
   Status Scan(const std::function<bool(RecordId, const Tuple&)>& fn);
 
+  /// Copies the raw bytes of pages [begin, end) into `out` (caller
+  /// provides (end - begin) * kPageSize bytes), taking the table latch
+  /// once for the whole range. Pages flow through the same buffer-pool /
+  /// shared-cache tiers as Scan and count in io_stats() identically, but
+  /// tuple decoding and any per-tuple work happen on the *caller's* copy,
+  /// outside the latch — this is what lets the chunked parallel kMAP scan
+  /// decode and DFA-match concurrently instead of serializing a whole
+  /// Scan pass on the latch. `end` must not exceed NumPages().
+  Status SnapshotPages(uint32_t begin, uint32_t end, char* out);
+
   /// Flushes dirty pages to disk.
   Status Flush();
 

@@ -328,7 +328,9 @@ Result<PlanSpec> BuildPlan(const PlanContext& ctx, Approach approach,
     case Approach::kKMap:
       plan.fetch = FetchMethod::kNone;
       plan.eval = EvalStrategy::kStrings;
-      plan.eval_threads = 1;  // one pass over kMAPData; nothing to fan out
+      // The kMAPData pass chunks across the pool (page-snapshot scan with
+      // order-preserving merge), so it fans out like the SFA eval does.
+      plan.eval_threads = ResolveThreads(q.eval_threads, default_threads);
       break;
     case Approach::kFullSfa:
     case Approach::kStaccato:
@@ -427,21 +429,32 @@ Result<const std::vector<char>*> EqualityBitmap(const PlanContext& ctx,
   return scratch;
 }
 
+/// One kMAPData row's contribution to its doc's match mass, or false if
+/// the row is filtered out / does not match. The single scoring rule
+/// shared by the solo scan (ExecuteStrings, serial and chunked) and the
+/// batched scan (ExecutePlanBatch), so the paths cannot drift — chunked
+/// and batch answers must stay bit-identical to the serial solo scan.
+bool KMapRowMass(const PlanSpec& plan, const Dfa& dfa,
+                 const std::vector<char>& allowed, const Tuple& t, size_t key,
+                 double* mass) {
+  if (!plan.equalities.empty() &&
+      (key >= allowed.size() || !allowed[key])) {
+    return false;
+  }
+  if (plan.map_only && t[1].AsInt() != 0) return false;
+  if (!dfa.Matches(t[2].AsString())) return false;
+  *mass = std::exp(t[3].AsDouble());
+  return true;
+}
+
 /// One kMAPData row applied to one string-eval query's per-doc mass. The
-/// single scoring rule shared by the solo scan (ExecuteStrings) and the
-/// batched scan (ExecutePlanBatch), so the two paths cannot drift — batch
-/// answers must stay bit-identical to solo ones. The caller guarantees
-/// `key < prob->size()`.
+/// caller guarantees `key < prob->size()`.
 void AccumulateKMapRow(const PlanSpec& plan, const Dfa& dfa,
                        const std::vector<char>& allowed, const Tuple& t,
                        size_t key, std::vector<double>* prob) {
-  if (!plan.equalities.empty() &&
-      (key >= allowed.size() || !allowed[key])) {
-    return;
-  }
-  if (plan.map_only && t[1].AsInt() != 0) return;
-  if (dfa.Matches(t[2].AsString())) {
-    (*prob)[key] += std::exp(t[3].AsDouble());
+  double mass = 0.0;
+  if (KMapRowMass(plan, dfa, allowed, t, key, &mass)) {
+    (*prob)[key] += mass;
   }
 }
 
@@ -506,6 +519,7 @@ void InitQueryStats(QueryStats* stats, const PlanSpec& plan,
   stats->cache_misses = 0;
   stats->cache_bytes = 0;
   stats->shared_plan_hit = false;
+  stats->shards.clear();
 }
 
 /// Entries built against older data are dead; start the cache over at the
@@ -517,7 +531,83 @@ void ResetStaleCache(PlanCache* cache, const PlanContext& ctx) {
   }
 }
 
-/// Strings Eval: one scan over kMAPData accumulating per-doc match mass.
+/// One page-range chunk's accumulation state for the parallel kMAP scan.
+///
+/// Bit-identity argument: kMAPData stores each document's rows
+/// contiguously, and a doc's mass only ever folds that doc's own rows.
+/// So a doc strictly interior to a chunk (not the chunk's first or last
+/// key run) has ALL its rows in that chunk, and folding them in row order
+/// from 0.0 reproduces the serial fold exactly. Only the chunk's first
+/// and last runs can straddle a boundary — their contributing rows are
+/// kept individually (at most 2 runs per chunk) and re-folded in row
+/// order at merge time, so every doc's masses fold in exactly the order
+/// the serial scan would have used.
+struct KMapChunk {
+  size_t head_key = SIZE_MAX;        ///< key of the chunk's first row run
+  std::vector<double> head;          ///< its contributing masses, row order
+  size_t tail_key = SIZE_MAX;        ///< last run's key (if a second run)
+  std::vector<double> tail;          ///< its contributing masses, row order
+  std::vector<std::pair<size_t, double>> interior;  ///< complete-doc folds
+};
+
+/// Decodes and scores pages [begin, end) of kMAPData from a raw page
+/// snapshot, outside the table latch.
+Status ScanKMapChunk(const PlanContext& ctx, const PlanSpec& plan,
+                     const Dfa& dfa, const std::vector<char>& allowed,
+                     const char* pages, uint32_t begin, uint32_t end,
+                     KMapChunk* out) {
+  SlottedPage page;
+  size_t cur_key = SIZE_MAX;
+  bool cur_is_head = true;             // current run is the chunk's first
+  std::vector<double> cur;             // current run's masses, row order
+  for (uint32_t p = begin; p < end; ++p) {
+    std::memcpy(page.raw(),
+                pages + static_cast<size_t>(p - begin) * kPageSize, kPageSize);
+    const uint16_t slots = page.NumSlots();
+    for (uint16_t s = 0; s < slots; ++s) {
+      STACCATO_ASSIGN_OR_RETURN(std::string_view rec, page.Get(s));
+      BinaryReader r(rec.data(), rec.size());
+      STACCATO_ASSIGN_OR_RETURN(Tuple t, ctx.kmap->schema().DecodeTuple(&r));
+      const size_t key = static_cast<size_t>(t[0].AsInt());
+      if (key != cur_key) {
+        if (cur_key != SIZE_MAX) {
+          if (cur_is_head) {
+            out->head_key = cur_key;
+            out->head = std::move(cur);
+            cur_is_head = false;
+          } else {
+            double sum = 0.0;
+            for (double m : cur) sum += m;  // row order, from 0.0: serial fold
+            if (sum > 0.0) out->interior.emplace_back(cur_key, sum);
+          }
+          cur.clear();
+        }
+        cur_key = key;
+      }
+      double mass = 0.0;
+      if (key < ctx.num_sfas &&  // skip rows beyond the loaded cardinality
+          KMapRowMass(plan, dfa, allowed, t, key, &mass)) {
+        cur.push_back(mass);
+      }
+    }
+  }
+  if (cur_key != SIZE_MAX) {
+    if (cur_is_head) {  // single run: the whole chunk is one doc
+      out->head_key = cur_key;
+      out->head = std::move(cur);
+    } else {
+      out->tail_key = cur_key;
+      out->tail = std::move(cur);
+    }
+  }
+  return Status::OK();
+}
+
+/// Strings Eval: one pass over kMAPData accumulating per-doc match mass.
+/// With eval_threads > 1 the pass is chunked across the shared pool —
+/// each worker snapshots a page range under the latch and decodes /
+/// DFA-matches outside it — and the chunks merge serially in page order,
+/// bit-identical to the serial scan (see KMapChunk).
 Result<std::vector<Answer>> ExecuteStrings(const PlanContext& ctx,
                                            const PlanSpec& plan,
                                            const Dfa& dfa,
@@ -525,13 +615,50 @@ Result<std::vector<Answer>> ExecuteStrings(const PlanContext& ctx,
                                            QueryStats* stats) {
   std::vector<double> prob(ctx.num_sfas, 0.0);
   ctx.kmap->ResetIoStats();
-  STACCATO_RETURN_NOT_OK(ctx.kmap->Scan([&](RecordId, const Tuple& t) {
-    size_t key = static_cast<size_t>(t[0].AsInt());
-    if (key < prob.size()) {  // skip rows beyond the loaded cardinality
-      AccumulateKMapRow(plan, dfa, allowed, t, key, &prob);
+  const size_t num_pages = ctx.kmap->NumPages();
+  constexpr uint32_t kChunkPages = 8;  // 64 KiB snapshot per worker step
+  size_t threads = std::max<size_t>(1, plan.eval_threads);
+  const size_t num_chunks = (num_pages + kChunkPages - 1) / kChunkPages;
+  threads = std::min(threads, std::max<size_t>(1, num_chunks));
+  if (threads <= 1) {
+    STACCATO_RETURN_NOT_OK(ctx.kmap->Scan([&](RecordId, const Tuple& t) {
+      size_t key = static_cast<size_t>(t[0].AsInt());
+      if (key < prob.size()) {  // skip rows beyond the loaded cardinality
+        AccumulateKMapRow(plan, dfa, allowed, t, key, &prob);
+      }
+      return true;
+    }));
+  } else {
+    std::vector<KMapChunk> chunks(num_chunks);
+    std::vector<std::string> snapshots(threads);  // per-worker page buffer
+    STACCATO_RETURN_NOT_OK(ParallelForWorker(
+        num_chunks, /*grain=*/1,
+        [&](size_t worker, size_t c) -> Status {
+          const uint32_t begin = static_cast<uint32_t>(c * kChunkPages);
+          const uint32_t end = static_cast<uint32_t>(
+              std::min<size_t>(num_pages, begin + kChunkPages));
+          std::string& buf = snapshots[worker];
+          buf.resize(static_cast<size_t>(end - begin) * kPageSize);
+          STACCATO_RETURN_NOT_OK(
+              ctx.kmap->SnapshotPages(begin, end, buf.data()));
+          return ScanKMapChunk(ctx, plan, dfa, allowed, buf.data(), begin,
+                               end, &chunks[c]);
+        },
+        ParallelOptions{threads}));
+    // Serial merge in chunk (= page, = row) order: straddling runs re-fold
+    // row by row; interior docs land as one complete fold each.
+    for (const KMapChunk& c : chunks) {
+      if (c.head_key < prob.size()) {
+        for (double m : c.head) prob[c.head_key] += m;
+      }
+      for (const auto& [key, sum] : c.interior) {
+        if (key < prob.size()) prob[key] += sum;  // prob[key] == 0.0 here
+      }
+      if (c.tail_key < prob.size()) {
+        for (double m : c.tail) prob[c.tail_key] += m;
+      }
     }
-    return true;
-  }));
+  }
   AccumulateDeltaKMap(ctx, plan, dfa, allowed, &prob);
   if (stats != nullptr) {
     size_t candidates = CountStringCandidates(ctx, plan, allowed);
@@ -541,7 +668,7 @@ Result<std::vector<Answer>> ExecuteStrings(const PlanContext& ctx,
                              ? 0.0
                              : static_cast<double>(candidates) /
                                    static_cast<double>(ctx.num_sfas);
-    stats->threads_used = 1;
+    stats->threads_used = threads;
   }
   return RankStringAnswers(prob, plan.num_ans);
 }
@@ -553,51 +680,6 @@ struct SfaCandidate {
   /// relevance estimate that orders the Eval visit so the top-k threshold
   /// tightens early. 0 on the full-scan path (natural doc order).
   size_t est_postings = 0;
-};
-
-/// The running k-th best probability among answers scored so far: the
-/// TopK operator's pruning threshold, shared across Eval workers. Get()
-/// returns 0 until k positive answers exist (nothing may be pruned yet)
-/// and +inf when k == 0 (every candidate is prunable). Offer() only ever
-/// raises the threshold, so a worker acting on a stale Get() prunes
-/// against a lower-or-equal threshold than the final one — races only
-/// ever make pruning more conservative, never wrong.
-class TopKThreshold {
- public:
-  explicit TopKThreshold(size_t k) : k_(k) {
-    if (k_ == 0) {
-      cut_.store(std::numeric_limits<double>::infinity(),
-                 std::memory_order_relaxed);
-      full_.store(true, std::memory_order_relaxed);
-    }
-  }
-
-  double Get() const { return cut_.load(std::memory_order_relaxed); }
-
-  void Offer(double p) {
-    if (k_ == 0 || p <= 0.0) return;
-    // Fast path once the heap is full: a probability at or below the
-    // current cut cannot raise it.
-    if (full_.load(std::memory_order_acquire) && p <= Get()) return;
-    util::MutexLock lock(&mu_);
-    heap_.push_back(p);
-    std::push_heap(heap_.begin(), heap_.end(), std::greater<double>());
-    if (heap_.size() > k_) {
-      std::pop_heap(heap_.begin(), heap_.end(), std::greater<double>());
-      heap_.pop_back();
-    }
-    if (heap_.size() == k_) {
-      cut_.store(heap_.front(), std::memory_order_relaxed);
-      full_.store(true, std::memory_order_release);
-    }
-  }
-
- private:
-  const size_t k_;
-  std::atomic<double> cut_{0.0};
-  std::atomic<bool> full_{false};
-  util::Mutex mu_;
-  std::vector<double> heap_ GUARDED_BY(mu_);  // min-heap of the best k
 };
 
 /// Projection Eval over an already-deserialized transducer: score the
@@ -705,7 +787,8 @@ Result<std::vector<SfaCandidate>> BuildSfaCandidates(
 Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
                                         const PlanSpec& plan, const Dfa& dfa,
                                         const std::vector<char>& allowed,
-                                        QueryStats* stats, PlanCache* cache) {
+                                        QueryStats* stats, PlanCache* cache,
+                                        TopKThreshold* shared_topk) {
   const bool full = plan.approach == Approach::kFullSfa;
   const std::vector<RecordId>& rids = full ? *ctx.fullsfa_rid : *ctx.graph_rid;
   HeapTable* blob_table = full ? ctx.fullsfa : ctx.staccato_graph;
@@ -733,7 +816,12 @@ Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
       return cands[a].est_postings > cands[b].est_postings;
     });
   }
-  TopKThreshold topk(plan.num_ans);
+  // The pruning threshold: query-local by default; a caller-owned one
+  // (ShardedDb scatter-gather) forwards the *global* k-th best into this
+  // shard's Eval. The global bound is always >= any shard-local bound and
+  // the kernel prunes strictly below it, so forwarding is answer-neutral.
+  TopKThreshold local_topk(plan.num_ans);
+  TopKThreshold& topk = shared_topk != nullptr ? *shared_topk : local_topk;
   const size_t horizon = plan.pattern.size() + 8;
   struct WorkerState {
     EvalScratch scratch;
@@ -844,7 +932,8 @@ Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
 
 Result<std::vector<Answer>> ExecutePlan(const PlanContext& ctx,
                                         const PlanSpec& plan, const Dfa& dfa,
-                                        QueryStats* stats, PlanCache* cache) {
+                                        QueryStats* stats, PlanCache* cache,
+                                        TopKThreshold* shared_topk) {
   InitQueryStats(stats, plan, /*batch_size=*/0);
   ResetStaleCache(cache, ctx);
   std::vector<char> scratch;
@@ -855,7 +944,7 @@ Result<std::vector<Answer>> ExecutePlan(const PlanContext& ctx,
     case EvalStrategy::kStrings:
       return ExecuteStrings(ctx, plan, dfa, *allowed, stats);
     case EvalStrategy::kSfaDp:
-      return ExecuteSfas(ctx, plan, dfa, *allowed, stats, cache);
+      return ExecuteSfas(ctx, plan, dfa, *allowed, stats, cache, shared_topk);
   }
   return Status::InvalidArgument("unknown eval strategy");
 }
@@ -1059,14 +1148,23 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
     std::vector<std::vector<double>> prob(group.size());
     std::vector<std::vector<char>> was_pruned(group.size());
     std::vector<std::vector<uint64_t>> steps_saved(group.size());
-    std::deque<TopKThreshold> thresholds;
+    // Each query prunes against its own threshold — a caller-provided one
+    // (BatchItem::topk; the sharded ExecuteBatch shares one instance
+    // across every shard's copy of a query) or a batch-local fallback.
+    std::deque<TopKThreshold> local_thresholds;
+    std::vector<TopKThreshold*> thresholds(group.size(), nullptr);
     std::vector<char> prune_group(group.size(), 0);
     for (size_t g = 0; g < group.size(); ++g) {
       const PlanSpec& plan = *items[group[g].item].plan;
       prob[g].assign(group[g].cands.size(), 0.0);
       was_pruned[g].assign(group[g].cands.size(), 0);
       steps_saved[g].assign(group[g].cands.size(), 0);
-      thresholds.emplace_back(plan.num_ans);
+      if (items[group[g].item].topk != nullptr) {
+        thresholds[g] = items[group[g].item].topk;
+      } else {
+        local_thresholds.emplace_back(plan.num_ans);
+        thresholds[g] = &local_thresholds.back();
+      }
       prune_group[g] =
           plan.early_stop && plan.fetch == FetchMethod::kFullBlob ? 1 : 0;
       const bool full = plan.approach == Approach::kFullSfa;
@@ -1102,7 +1200,7 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
             return Status::OK();
           }
           EvalBound bound;
-          const double threshold = prune_group[g] ? thresholds[g].Get() : 0.0;
+          const double threshold = prune_group[g] ? thresholds[g]->Get() : 0.0;
           out = EvalSfaQueryBounded(shared.sfa, dfa, threshold, shared.info,
                                     &scratches[worker], &bound);
           if (bound.pruned) {
@@ -1110,7 +1208,7 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
             was_pruned[g][pairs[p].k] = 1;
             steps_saved[g][pairs[p].k] = bound.steps_total - bound.steps;
           } else if (prune_group[g]) {  // nobody reads the threshold otherwise
-            thresholds[g].Offer(out);
+            thresholds[g]->Offer(out);
           }
           return Status::OK();
         },
@@ -1221,6 +1319,20 @@ std::string ExplainPlan(const PlanSpec& plan, const QueryStats& stats) {
     out += StringPrintf("  Batch: size=%zu shared-candidate-pass=%s\n",
                         stats.batch_size,
                         stats.shared_candidate_pass ? "yes" : "no");
+  }
+  // Scatter-gather breakdown: one line per shard so skew (candidate
+  // imbalance, cold shards, pruning asymmetry) is visible at a glance.
+  if (!stats.shards.empty()) {
+    out += StringPrintf("  Shards: %zu\n", stats.shards.size());
+    for (const ShardStats& s : stats.shards) {
+      out += StringPrintf(
+          "    shard %zu: candidates=%zu pruned=%zu steps-saved=%llu "
+          "cache-hits=%llu est-cost=%.1f (%.1f ms)\n",
+          s.shard, s.candidates, s.eval_pruned,
+          static_cast<unsigned long long>(s.eval_steps_saved),
+          static_cast<unsigned long long>(s.cache_hits), s.est_cost,
+          s.seconds * 1e3);
+    }
   }
   return out;
 }

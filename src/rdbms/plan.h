@@ -48,6 +48,10 @@
 // Execute is always bit-identical to a cold one.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -60,6 +64,7 @@
 #include "rdbms/delta.h"
 #include "rdbms/heap_table.h"
 #include "rdbms/sql.h"
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace staccato::rdbms {
@@ -108,6 +113,20 @@ struct QueryOptions {
   /// candidate provably cannot enter the top-k — so it is on by default;
   /// benches turn it off to measure the unpruned kernel.
   bool early_stop = true;
+};
+
+/// \brief One shard's slice of a scatter-gather execution, recorded by
+/// ShardedDb::Query (and the sharded Session paths) so skew across shards
+/// is visible without a profiler. `ExplainPlan(plan, stats)` renders one
+/// "Shards:" line per entry.
+struct ShardStats {
+  size_t shard = 0;            ///< shard ordinal (directory suffix)
+  size_t candidates = 0;       ///< SFAs evaluated on this shard
+  size_t eval_pruned = 0;      ///< candidates aborted by the global bound
+  uint64_t eval_steps_saved = 0;
+  uint64_t cache_hits = 0;     ///< blob reads served warm on this shard
+  double est_cost = 0.0;       ///< this shard's planner cost estimate
+  double seconds = 0.0;        ///< this shard's wall-clock eval time
 };
 
 /// \brief Execution statistics for the benches.
@@ -162,6 +181,10 @@ struct QueryStats {
   size_t batch_size = 0;  ///< queries in the batch this ran in (0 = solo)
   bool shared_candidate_pass = false;  ///< CandidateGen/Fetch shared with
                                        ///< other batch members
+  // Scatter-gather observability: one entry per shard when the query ran
+  // through a ShardedDb (empty on a single StaccatoDb). The top-level
+  // counters above are the cross-shard totals.
+  std::vector<ShardStats> shards;
 };
 
 enum class CandidateSource { kFullScan, kIndexProbe };
@@ -333,16 +356,73 @@ CostEstimate EstimateCost(const PlanContext& ctx, Approach approach,
                           const std::string& anchor,
                           const CostConstants& consts = CostConstants());
 
+/// \brief The running k-th best probability among answers scored so far:
+/// the TopK operator's pruning threshold, shared across Eval workers.
+/// Get() returns 0 until k positive answers exist (nothing may be pruned
+/// yet) and +inf when k == 0 (every candidate is prunable). Offer() only
+/// ever raises the threshold, so a worker acting on a stale Get() prunes
+/// against a lower-or-equal threshold than the final one — races only
+/// ever make pruning more conservative, never wrong.
+///
+/// Public (not an executor detail) because ShardedDb's scatter-gather
+/// shares one instance across every shard's in-flight Eval: the global
+/// k-th best forwards into each shard so the bounded DP prunes across
+/// shards, not just within one. Monotonicity makes that sharing safe —
+/// cross-shard offers can only tighten another shard's bound.
+class TopKThreshold {
+ public:
+  explicit TopKThreshold(size_t k) : k_(k) {
+    if (k_ == 0) {
+      cut_.store(std::numeric_limits<double>::infinity(),
+                 std::memory_order_relaxed);
+      full_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  double Get() const { return cut_.load(std::memory_order_relaxed); }
+
+  void Offer(double p) {
+    if (k_ == 0 || p <= 0.0) return;
+    // Fast path once the heap is full: a probability at or below the
+    // current cut cannot raise it.
+    if (full_.load(std::memory_order_acquire) && p <= Get()) return;
+    util::MutexLock lock(&mu_);
+    heap_.push_back(p);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<double>());
+    if (heap_.size() > k_) {
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<double>());
+      heap_.pop_back();
+    }
+    if (heap_.size() == k_) {
+      cut_.store(heap_.front(), std::memory_order_relaxed);
+      full_.store(true, std::memory_order_release);
+    }
+  }
+
+ private:
+  const size_t k_;
+  std::atomic<double> cut_{0.0};
+  std::atomic<bool> full_{false};
+  util::Mutex mu_;
+  std::vector<double> heap_ GUARDED_BY(mu_);  // min-heap of the best k
+};
+
 /// Runs the plan's operator pipeline. Repeated calls with the same plan and
 /// DFA return identical answers regardless of `eval_threads`. `cache`, when
 /// non-null, memoizes the CandidateGen/Filter artifacts across calls: a
 /// warm call reuses the equality bitmap and the probed CandidateSet (and
 /// reports doing so in `stats`) as long as `ctx.load_generation` still
-/// matches the cached generation.
+/// matches the cached generation. `shared_topk`, when non-null, replaces
+/// the Eval stage's query-local pruning threshold — ShardedDb passes one
+/// instance to every shard's ExecutePlan so the global k-th best bound
+/// forwards across shards (answer-neutral: the kernel prunes strictly
+/// below the threshold, and the global bound is at least as high as any
+/// shard-local one).
 Result<std::vector<Answer>> ExecutePlan(const PlanContext& ctx,
                                         const PlanSpec& plan, const Dfa& dfa,
                                         QueryStats* stats,
-                                        PlanCache* cache = nullptr);
+                                        PlanCache* cache = nullptr,
+                                        TopKThreshold* shared_topk = nullptr);
 
 /// Probes the inverted index with `anchor` (CandidateGen, index flavor).
 /// The caller guarantees ctx.index/ctx.dict are present.
@@ -357,6 +437,11 @@ struct BatchItem {
   const Dfa* dfa = nullptr;
   PlanCache* cache = nullptr;   ///< optional per-query plan cache
   QueryStats* stats = nullptr;  ///< optional per-query stats
+  /// Optional externally owned pruning threshold for this query's Eval
+  /// stage. A sharded ExecuteBatch points every shard's copy of the same
+  /// logical query at one instance, so the global k-th best forwards
+  /// across shards exactly as in solo scatter-gather. Null = query-local.
+  TopKThreshold* topk = nullptr;
 };
 
 /// \brief Batch-level statistics: what one ExecutePlanBatch physically did,

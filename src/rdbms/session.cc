@@ -1,9 +1,12 @@
 #include "rdbms/session.h"
 
+#include <deque>
 #include <iterator>
 
+#include "rdbms/shard.h"
 #include "rdbms/sql.h"
 #include "rdbms/staccato_db.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 #include "util/timer.h"
 
@@ -37,6 +40,60 @@ int ArtifactCount(const PlanCache& cache) {
   return (cache.bitmap_valid ? 1 : 0) + (cache.candidates_valid ? 1 : 0);
 }
 
+/// Folds per-shard execution stats into the caller-facing QueryStats: the
+/// top-level counters become cross-shard totals and one ShardStats entry
+/// per shard records the skew (ExplainPlan renders them as "Shards:"
+/// lines). `total_docs` is the global document count for selectivity.
+void FoldShardStats(const std::vector<QueryStats>& per_shard,
+                    const std::vector<double>& shard_seconds,
+                    size_t total_docs, QueryStats* out) {
+  *out = QueryStats{};
+  out->shards.reserve(per_shard.size());
+  for (size_t s = 0; s < per_shard.size(); ++s) {
+    const QueryStats& ps = per_shard[s];
+    out->heap_pages_read += ps.heap_pages_read;
+    out->blob_bytes_read += ps.blob_bytes_read;
+    out->candidates += ps.candidates;
+    out->index_postings += ps.index_postings;
+    out->used_index |= ps.used_index;
+    out->used_projection |= ps.used_projection;
+    out->threads_used = std::max(out->threads_used, ps.threads_used);
+    out->fetch_threads = std::max(out->fetch_threads, ps.fetch_threads);
+    out->est_candidates += ps.est_candidates;
+    out->est_cost += ps.est_cost;
+    out->filter_from_cache |= ps.filter_from_cache;
+    out->candidates_from_cache |= ps.candidates_from_cache;
+    out->cache_hits += ps.cache_hits;
+    out->cache_misses += ps.cache_misses;
+    out->cache_bytes += ps.cache_bytes;
+    out->eval_pruned += ps.eval_pruned;
+    out->eval_steps_saved += ps.eval_steps_saved;
+    out->shards.push_back(ShardStats{s, ps.candidates, ps.eval_pruned,
+                                     ps.eval_steps_saved, ps.cache_hits,
+                                     ps.est_cost, shard_seconds[s]});
+  }
+  out->selectivity = total_docs == 0
+                         ? 0.0
+                         : static_cast<double>(out->candidates) /
+                               static_cast<double>(total_docs);
+  if (!per_shard.empty()) out->plan_summary = per_shard[0].plan_summary;
+}
+
+/// Remaps one shard's ranked answers (shard-local doc ids) to global ids
+/// through the id-map snapshot and appends them to `merged`.
+Status GatherShardAnswers(const ShardMap& map, size_t shard,
+                          const std::vector<Answer>& answers,
+                          std::vector<Answer>* merged) {
+  const std::vector<DocId>& l2g = map.local_to_global[shard];
+  for (const Answer& a : answers) {
+    if (a.doc >= l2g.size()) {
+      return Status::Internal("shard answer missing from the id map");
+    }
+    merged->push_back(Answer{l2g[a.doc], a.prob});
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 PreparedQuery::PreparedQuery(StaccatoDb* db, PlanSpec plan, Dfa dfa,
@@ -46,6 +103,15 @@ PreparedQuery::PreparedQuery(StaccatoDb* db, PlanSpec plan, Dfa dfa,
       dfa_(std::move(dfa)),
       shared_(std::move(shared)),
       fingerprint_(PlanFingerprint(plan_)) {}
+
+PreparedQuery::PreparedQuery(ShardedDb* db, std::vector<PlanSpec> shard_plans,
+                             Dfa dfa)
+    : db_(nullptr),
+      plan_(shard_plans.front()),
+      dfa_(std::move(dfa)),
+      sdb_(db),
+      shard_plans_(std::move(shard_plans)),
+      shard_caches_(shard_plans_.size()) {}
 
 bool PreparedQuery::AdoptSharedCache(uint64_t generation) {
   if (shared_ == nullptr) return false;
@@ -110,11 +176,25 @@ void PreparedQuery::PublishSharedCache(uint64_t generation) {
 
 Result<PreparedQuery> Session::Prepare(Approach approach,
                                        const QueryOptions& q) {
+  STACCATO_ASSIGN_OR_RETURN(Dfa dfa,
+                            Dfa::Compile(q.pattern, MatchMode::kContains));
+  if (sdb_ != nullptr) {
+    // Plan every shard independently: each shard's own TermStats and
+    // table statistics price its scan-vs-probe choice, so a skewed shard
+    // can probe while its siblings scan.
+    std::vector<PlanSpec> plans;
+    plans.reserve(sdb_->num_shards());
+    for (size_t s = 0; s < sdb_->num_shards(); ++s) {
+      PlanContext ctx = sdb_->shard(s)->MakePlanContext();
+      STACCATO_ASSIGN_OR_RETURN(PlanSpec plan,
+                                BuildPlan(ctx, approach, q, opts_.eval_threads));
+      plans.push_back(std::move(plan));
+    }
+    return PreparedQuery(sdb_, std::move(plans), std::move(dfa));
+  }
   PlanContext ctx = db_->MakePlanContext();
   STACCATO_ASSIGN_OR_RETURN(PlanSpec plan,
                             BuildPlan(ctx, approach, q, opts_.eval_threads));
-  STACCATO_ASSIGN_OR_RETURN(Dfa dfa,
-                            Dfa::Compile(q.pattern, MatchMode::kContains));
   return PreparedQuery(db_, std::move(plan), std::move(dfa), shared_caches_);
 }
 
@@ -145,6 +225,7 @@ Result<std::vector<PreparedQuery>> Session::PrepareBatch(
 
 Result<std::vector<std::vector<Answer>>> Session::ExecuteBatch(
     const std::vector<PreparedQuery*>& queries, BatchStats* stats) {
+  if (sdb_ != nullptr) return ExecuteBatchSharded(queries, stats);
   Timer timer;
   if (stats != nullptr) {
     *stats = BatchStats{};
@@ -181,7 +262,146 @@ Result<std::vector<std::vector<Answer>>> Session::ExecuteBatch(
   return result;
 }
 
+Result<std::vector<std::vector<Answer>>> Session::ExecuteBatchSharded(
+    const std::vector<PreparedQuery*>& queries, BatchStats* stats) {
+  Timer timer;
+  const size_t num_shards = sdb_->num_shards();
+  const size_t num_queries = queries.size();
+  if (stats != nullptr) {
+    *stats = BatchStats{};
+    stats->per_query.assign(num_queries, QueryStats{});
+  }
+  for (PreparedQuery* pq : queries) {
+    if (pq == nullptr) {
+      return Status::InvalidArgument("null PreparedQuery in batch");
+    }
+    if (pq->sdb_ != sdb_) {
+      return Status::InvalidArgument(
+          "batch contains a query prepared against a different database");
+    }
+  }
+  // Plan contexts first, id-map snapshot second: Append publishes its map
+  // extension before touching the owning shard, so every document a
+  // context can see is translatable (same ordering as ExecuteSharded).
+  std::vector<PlanContext> ctxs(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    ctxs[s] = sdb_->shard(s)->MakePlanContext();
+  }
+  std::shared_ptr<const ShardMap> map = sdb_->map_snapshot();
+  // One forwarded threshold per logical query: every shard's copy of that
+  // query offers into (and prunes against) the same global k-th best,
+  // exactly as in solo scatter-gather. With forwarding off each shard's
+  // batch falls back to its own query-local thresholds.
+  std::deque<TopKThreshold> thresholds;
+  std::vector<TopKThreshold*> forwarded(num_queries, nullptr);
+  if (sdb_->forward_threshold()) {
+    for (size_t i = 0; i < num_queries; ++i) {
+      thresholds.emplace_back(queries[i]->plan_.num_ans);
+      forwarded[i] = &thresholds.back();
+    }
+  }
+  std::vector<std::vector<QueryStats>> shard_query_stats(
+      num_shards, std::vector<QueryStats>(num_queries));
+  std::vector<std::vector<std::vector<Answer>>> shard_results(num_shards);
+  std::vector<BatchStats> shard_batch_stats(num_shards);
+  std::vector<double> shard_seconds(num_shards, 0.0);
+  STACCATO_RETURN_NOT_OK(ParallelFor(num_shards, 1, [&](size_t s) -> Status {
+    Timer shard_timer;
+    std::vector<BatchItem> items;
+    items.reserve(num_queries);
+    for (size_t i = 0; i < num_queries; ++i) {
+      PreparedQuery* pq = queries[i];
+      items.push_back({&pq->shard_plans_[s], &pq->dfa_, &pq->shard_caches_[s],
+                       &shard_query_stats[s][i], forwarded[i]});
+    }
+    STACCATO_ASSIGN_OR_RETURN(shard_results[s],
+                              ExecutePlanBatch(ctxs[s], items,
+                                               &shard_batch_stats[s]));
+    shard_seconds[s] = shard_timer.ElapsedSeconds();
+    return Status::OK();
+  }));
+  std::vector<std::vector<Answer>> out(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    std::vector<Answer> merged;
+    std::vector<QueryStats> per_shard(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      STACCATO_RETURN_NOT_OK(
+          GatherShardAnswers(*map, s, shard_results[s][i], &merged));
+      per_shard[s] = shard_query_stats[s][i];
+    }
+    out[i] = RankAnswers(std::move(merged), queries[i]->plan_.num_ans);
+    if (stats != nullptr) {
+      FoldShardStats(per_shard, shard_seconds, map->total,
+                     &stats->per_query[i]);
+    }
+  }
+  if (stats != nullptr) {
+    stats->queries = num_queries;
+    for (size_t s = 0; s < num_shards; ++s) {
+      const BatchStats& bs = shard_batch_stats[s];
+      stats->kmap_scan_passes += bs.kmap_scan_passes;
+      stats->distinct_docs_fetched += bs.distinct_docs_fetched;
+      stats->total_candidates += bs.total_candidates;
+      stats->fetch_threads = std::max(stats->fetch_threads, bs.fetch_threads);
+      stats->eval_threads = std::max(stats->eval_threads, bs.eval_threads);
+      stats->eval_pruned += bs.eval_pruned;
+      stats->eval_steps_saved += bs.eval_steps_saved;
+      stats->cache_hits += bs.cache_hits;
+      stats->cache_misses += bs.cache_misses;
+      stats->cache_bytes += bs.cache_bytes;
+    }
+    stats->seconds = timer.ElapsedSeconds();
+  }
+  return out;
+}
+
+Result<std::vector<Answer>> PreparedQuery::ExecuteSharded(QueryStats* stats) {
+  Timer timer;
+  const size_t num_shards = sdb_->num_shards();
+  // Plan contexts first, id-map snapshot second (see ExecuteBatchSharded).
+  std::vector<PlanContext> ctxs(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    ctxs[s] = sdb_->shard(s)->MakePlanContext();
+  }
+  std::shared_ptr<const ShardMap> map = sdb_->map_snapshot();
+  // The forwarded global bound: every shard's Eval offers its answers
+  // here and prunes against the global k-th best, so selective queries
+  // kill candidates on one shard with answers found on another. Local
+  // fallback when forwarding is ablated off.
+  TopKThreshold global_topk(plan_.num_ans);
+  TopKThreshold* forwarded =
+      sdb_->forward_threshold() ? &global_topk : nullptr;
+  std::vector<QueryStats> per_shard(num_shards);
+  std::vector<std::vector<Answer>> shard_answers(num_shards);
+  std::vector<double> shard_seconds(num_shards, 0.0);
+  STACCATO_RETURN_NOT_OK(ParallelFor(num_shards, 1, [&](size_t s) -> Status {
+    Timer shard_timer;
+    STACCATO_ASSIGN_OR_RETURN(
+        shard_answers[s],
+        ExecutePlan(ctxs[s], shard_plans_[s], dfa_, &per_shard[s],
+                    &shard_caches_[s], forwarded));
+    shard_seconds[s] = shard_timer.ElapsedSeconds();
+    return Status::OK();
+  }));
+  // Gather: remap shard-local doc ids to global ones and re-rank. Each
+  // shard already returned its own ranked top num_ans, and the global
+  // top num_ans is a subset of their union, so one RankAnswers over the
+  // concatenation reproduces the 1-shard answer bit for bit.
+  std::vector<Answer> merged;
+  for (size_t s = 0; s < num_shards; ++s) {
+    STACCATO_RETURN_NOT_OK(
+        GatherShardAnswers(*map, s, shard_answers[s], &merged));
+  }
+  std::vector<Answer> ranked = RankAnswers(std::move(merged), plan_.num_ans);
+  if (stats != nullptr) {
+    FoldShardStats(per_shard, shard_seconds, map->total, stats);
+    stats->seconds = timer.ElapsedSeconds();
+  }
+  return ranked;
+}
+
 Result<std::vector<Answer>> PreparedQuery::Execute(QueryStats* stats) {
+  if (sdb_ != nullptr) return ExecuteSharded(stats);
   Timer timer;
   PlanContext ctx = db_->MakePlanContext();
   const bool adopted = AdoptSharedCache(ctx.load_generation);

@@ -53,6 +53,7 @@
 namespace staccato::rdbms {
 
 class StaccatoDb;
+class ShardedDb;
 class PreparedQuery;
 class Cursor;
 
@@ -96,6 +97,17 @@ class Session {
   explicit Session(StaccatoDb* db, SessionOptions opts = {})
       : db_(db), opts_(opts) {}
 
+  /// A session over a sharded database. Prepare plans every shard
+  /// independently (each shard's own statistics drive its scan-vs-probe
+  /// choice) and Execute scatter-gathers: shard evals fan out over the
+  /// shared pool, share one global TopKThreshold when the database has
+  /// threshold forwarding on, and the merged ranking is bit-identical to
+  /// the 1-shard answer. The shared plan-cache table is per-shard-query
+  /// only (fingerprints would collide across shards), so sharded
+  /// PreparedQueries rely on their own per-shard plan caches.
+  explicit Session(ShardedDb* db, SessionOptions opts = {})
+      : db_(nullptr), sdb_(db), opts_(opts) {}
+
   /// Compiles + plans a pattern query. The returned PreparedQuery remains
   /// valid as long as the database outlives it.
   Result<PreparedQuery> Prepare(Approach approach, const QueryOptions& q);
@@ -123,6 +135,9 @@ class Session {
       BatchStats* stats = nullptr);
 
   StaccatoDb* db() const { return db_; }
+  /// The sharded database this session serves, or null for a
+  /// single-partition session (exactly one of db() / sharded_db() is set).
+  ShardedDb* sharded_db() const { return sdb_; }
   const SessionOptions& options() const { return opts_; }
 
   /// How many Executes (solo or batched) served CandidateGen/Filter from
@@ -134,7 +149,14 @@ class Session {
   }
 
  private:
+  /// Scatter-gather batch execution: one ExecutePlanBatch per shard fans
+  /// out over the pool, every shard's copy of one logical query shares
+  /// one forwarded TopKThreshold, and per-query answers merge globally.
+  Result<std::vector<std::vector<Answer>>> ExecuteBatchSharded(
+      const std::vector<PreparedQuery*>& queries, BatchStats* stats);
+
   StaccatoDb* db_;
+  ShardedDb* sdb_ = nullptr;
   SessionOptions opts_;
   std::shared_ptr<SharedPlanCacheTable> shared_caches_ =
       std::make_shared<SharedPlanCacheTable>();
@@ -165,18 +187,33 @@ class PreparedQuery {
 
   /// Re-binds the answer budget without re-planning. (Cache-safe: the
   /// memoized CandidateSet/bitmap do not depend on NumAns.)
-  void set_num_ans(size_t n) { plan_.num_ans = n; }
+  void set_num_ans(size_t n) {
+    plan_.num_ans = n;
+    for (PlanSpec& p : shard_plans_) p.num_ans = n;
+  }
   /// Re-binds the Eval worker count without re-planning (>= 1).
-  void set_eval_threads(size_t t) { plan_.eval_threads = t == 0 ? 1 : t; }
+  void set_eval_threads(size_t t) {
+    plan_.eval_threads = t == 0 ? 1 : t;
+    for (PlanSpec& p : shard_plans_) p.eval_threads = plan_.eval_threads;
+  }
   /// Toggles threshold-pruned top-k Eval without re-planning. Answer sets
   /// are identical either way; only the work performed changes
   /// (QueryStats::eval_pruned / eval_steps_saved report it).
-  void set_early_stop(bool on) { plan_.early_stop = on; }
+  void set_early_stop(bool on) {
+    plan_.early_stop = on;
+    for (PlanSpec& p : shard_plans_) p.early_stop = on;
+  }
 
  private:
   friend class Session;
   PreparedQuery(StaccatoDb* db, PlanSpec plan, Dfa dfa,
                 std::shared_ptr<SharedPlanCacheTable> shared);
+  /// Sharded flavor: one plan (and one plan cache) per shard; `plan_`
+  /// mirrors shard 0's plan for Explain()/plan() introspection.
+  PreparedQuery(ShardedDb* db, std::vector<PlanSpec> shard_plans, Dfa dfa);
+
+  /// Scatter-gather Execute over the owning ShardedDb (see session.cc).
+  Result<std::vector<Answer>> ExecuteSharded(QueryStats* stats);
 
   /// Copies any artifacts the plan will need from the session table into
   /// the local cache, when the local cache lacks them for `generation`.
@@ -195,6 +232,12 @@ class PreparedQuery {
   /// hand-built queries) plus this plan's fingerprint into it.
   std::shared_ptr<SharedPlanCacheTable> shared_;
   std::string fingerprint_;
+  /// Sharded-execution state (empty / null for single-partition queries):
+  /// the owning sharded database, one independently planned PlanSpec per
+  /// shard, and one generation-tagged PlanCache per shard.
+  ShardedDb* sdb_ = nullptr;
+  std::vector<PlanSpec> shard_plans_;
+  std::vector<PlanCache> shard_caches_;
 };
 
 /// \brief Forward-only iteration over one execution's ranked answers.

@@ -255,5 +255,56 @@ TEST(BufferCacheTest, ShardCountRoundsUpToPowerOfTwo) {
   EXPECT_EQ(one.num_shards(), 1u);
 }
 
+TEST(BufferCacheTest, SequentialScanDoesNotFlushReReferencedWorkingSet) {
+  // Scan resistance (segmented LRU): a working set that has been
+  // re-referenced — each entry hit at least once after insertion — must
+  // survive a sequential flood of single-touch entries many times the
+  // budget, because never-re-referenced entries churn the probation
+  // segment only. Under the old single-list LRU this flood evicted the
+  // hot set every time (0% hit rate on the next pass).
+  const std::string v(1000, 'b');
+  const size_t kBudgetEntries = 16;
+  BufferCache cache(BudgetFor(kBudgetEntries, v.size()), /*shards=*/1);
+  const size_t kHot = 4;  // well under the protected segment's half-budget
+  for (uint64_t i = 0; i < kHot; ++i) cache.Insert(Key(i), v);
+  for (uint64_t i = 0; i < kHot; ++i) {
+    ASSERT_TRUE(cache.Lookup(Key(i)));  // re-reference: promote
+  }
+  // Flood: 10x the budget in distinct keys, each inserted once and never
+  // touched again (the access pattern of a cold sequential shard scan).
+  for (uint64_t i = 0; i < 10 * kBudgetEntries; ++i) {
+    cache.Insert(Key(1000 + i), v);
+  }
+  for (uint64_t i = 0; i < kHot; ++i) {
+    EXPECT_TRUE(cache.Lookup(Key(i))) << "hot entry " << i << " was flushed";
+  }
+  // The budget still holds throughout.
+  EXPECT_LE(cache.stats().bytes_in_use,
+            BudgetFor(kBudgetEntries, v.size()));
+}
+
+TEST(BufferCacheTest, ProtectedSegmentOverflowDemotesNotEvicts) {
+  // Promoting more than the protected segment can hold (half the shard
+  // budget) must demote its coldest entries back to probation rather
+  // than evict them: they are still resident until budget pressure from
+  // new inserts ages them out.
+  const std::string v(1000, 'd');
+  const size_t kEntries = 8;
+  BufferCache cache(BudgetFor(kEntries, v.size()), /*shards=*/1);
+  for (uint64_t i = 0; i < kEntries; ++i) cache.Insert(Key(i), v);
+  // Promote everything: the protected segment (4 entries' worth) cannot
+  // hold all 8, so the coldest promotions cascade back to probation.
+  for (uint64_t i = 0; i < kEntries; ++i) {
+    ASSERT_TRUE(cache.Lookup(Key(i)));
+  }
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, kEntries);  // demotion never drops an entry
+  // One new insert evicts exactly one resident entry (a demoted one),
+  // and the most recently promoted entries survive in the protected set.
+  cache.Insert(Key(100), v);
+  EXPECT_TRUE(cache.Lookup(Key(kEntries - 1)));
+  EXPECT_TRUE(cache.Lookup(Key(kEntries - 2)));
+}
+
 }  // namespace
 }  // namespace staccato::cache
