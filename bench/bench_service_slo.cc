@@ -1,0 +1,273 @@
+// Service SLO bench: open-loop overload behavior of the deadline-aware
+// query service (rdbms/service.h).
+//
+// Two phases over the same database and query:
+//
+//  1. Uncontended baseline: one client runs the query through the
+//     service back-to-back; p50/p99 of the end-to-end latency is the
+//     no-load SLO reference.
+//
+//  2. Overload: 4 * max_concurrent client threads fire continuously —
+//     offered load far beyond the admission limit — each Execute under a
+//     deadline budget with allow_partial. The service must shed the
+//     excess with Unavailable (+ retry-after hint) *early*, so that the
+//     queries it does admit keep a bounded tail: the headline number is
+//     admitted p99 / uncontended p99, which the SLO target caps at 2x.
+//     Shed rate, degraded rate, and achieved QPS complete the picture.
+//
+// Writes BENCH_service.json for CI artifacts.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eval/workbench.h"
+#include "ocr/corpus.h"
+#include "ocr/generator.h"
+#include "rdbms/service.h"
+#include "rdbms/session.h"
+#include "rdbms/staccato_db.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+using namespace staccato;
+using rdbms::Approach;
+using rdbms::ExecBudget;
+using rdbms::IndexMode;
+using rdbms::LoadOptions;
+using rdbms::PreparedQuery;
+using rdbms::QueryOptions;
+using rdbms::QueryService;
+using rdbms::QueryStats;
+using rdbms::ServiceConfig;
+using rdbms::Session;
+using rdbms::SessionOptions;
+using rdbms::StaccatoDb;
+
+namespace {
+
+OcrDataset MakeDataset() {
+  CorpusSpec spec;
+  spec.kind = DatasetKind::kCongressActs;
+  spec.num_pages = 6;
+  spec.lines_per_page = 64;
+  spec.seed = 1111;
+  OcrNoiseModel noise;
+  noise.alternatives = 8;
+  auto data = GenerateOcrDataset(spec, noise);
+  if (!data.ok()) {
+    fprintf(stderr, "dataset: %s\n", data.status().ToString().c_str());
+    exit(1);
+  }
+  return std::move(*data);
+}
+
+LoadOptions BenchLoad() {
+  LoadOptions opts;
+  opts.kmap_k = 8;
+  opts.staccato = {25, 10, true};
+  return opts;
+}
+
+QueryOptions ServedQuery(const std::string& pattern) {
+  QueryOptions q;
+  q.pattern = pattern;
+  q.num_ans = 10;
+  q.index_mode = IndexMode::kNever;  // full scan: a query with real work
+  q.eval_threads = 1;  // concurrency comes from admitted queries, not Eval
+  q.early_stop = true;
+  return q;
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size()));
+  if (idx >= v.size()) idx = v.size() - 1;
+  return v[idx];
+}
+
+struct ClientTally {
+  std::vector<double> admitted_ms;  ///< latency of OK / degraded Executes
+  uint64_t shed = 0;
+  uint64_t degraded = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t errors = 0;
+};
+
+}  // namespace
+
+int main() {
+  const OcrDataset data = MakeDataset();
+  const std::string pattern = DatasetQueries(DatasetKind::kCongressActs)[0];
+
+  auto db = StaccatoDb::Open(eval::MakeScratchDir("bench_service"));
+  if (!db.ok()) {
+    fprintf(stderr, "open: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  if (!(*db)->Load(data, BenchLoad()).ok()) return 1;
+
+  Session session(db->get(), SessionOptions{1, 10});
+  // max_concurrent resolves to the machine (STACCATO_MAX_CONCURRENT, else
+  // the shared pool's capacity): admission sized beyond the hardware
+  // cannot keep any tail-latency promise.
+  ServiceConfig config;
+  config.queue_timeout_ms = 2.0;
+  QueryService service(&session, config);
+  const size_t max_concurrent = service.config().max_concurrent;
+
+  const size_t clients = 4 * max_concurrent;  // 4x overload
+  constexpr int kBaselineReps = 60;
+  constexpr int kAttemptsPerClient = 80;
+
+  // One PreparedQuery per client: a PreparedQuery must not Execute
+  // concurrently with itself.
+  std::vector<PreparedQuery> queries;
+  for (size_t c = 0; c < clients; ++c) {
+    auto pq = session.Prepare(Approach::kStaccato, ServedQuery(pattern));
+    if (!pq.ok()) {
+      fprintf(stderr, "prepare: %s\n", pq.status().ToString().c_str());
+      return 1;
+    }
+    queries.push_back(std::move(*pq));
+  }
+
+  // ---- 1. Uncontended baseline --------------------------------------------
+  std::vector<double> base_ms;
+  if (!queries[0].Execute(nullptr).ok()) return 1;  // warm the plan cache
+  for (int r = 0; r < kBaselineReps; ++r) {
+    Timer t;
+    auto ans = service.Execute(&queries[0], nullptr);
+    if (!ans.ok()) {
+      fprintf(stderr, "baseline: %s\n", ans.status().ToString().c_str());
+      return 1;
+    }
+    base_ms.push_back(t.ElapsedMillis());
+  }
+  const double base_p50 = Percentile(base_ms, 0.50);
+  const double base_p99 = Percentile(base_ms, 0.99);
+
+  // ---- 2. Open-loop overload at 4x max_concurrent -------------------------
+  // Each admitted query runs under a deadline a few multiples of the
+  // uncontended median with allow_partial: a query that lands on a slow
+  // tail degrades to a partial answer instead of blowing the SLO.
+  ExecBudget budget;
+  budget.deadline_ms = std::max(5.0, 2.5 * base_p50);
+  budget.allow_partial = true;
+
+  std::vector<ClientTally> tallies(clients);
+  Timer load_timer;
+  std::vector<std::thread> workers;
+  for (size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      ClientTally& tally = tallies[c];
+      for (int a = 0; a < kAttemptsPerClient; ++a) {
+        Timer t;
+        QueryStats stats;
+        auto ans = service.Execute(&queries[c], budget, &stats);
+        if (ans.ok()) {
+          tally.admitted_ms.push_back(t.ElapsedMillis());
+          if (stats.degraded) ++tally.degraded;
+        } else if (ans.status().IsUnavailable()) {
+          ++tally.shed;
+          // Honor the service's backoff hint, as a real client would —
+          // hammering a shedding server only burns the CPU the admitted
+          // queries need.
+          const uint64_t hint = rdbms::RetryAfterHintMs(ans.status());
+          if (hint > 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(hint));
+          }
+        } else if (ans.status().IsDeadlineExceeded()) {
+          ++tally.deadline_exceeded;
+        } else {
+          ++tally.errors;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double load_seconds = load_timer.ElapsedSeconds();
+
+  std::vector<double> admitted_ms;
+  uint64_t shed = 0, degraded = 0, deadline_exceeded = 0, errors = 0;
+  for (const ClientTally& t : tallies) {
+    admitted_ms.insert(admitted_ms.end(), t.admitted_ms.begin(),
+                       t.admitted_ms.end());
+    shed += t.shed;
+    degraded += t.degraded;
+    deadline_exceeded += t.deadline_exceeded;
+    errors += t.errors;
+  }
+  const uint64_t attempts =
+      static_cast<uint64_t>(clients) * kAttemptsPerClient;
+  const uint64_t completed = admitted_ms.size();
+  const double adm_p50 = Percentile(admitted_ms, 0.50);
+  const double adm_p99 = Percentile(admitted_ms, 0.99);
+  const double p99_ratio = base_p99 > 0 ? adm_p99 / base_p99 : 0.0;
+  const double qps = completed / load_seconds;
+  const double shed_rate = static_cast<double>(shed) / attempts;
+  const double degraded_rate =
+      completed > 0 ? static_cast<double>(degraded) / completed : 0.0;
+
+  if (errors != 0) {
+    fprintf(stderr, "unexpected errors under load: %llu\n",
+            static_cast<unsigned long long>(errors));
+    return 1;
+  }
+
+  eval::PrintHeader("Service SLO under 4x overload");
+  eval::PrintRow({"metric", "uncontended", "overloaded"}, {22, 12, 12});
+  eval::PrintRow({"p50 ms", StringPrintf("%.3f", base_p50),
+                  StringPrintf("%.3f", adm_p50)},
+                 {22, 12, 12});
+  eval::PrintRow({"p99 ms", StringPrintf("%.3f", base_p99),
+                  StringPrintf("%.3f", adm_p99)},
+                 {22, 12, 12});
+  printf(
+      "\nadmitted p99 / uncontended p99: %.2fx (SLO target <= 2x)\n"
+      "attempts %llu | admitted %llu | shed %llu (%.1f%%) | "
+      "degraded %llu (%.1f%%) | deadline %llu | %.0f QPS admitted\n",
+      p99_ratio, static_cast<unsigned long long>(attempts),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(shed), 100.0 * shed_rate,
+      static_cast<unsigned long long>(degraded), 100.0 * degraded_rate,
+      static_cast<unsigned long long>(deadline_exceeded), qps);
+
+  FILE* json = fopen("BENCH_service.json", "w");
+  if (json != nullptr) {
+    fprintf(json,
+            "{\n"
+            "  \"bench\": \"service_slo\",\n"
+            "  \"docs\": %zu,\n"
+            "  \"max_concurrent\": %zu,\n"
+            "  \"clients\": %zu,\n"
+            "  \"uncontended_p50_ms\": %.4f,\n"
+            "  \"uncontended_p99_ms\": %.4f,\n"
+            "  \"admitted_p50_ms\": %.4f,\n"
+            "  \"admitted_p99_ms\": %.4f,\n"
+            "  \"p99_ratio\": %.4f,\n"
+            "  \"admitted_qps\": %.1f,\n"
+            "  \"attempts\": %llu,\n"
+            "  \"admitted\": %llu,\n"
+            "  \"shed\": %llu,\n"
+            "  \"shed_rate\": %.4f,\n"
+            "  \"degraded\": %llu,\n"
+            "  \"degraded_rate\": %.4f,\n"
+            "  \"deadline_exceeded\": %llu\n"
+            "}\n",
+            data.sfas.size(), max_concurrent, clients, base_p50,
+            base_p99, adm_p50, adm_p99, p99_ratio, qps,
+            static_cast<unsigned long long>(attempts),
+            static_cast<unsigned long long>(completed),
+            static_cast<unsigned long long>(shed), shed_rate,
+            static_cast<unsigned long long>(degraded), degraded_rate,
+            static_cast<unsigned long long>(deadline_exceeded));
+    fclose(json);
+    printf("wrote BENCH_service.json\n");
+  }
+  return 0;
+}

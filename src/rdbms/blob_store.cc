@@ -46,27 +46,6 @@ Result<BlobId> BlobStore::Put(const std::string& data) {
   return id;
 }
 
-namespace {
-
-/// pread that retries short reads; fails if `n` bytes are not available.
-Status PreadExact(int fd, void* buf, size_t n, uint64_t offset) {
-  char* out = static_cast<char*>(buf);
-  while (n > 0) {
-    ssize_t r = pread(fd, out, n, static_cast<off_t>(offset));
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError(std::string("pread: ") + std::strerror(errno));
-    }
-    if (r == 0) return Status::IOError("short read past end of blob store");
-    out += r;
-    offset += static_cast<uint64_t>(r);
-    n -= static_cast<size_t>(r);
-  }
-  return Status::OK();
-}
-
-}  // namespace
-
 Status BlobStore::Flush() {
   if (file_ == nullptr) return Status::OK();
   STACCATO_RETURN_NOT_OK(util::CheckedFlush(file_, path_));
@@ -104,7 +83,8 @@ Status BlobStore::GetInto(BlobId id, std::string* out) {
     }
   }
   uint64_t len = 0;
-  STACCATO_RETURN_NOT_OK(PreadExact(fd_, &len, sizeof(len), id));
+  STACCATO_RETURN_NOT_OK(
+      util::CheckedPRead(fd_, &len, sizeof(len), id, path_));
   // Overflow-safe bound: a corrupt header with len near UINT64_MAX must
   // land here, not wrap past the check into a giant allocation.
   const uint64_t avail = end_ - id;  // id < end_ checked above
@@ -113,7 +93,8 @@ Status BlobStore::GetInto(BlobId id, std::string* out) {
   }
   out->resize(len);  // reuses the caller's capacity in steady state
   if (len > 0) {
-    STACCATO_RETURN_NOT_OK(PreadExact(fd_, out->data(), len, id + sizeof(len)));
+    STACCATO_RETURN_NOT_OK(
+        util::CheckedPRead(fd_, out->data(), len, id + sizeof(len), path_));
   }
   // Count only once the read fully succeeded, and on every path: Get
   // delegates here and GetCached misses read through here, so the three

@@ -13,6 +13,7 @@
 #include "automata/pattern.h"
 #include "indexing/projection.h"
 #include "inference/query_eval.h"
+#include "rdbms/service.h"
 #include "util/mutex.h"
 #include "util/parallel.h"
 #include "util/strings.h"
@@ -20,6 +21,28 @@
 namespace staccato::rdbms {
 
 namespace {
+
+/// One cancellation-point poll of the (optional) per-query control block.
+/// OK with `*cut_now` false = keep going; OK with `*cut_now` true = the
+/// budget ran out but the caller allows partial results, so stop visiting
+/// new work and degrade; non-OK = fail the query with DeadlineExceeded.
+/// A null control (legacy unbudgeted execution) is free.
+Status PollControl(QueryControl* control, bool* cut_now) {
+  *cut_now = false;
+  if (control == nullptr) return Status::OK();
+  if (control->cut()) {
+    *cut_now = true;
+    return Status::OK();
+  }
+  Status st = control->Check();
+  if (st.ok()) return st;
+  if (control->allow_partial()) {
+    control->MarkCut();
+    *cut_now = true;
+    return Status::OK();
+  }
+  return st;
+}
 
 /// Coerces an equality literal (kept as written by the SQL parser) to the
 /// type of the MasterData column it compares against.
@@ -520,6 +543,9 @@ void InitQueryStats(QueryStats* stats, const PlanSpec& plan,
   stats->cache_bytes = 0;
   stats->shared_plan_hit = false;
   stats->shards.clear();
+  stats->degraded = false;
+  stats->visited_candidates = 0;
+  stats->io_retries = 0;
 }
 
 /// Entries built against older data are dead; start the cache over at the
@@ -620,14 +646,31 @@ Result<std::vector<Answer>> ExecuteStrings(const PlanContext& ctx,
   size_t threads = std::max<size_t>(1, plan.eval_threads);
   const size_t num_chunks = (num_pages + kChunkPages - 1) / kChunkPages;
   threads = std::min(threads, std::max<size_t>(1, num_chunks));
+  // Budgeted executions scan serially: kMAPData stores keys in ascending
+  // order, so a mid-scan cut degrades to a clean doc prefix — the chunked
+  // scan completes chunks out of order, which would leave straddling docs
+  // with partially folded (wrong, not merely partial) mass.
+  if (ctx.control != nullptr) threads = 1;
+  size_t cut_key = SIZE_MAX;  // first doc key NOT fully folded before a cut
   if (threads <= 1) {
+    Status ctl_status = Status::OK();
+    size_t rows_seen = 0;
     STACCATO_RETURN_NOT_OK(ctx.kmap->Scan([&](RecordId, const Tuple& t) {
       size_t key = static_cast<size_t>(t[0].AsInt());
+      if (ctx.control != nullptr && (rows_seen++ & 255) == 0) {
+        bool cut_now = false;
+        ctl_status = PollControl(ctx.control, &cut_now);
+        if (!ctl_status.ok() || cut_now) {
+          cut_key = key;
+          return false;  // stop the scan at this row
+        }
+      }
       if (key < prob.size()) {  // skip rows beyond the loaded cardinality
         AccumulateKMapRow(plan, dfa, allowed, t, key, &prob);
       }
       return true;
     }));
+    STACCATO_RETURN_NOT_OK(ctl_status);
   } else {
     std::vector<KMapChunk> chunks(num_chunks);
     std::vector<std::string> snapshots(threads);  // per-worker page buffer
@@ -659,7 +702,15 @@ Result<std::vector<Answer>> ExecuteStrings(const PlanContext& ctx,
       }
     }
   }
-  AccumulateDeltaKMap(ctx, plan, dfa, allowed, &prob);
+  if (cut_key != SIZE_MAX) {
+    // Degraded: keep the fully folded doc prefix [0, cut_key). The doc the
+    // cut interrupted has only a lower bound of its mass, so it leaves the
+    // visited set; delta docs fold after the whole base scan, so none of
+    // them was visited either.
+    for (size_t k = cut_key; k < prob.size(); ++k) prob[k] = 0.0;
+  } else {
+    AccumulateDeltaKMap(ctx, plan, dfa, allowed, &prob);
+  }
   if (stats != nullptr) {
     size_t candidates = CountStringCandidates(ctx, plan, allowed);
     stats->heap_pages_read += ctx.kmap->io_stats().page_reads;
@@ -669,6 +720,11 @@ Result<std::vector<Answer>> ExecuteStrings(const PlanContext& ctx,
                              : static_cast<double>(candidates) /
                                    static_cast<double>(ctx.num_sfas);
     stats->threads_used = threads;
+    if (ctx.control != nullptr) {
+      stats->degraded = ctx.control->cut();
+      stats->visited_candidates =
+          cut_key != SIZE_MAX ? std::min(cut_key, ctx.num_sfas) : candidates;
+    }
   }
   return RankStringAnswers(prob, plan.num_ans);
 }
@@ -834,8 +890,16 @@ Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
   std::vector<double> prob(cands.size(), 0.0);
   std::vector<char> was_pruned(cands.size(), 0);
   std::vector<uint64_t> steps_saved(cands.size(), 0);
+  std::vector<char> visited(cands.size(), 0);
   ctx.blobs->ResetStats();
   auto eval_one = [&](size_t worker, size_t v) -> Status {
+    // Cancellation point: candidate visit. A worker that sees the cut (or
+    // trips the budget under allow_partial) stops visiting new candidates;
+    // unvisited candidates keep prob 0 and stay out of the visited set, so
+    // the ranked result is the exact top-k of what WAS visited.
+    bool cut_now = false;
+    STACCATO_RETURN_NOT_OK(PollControl(ctx.control, &cut_now));
+    if (cut_now) return Status::OK();
     const size_t i = order[v];
     const SfaCandidate& cand = cands[i];
     WorkerState& ws = workers[worker];
@@ -844,34 +908,57 @@ Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
     // hit skips the heap point get and the pread entirely), via the
     // reusable per-worker buffer otherwise. Same bytes either way.
     const std::string* blob = &ws.blob;
-    if (ctx.delta.Contains(cand.doc)) {
-      // Appended documents serve their serialized SFA straight from the
-      // delta (no heap get, no pread, no cache entry) — the bytes are
-      // identical to what a checkpoint or rebuild would store.
-      const DeltaDoc& d = ctx.delta.Doc(cand.doc);
-      blob = full ? &d.full_blob : &d.graph_blob;
-    } else if (ctx.cache != nullptr) {
-      STACCATO_ASSIGN_OR_RETURN(
-          ws.pin,
-          ctx.blobs->GetCached(
-              BlobCacheKey(full, cand.doc, ctx.blob_generation),
-              [&]() -> Result<BlobId> {
-                if (cand.doc >= rids.size()) {
-                  return Status::NotFound("no such DataKey");
-                }
-                STACCATO_ASSIGN_OR_RETURN(Tuple t,
-                                          blob_table->Get(rids[cand.doc]));
-                return t[1].AsBlobId();
-              }));
-      blob = &ws.pin.value();
-    } else {
+    auto fetch_once = [&]() -> Status {
+      if (ctx.delta.Contains(cand.doc)) {
+        // Appended documents serve their serialized SFA straight from the
+        // delta (no heap get, no pread, no cache entry) — the bytes are
+        // identical to what a checkpoint or rebuild would store.
+        const DeltaDoc& d = ctx.delta.Doc(cand.doc);
+        blob = full ? &d.full_blob : &d.graph_blob;
+        return Status::OK();
+      }
+      if (ctx.cache != nullptr) {
+        STACCATO_ASSIGN_OR_RETURN(
+            ws.pin,
+            ctx.blobs->GetCached(
+                BlobCacheKey(full, cand.doc, ctx.blob_generation),
+                [&]() -> Result<BlobId> {
+                  if (cand.doc >= rids.size()) {
+                    return Status::NotFound("no such DataKey");
+                  }
+                  STACCATO_ASSIGN_OR_RETURN(Tuple t,
+                                            blob_table->Get(rids[cand.doc]));
+                  return t[1].AsBlobId();
+                }));
+        blob = &ws.pin.value();
+        return Status::OK();
+      }
       if (cand.doc >= rids.size()) return Status::NotFound("no such DataKey");
       STACCATO_ASSIGN_OR_RETURN(Tuple t, blob_table->Get(rids[cand.doc]));
       STACCATO_RETURN_NOT_OK(ctx.blobs->GetInto(t[1].AsBlobId(), &ws.blob));
+      return Status::OK();
+    };
+    // Transient blob/heap read failures retry with exponential backoff,
+    // bounded by the control's per-query budget; exhaustion (or a
+    // non-I/O failure, or unbudgeted execution) surfaces the underlying
+    // Status unchanged.
+    Status fetched = fetch_once();
+    while (!fetched.ok() && fetched.IsIOError() && ctx.control != nullptr &&
+           ctx.control->AllowRetry()) {
+      fetched = fetch_once();
+    }
+    STACCATO_RETURN_NOT_OK(fetched);
+    if (ctx.control != nullptr) {
+      ctx.control->AddFetchedBytes(blob->size());
+      // Cancellation point: between this candidate's Fetch and its Eval —
+      // a deadline or byte budget blown by the fetch stops before the DP.
+      STACCATO_RETURN_NOT_OK(PollControl(ctx.control, &cut_now));
+      if (cut_now) return Status::OK();
     }
     if (plan.fetch == FetchMethod::kProjection) {
       STACCATO_ASSIGN_OR_RETURN(
           prob[i], EvalProjectedBlob(*blob, cand.postings, dfa, horizon));
+      visited[i] = 1;
       return Status::OK();
     }
     EvalBound bound;
@@ -879,6 +966,7 @@ Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
     STACCATO_ASSIGN_OR_RETURN(
         prob[i], EvalSerializedSfaBounded(*blob, dfa, threshold,
                                           &ws.scratch, &bound));
+    if (ctx.control != nullptr) ctx.control->AddDpSteps(bound.steps);
     if (bound.pruned) {
       prob[i] = 0.0;
       was_pruned[i] = 1;
@@ -886,6 +974,7 @@ Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
     } else if (prune) {  // nobody reads the threshold otherwise
       topk.Offer(prob[i]);
     }
+    visited[i] = 1;
     return Status::OK();
   };
   if (threads <= 1) {
@@ -919,6 +1008,11 @@ Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
         stats->eval_steps_saved += steps_saved[i];
       }
     }
+    if (ctx.control != nullptr) {
+      stats->degraded = ctx.control->cut();
+      stats->visited_candidates = static_cast<size_t>(
+          std::count(visited.begin(), visited.end(), 1));
+    }
   }
 
   std::vector<Answer> answers;
@@ -935,6 +1029,18 @@ Result<std::vector<Answer>> ExecutePlan(const PlanContext& ctx,
                                         QueryStats* stats, PlanCache* cache,
                                         TopKThreshold* shared_topk) {
   InitQueryStats(stats, plan, /*batch_size=*/0);
+  // Cancellation point: query entry. An already-expired deadline fails (or
+  // degrades to an empty answer set) here — before the filter bitmap is
+  // built, before a single candidate is evaluated, before a single blob
+  // byte is fetched.
+  {
+    bool cut_now = false;
+    STACCATO_RETURN_NOT_OK(PollControl(ctx.control, &cut_now));
+    if (cut_now) {
+      if (stats != nullptr) stats->degraded = true;
+      return std::vector<Answer>{};
+    }
+  }
   ResetStaleCache(cache, ctx);
   std::vector<char> scratch;
   STACCATO_ASSIGN_OR_RETURN(
@@ -972,6 +1078,12 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
   // Fetch pass.
   std::vector<std::vector<char>> scratch(n);
   std::vector<const std::vector<char>*> allowed(n, nullptr);
+  // Per-item budget control: the item's own block, else the batch-wide
+  // context one. An item whose budget is already blown at entry degrades
+  // to an empty answer set (allow_partial) or fails the batch — batched
+  // execution shares physical passes, so a hard per-item abort cannot be
+  // isolated mid-pass.
+  std::vector<QueryControl*> controls(n, nullptr);
   std::vector<size_t> strings_items, sfa_items;
   for (size_t i = 0; i < n; ++i) {
     const BatchItem& item = items[i];
@@ -980,6 +1092,13 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
     }
     const PlanSpec& plan = *item.plan;
     InitQueryStats(item.stats, plan, /*batch_size=*/n);
+    controls[i] = item.control != nullptr ? item.control : ctx.control;
+    bool cut_now = false;
+    STACCATO_RETURN_NOT_OK(PollControl(controls[i], &cut_now));
+    if (cut_now) {
+      if (item.stats != nullptr) item.stats->degraded = true;
+      continue;  // results[i] stays empty: top-k of zero visited candidates
+    }
     ResetStaleCache(item.cache, ctx);
     STACCATO_ASSIGN_OR_RETURN(
         allowed[i],
@@ -1148,6 +1267,7 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
     std::vector<std::vector<double>> prob(group.size());
     std::vector<std::vector<char>> was_pruned(group.size());
     std::vector<std::vector<uint64_t>> steps_saved(group.size());
+    std::vector<std::vector<char>> pair_visited(group.size());
     // Each query prunes against its own threshold — a caller-provided one
     // (BatchItem::topk; the sharded ExecuteBatch shares one instance
     // across every shard's copy of a query) or a batch-local fallback.
@@ -1159,6 +1279,7 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
       prob[g].assign(group[g].cands.size(), 0.0);
       was_pruned[g].assign(group[g].cands.size(), 0);
       steps_saved[g].assign(group[g].cands.size(), 0);
+      pair_visited[g].assign(group[g].cands.size(), 0);
       if (items[group[g].item].topk != nullptr) {
         thresholds[g] = items[group[g].item].topk;
       } else {
@@ -1194,15 +1315,24 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
           const Dfa& dfa = *items[w.item].dfa;
           const SharedSfa& shared = *pairs[p].sfa;
           double& out = prob[g][pairs[p].k];
+          // Cancellation point: per-(query, candidate) pair, against that
+          // query's own control. A cut query stops visiting pairs; the
+          // rest of the batch keeps going.
+          QueryControl* control = controls[w.item];
+          bool cut_now = false;
+          STACCATO_RETURN_NOT_OK(PollControl(control, &cut_now));
+          if (cut_now) return Status::OK();
           if (plan.fetch == FetchMethod::kProjection) {
             out = EvalProjectedSfa(shared.sfa, cand.postings, dfa,
                                    plan.pattern.size() + 8);
+            pair_visited[g][pairs[p].k] = 1;
             return Status::OK();
           }
           EvalBound bound;
           const double threshold = prune_group[g] ? thresholds[g]->Get() : 0.0;
           out = EvalSfaQueryBounded(shared.sfa, dfa, threshold, shared.info,
                                     &scratches[worker], &bound);
+          if (control != nullptr) control->AddDpSteps(bound.steps);
           if (bound.pruned) {
             out = 0.0;
             was_pruned[g][pairs[p].k] = 1;
@@ -1210,6 +1340,7 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
           } else if (prune_group[g]) {  // nobody reads the threshold otherwise
             thresholds[g]->Offer(out);
           }
+          pair_visited[g][pairs[p].k] = 1;
           return Status::OK();
         },
         ParallelOptions{eval_workers}));
@@ -1241,6 +1372,11 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
         st->shared_candidate_pass = group.size() > 1;
         st->eval_pruned = pruned;
         st->eval_steps_saved = saved;
+        if (QueryControl* control = controls[w.item]; control != nullptr) {
+          st->degraded = control->cut();
+          st->visited_candidates = static_cast<size_t>(std::count(
+              pair_visited[g].begin(), pair_visited[g].end(), 1));
+        }
       }
       if (batch_stats != nullptr) {
         batch_stats->total_candidates += w.cands.size();

@@ -69,6 +69,8 @@
 
 namespace staccato::rdbms {
 
+class QueryControl;  // rdbms/service.h: per-query budget/cancel block
+
 enum class Approach {
   kMap,
   kKMap,
@@ -185,6 +187,15 @@ struct QueryStats {
   // through a ShardedDb (empty on a single StaccatoDb). The top-level
   // counters above are the cross-shard totals.
   std::vector<ShardStats> shards;
+  // Deadline/budget observability (rdbms/service.h). `degraded` = the
+  // budget ran out mid-query and, because the caller allowed partial
+  // results, the answers are the well-formed top-k of only the
+  // `visited_candidates` candidates actually visited (<= `candidates`,
+  // which counts the plan's full candidate set). `io_retries` = transient
+  // blob-read failures absorbed by retry-with-backoff.
+  bool degraded = false;
+  size_t visited_candidates = 0;
+  uint64_t io_retries = 0;
 };
 
 enum class CandidateSource { kFullScan, kIndexProbe };
@@ -334,6 +345,11 @@ struct PlanContext {
   /// Snapshot of the mutable delta generation (appended documents). Doc
   /// ids >= delta.base_docs resolve here instead of in the base tables.
   DeltaView delta;
+  /// Optional per-query budget/cancellation block (rdbms/service.h),
+  /// polled at the executor's cancellation points: query entry, each
+  /// worker's fetch->eval stream, the kMAP scan loop, and the per-shard
+  /// gather. Null = unbudgeted legacy execution, zero overhead.
+  QueryControl* control = nullptr;
 };
 
 /// Resolves a logical query into a physical plan: prices the full-scan and
@@ -442,6 +458,10 @@ struct BatchItem {
   /// logical query at one instance, so the global k-th best forwards
   /// across shards exactly as in solo scatter-gather. Null = query-local.
   TopKThreshold* topk = nullptr;
+  /// Optional per-query budget/cancel block, overriding the batch-wide
+  /// PlanContext::control for this member's checks. Null = use the
+  /// context's (possibly null) control.
+  QueryControl* control = nullptr;
 };
 
 /// \brief Batch-level statistics: what one ExecutePlanBatch physically did,

@@ -1,0 +1,209 @@
+// Deadline-aware query service: the overload-behavior layer between
+// callers and the prepared-query engine.
+//
+// Three cooperating pieces:
+//
+//   ExecBudget / QueryControl   A per-query execution budget (wall-clock
+//       deadline, DP-step cap, fetched-byte cap) plus the shared control
+//       block the executor polls at its cancellation points: the
+//       candidate-visit loop, each worker's fetch->eval stream, and the
+//       per-shard gather. A blown budget surfaces as
+//       Status::DeadlineExceeded — or, with `allow_partial`, as a
+//       well-formed top-k over exactly the candidates visited so far
+//       (QueryStats::degraded + visited_candidates report it). The
+//       control block also owns the retry budget for transient I/O:
+//       the Fetch stage retries injected/transient read failures with
+//       exponential backoff through AllowRetry().
+//
+//   ServiceConfig / QueryService   An admission controller wrapping a
+//       Session: at most `max_concurrent` queries execute at once, at
+//       most `max_queued` wait (bounded by `queue_timeout`), and
+//       everything beyond that sheds immediately with
+//       Status::Unavailable carrying a "retry-after-ms=N" hint — the
+//       hint doubles when the shared ThreadPool itself reports
+//       saturation. Shedding early and loudly keeps the admitted
+//       queries' tail latency bounded instead of letting every caller
+//       queue into collapse.
+//
+//   ServiceStats   Counters for the open-loop SLO bench and tests:
+//       admitted / shed / timed out / completed / deadline-exceeded /
+//       degraded.
+//
+// Clock discipline: every steady_clock read for deadlines and queue
+// timeouts lives in service.cc (scripts/lint.sh rule 9). The executor
+// never reads a clock — it polls QueryControl::Check(), which is a few
+// relaxed atomic loads on the happy path.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "rdbms/session.h"
+#include "util/mutex.h"
+#include "util/result.h"
+
+namespace staccato::rdbms {
+
+/// \brief The per-query execution budget a caller attaches to one
+/// Execute. Zero means "unlimited" for every numeric knob.
+struct ExecBudget {
+  /// Wall-clock deadline relative to query start, in milliseconds.
+  /// 0 = no deadline; negative = already expired (the query must fail —
+  /// or degrade — before evaluating a single candidate).
+  double deadline_ms = 0.0;
+  /// Cap on DFAxSFA dynamic-program steps across the whole query
+  /// (label-char x dfa-state units, as EvalBound counts them). 0 = none.
+  uint64_t max_dp_steps = 0;
+  /// Cap on blob bytes fetched by the Fetch stage. 0 = none.
+  uint64_t max_fetch_bytes = 0;
+  /// Degrade instead of failing: when the budget runs out mid-query the
+  /// executor stops visiting new candidates and returns the well-formed
+  /// top-k of everything visited so far, with QueryStats::degraded set.
+  bool allow_partial = false;
+  /// Max transient-I/O retries per query (exponential backoff).
+  /// Negative = resolve from STACCATO_IO_RETRIES (fallback 3).
+  int max_io_retries = -1;
+};
+
+/// \brief The shared control block for one executing query: deadline,
+/// work-budget accounting, cooperative cancellation, and the transient-
+/// I/O retry budget. Constructed by the service (or a test) just before
+/// Execute and threaded through PlanContext::control; safe to poll from
+/// every Eval worker concurrently. The happy-path Check() is a handful
+/// of relaxed atomic loads plus one clock read.
+class QueryControl {
+ public:
+  /// Arms the deadline (one clock read) and resolves env defaults.
+  explicit QueryControl(const ExecBudget& budget);
+  QueryControl(const QueryControl&) = delete;
+  QueryControl& operator=(const QueryControl&) = delete;
+
+  /// OK while the query may keep doing *new* work; DeadlineExceeded once
+  /// cancelled, past the deadline, or over the DP-step / fetched-byte
+  /// budget (the message says which). The executor calls this at every
+  /// cancellation point; under `allow_partial` it converts the failure
+  /// into MarkCut() + a degraded answer instead of propagating it.
+  Status Check() const;
+
+  /// Requests cooperative cancellation; the next Check() fails.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// The degrade latch: once set, every worker stops visiting new
+  /// candidates (finishing none mid-flight is not required — a candidate
+  /// fully evaluated after the cut still entered the visited set before
+  /// its result was folded, so the partial top-k stays well-formed).
+  void MarkCut() { cut_.store(true, std::memory_order_release); }
+  bool cut() const { return cut_.load(std::memory_order_acquire); }
+
+  void AddDpSteps(uint64_t steps) {
+    dp_steps_.fetch_add(steps, std::memory_order_relaxed);
+  }
+  void AddFetchedBytes(uint64_t bytes) {
+    fetched_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  /// Consumes one retry from the per-query budget and sleeps the
+  /// exponential backoff (1ms * 2^attempt, capped, never past the
+  /// deadline). Returns false — without sleeping — when the budget is
+  /// exhausted or the deadline has passed, in which case the caller must
+  /// surface the underlying I/O error.
+  bool AllowRetry();
+
+  bool allow_partial() const { return budget_.allow_partial; }
+  uint64_t dp_steps() const {
+    return dp_steps_.load(std::memory_order_relaxed);
+  }
+  uint64_t fetched_bytes() const {
+    return fetched_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Transient-I/O retries actually performed (<= max budget).
+  uint64_t io_retries() const {
+    return io_retries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const ExecBudget budget_;
+  int max_io_retries_ = 3;  ///< resolved from budget / STACCATO_IO_RETRIES
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};  ///< read in .cc only
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> cut_{false};
+  std::atomic<uint64_t> dp_steps_{0};
+  std::atomic<uint64_t> fetched_bytes_{0};
+  std::atomic<uint64_t> io_retries_{0};
+};
+
+/// \brief Admission-control knobs. Zeros resolve to environment
+/// variables, then to built-in defaults, at QueryService construction.
+struct ServiceConfig {
+  /// Queries executing at once. 0 = STACCATO_MAX_CONCURRENT, else the
+  /// shared ThreadPool's capacity.
+  size_t max_concurrent = 0;
+  /// Queries allowed to wait for an execution slot. 0 = 2*max_concurrent.
+  size_t max_queued = 0;
+  /// How long a queued query waits before shedding, in milliseconds.
+  /// 0 = STACCATO_QUEUE_TIMEOUT_MS, else 100.
+  double queue_timeout_ms = 0.0;
+  /// Budget applied by Execute calls that do not pass their own.
+  ExecBudget default_budget;
+};
+
+/// \brief Service counters (monotone, relaxed; snapshot freely).
+struct ServiceStats {
+  std::atomic<uint64_t> admitted{0};       ///< got an execution slot
+  std::atomic<uint64_t> shed{0};           ///< rejected: queue full
+  std::atomic<uint64_t> timed_out{0};      ///< rejected: queue wait expired
+  std::atomic<uint64_t> completed{0};      ///< Execute returned OK
+  std::atomic<uint64_t> deadline_exceeded{0};
+  std::atomic<uint64_t> degraded{0};       ///< OK but partial (allow_partial)
+};
+
+/// \brief The serving facade: admission control around a Session's
+/// PreparedQueries. Thread-safe; one instance serves concurrent callers.
+class QueryService {
+ public:
+  /// `session` is borrowed and must outlive the service.
+  explicit QueryService(Session* session, ServiceConfig config = {});
+
+  /// Admits, executes under `budget` (or the config default), releases.
+  /// Unavailable = shed or queue-timed-out, with a "retry-after-ms=N"
+  /// hint in the message; DeadlineExceeded = admitted but over budget
+  /// without allow_partial; OK with stats->degraded = partial answer.
+  Result<std::vector<Answer>> Execute(PreparedQuery* query,
+                                      QueryStats* stats = nullptr);
+  Result<std::vector<Answer>> Execute(PreparedQuery* query,
+                                      const ExecBudget& budget,
+                                      QueryStats* stats = nullptr);
+
+  /// The admission gate, public so tests (and callers that run the query
+  /// themselves) can drive it deterministically. Every successful Admit
+  /// must be paired with exactly one Release.
+  Status Admit();
+  void Release();
+
+  Session* session() const { return session_; }
+  const ServiceConfig& config() const { return config_; }
+  const ServiceStats& stats() const { return stats_; }
+  /// Queries currently holding an execution slot (snapshot).
+  size_t active() const;
+
+ private:
+  Session* const session_;
+  ServiceConfig config_;  ///< resolved: no zeros after construction
+  ServiceStats stats_;
+  mutable util::Mutex mu_;
+  util::CondVar slot_free_{&mu_};
+  size_t active_ GUARDED_BY(mu_) = 0;
+  size_t waiting_ GUARDED_BY(mu_) = 0;
+};
+
+/// Parses the "retry-after-ms=N" hint out of an Unavailable status
+/// message; 0 when absent. Callers back off this long before retrying.
+uint64_t RetryAfterHintMs(const Status& status);
+
+}  // namespace staccato::rdbms

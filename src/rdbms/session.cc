@@ -3,6 +3,7 @@
 #include <deque>
 #include <iterator>
 
+#include "rdbms/service.h"
 #include "rdbms/shard.h"
 #include "rdbms/sql.h"
 #include "rdbms/staccato_db.h"
@@ -68,6 +69,12 @@ void FoldShardStats(const std::vector<QueryStats>& per_shard,
     out->cache_bytes += ps.cache_bytes;
     out->eval_pruned += ps.eval_pruned;
     out->eval_steps_saved += ps.eval_steps_saved;
+    // Budget observability: any degraded shard degrades the whole query;
+    // visited counts sum. io_retries is NOT folded — per-shard stats all
+    // read the one shared QueryControl counter, so summing would multiply
+    // it by the shard count; Execute sets the top-level figure once.
+    out->degraded |= ps.degraded;
+    out->visited_candidates += ps.visited_candidates;
     out->shards.push_back(ShardStats{s, ps.candidates, ps.eval_pruned,
                                      ps.eval_steps_saved, ps.cache_hits,
                                      ps.est_cost, shard_seconds[s]});
@@ -305,6 +312,10 @@ Result<std::vector<std::vector<Answer>>> Session::ExecuteBatchSharded(
   std::vector<std::vector<std::vector<Answer>>> shard_results(num_shards);
   std::vector<BatchStats> shard_batch_stats(num_shards);
   std::vector<double> shard_seconds(num_shards, 0.0);
+  // Per-shard Status capture (lambda always returns OK): the first
+  // failing shard in shard order is what the caller sees, not whichever
+  // failure happened to race into the pool's error slot first.
+  std::vector<Status> shard_status(num_shards);
   STACCATO_RETURN_NOT_OK(ParallelFor(num_shards, 1, [&](size_t s) -> Status {
     Timer shard_timer;
     std::vector<BatchItem> items;
@@ -314,12 +325,19 @@ Result<std::vector<std::vector<Answer>>> Session::ExecuteBatchSharded(
       items.push_back({&pq->shard_plans_[s], &pq->dfa_, &pq->shard_caches_[s],
                        &shard_query_stats[s][i], forwarded[i]});
     }
-    STACCATO_ASSIGN_OR_RETURN(shard_results[s],
-                              ExecutePlanBatch(ctxs[s], items,
-                                               &shard_batch_stats[s]));
+    Result<std::vector<std::vector<Answer>>> r =
+        ExecutePlanBatch(ctxs[s], items, &shard_batch_stats[s]);
+    if (r.ok()) {
+      shard_results[s] = std::move(r).ValueUnsafe();
+    } else {
+      shard_status[s] = r.status();
+    }
     shard_seconds[s] = shard_timer.ElapsedSeconds();
     return Status::OK();
   }));
+  for (size_t s = 0; s < num_shards; ++s) {
+    STACCATO_RETURN_NOT_OK(shard_status[s]);
+  }
   std::vector<std::vector<Answer>> out(num_queries);
   for (size_t i = 0; i < num_queries; ++i) {
     std::vector<Answer> merged;
@@ -355,13 +373,15 @@ Result<std::vector<std::vector<Answer>>> Session::ExecuteBatchSharded(
   return out;
 }
 
-Result<std::vector<Answer>> PreparedQuery::ExecuteSharded(QueryStats* stats) {
+Result<std::vector<Answer>> PreparedQuery::ExecuteSharded(
+    QueryControl* control, QueryStats* stats) {
   Timer timer;
   const size_t num_shards = sdb_->num_shards();
   // Plan contexts first, id-map snapshot second (see ExecuteBatchSharded).
   std::vector<PlanContext> ctxs(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
     ctxs[s] = sdb_->shard(s)->MakePlanContext();
+    ctxs[s].control = control;  // one budget, shared across every shard
   }
   std::shared_ptr<const ShardMap> map = sdb_->map_snapshot();
   // The forwarded global bound: every shard's Eval offers its answers
@@ -374,21 +394,37 @@ Result<std::vector<Answer>> PreparedQuery::ExecuteSharded(QueryStats* stats) {
   std::vector<QueryStats> per_shard(num_shards);
   std::vector<std::vector<Answer>> shard_answers(num_shards);
   std::vector<double> shard_seconds(num_shards, 0.0);
+  // Every shard records its own Status and the lambda always returns OK,
+  // so (a) a failing shard never tears down its siblings mid-eval and
+  // (b) the gather below surfaces the FIRST failing shard's Status in
+  // shard order — deterministic, where propagating through the pool's
+  // first-error capture would surface whichever failure raced first.
+  std::vector<Status> shard_status(num_shards);
   STACCATO_RETURN_NOT_OK(ParallelFor(num_shards, 1, [&](size_t s) -> Status {
     Timer shard_timer;
-    STACCATO_ASSIGN_OR_RETURN(
-        shard_answers[s],
+    Result<std::vector<Answer>> r =
         ExecutePlan(ctxs[s], shard_plans_[s], dfa_, &per_shard[s],
-                    &shard_caches_[s], forwarded));
+                    &shard_caches_[s], forwarded);
+    if (r.ok()) {
+      shard_answers[s] = std::move(r).ValueUnsafe();
+    } else {
+      shard_status[s] = r.status();
+    }
     shard_seconds[s] = shard_timer.ElapsedSeconds();
     return Status::OK();
   }));
   // Gather: remap shard-local doc ids to global ones and re-rank. Each
   // shard already returned its own ranked top num_ans, and the global
   // top num_ans is a subset of their union, so one RankAnswers over the
-  // concatenation reproduces the 1-shard answer bit for bit.
+  // concatenation reproduces the 1-shard answer bit for bit. The budget
+  // is polled once per shard here (the gather cancellation point); a cut
+  // only stops *new* work, so already-computed answers still merge.
   std::vector<Answer> merged;
   for (size_t s = 0; s < num_shards; ++s) {
+    STACCATO_RETURN_NOT_OK(shard_status[s]);
+    if (control != nullptr && !control->allow_partial()) {
+      STACCATO_RETURN_NOT_OK(control->Check());
+    }
     STACCATO_RETURN_NOT_OK(
         GatherShardAnswers(*map, s, shard_answers[s], &merged));
   }
@@ -401,17 +437,34 @@ Result<std::vector<Answer>> PreparedQuery::ExecuteSharded(QueryStats* stats) {
 }
 
 Result<std::vector<Answer>> PreparedQuery::Execute(QueryStats* stats) {
-  if (sdb_ != nullptr) return ExecuteSharded(stats);
+  return Execute(/*control=*/nullptr, stats);
+}
+
+Result<std::vector<Answer>> PreparedQuery::Execute(QueryControl* control,
+                                                   QueryStats* stats) {
+  Result<std::vector<Answer>> result = Status::Internal("unreachable");
   Timer timer;
-  PlanContext ctx = db_->MakePlanContext();
-  const bool adopted = AdoptSharedCache(ctx.load_generation);
-  Result<std::vector<Answer>> result =
-      ExecutePlan(ctx, plan_, dfa_, stats, &cache_);
-  if (result.ok()) PublishSharedCache(ctx.load_generation);
+  if (sdb_ != nullptr) {
+    result = ExecuteSharded(control, stats);
+  } else {
+    PlanContext ctx = db_->MakePlanContext();
+    ctx.control = control;
+    const bool adopted = AdoptSharedCache(ctx.load_generation);
+    result = ExecutePlan(ctx, plan_, dfa_, stats, &cache_);
+    if (result.ok()) PublishSharedCache(ctx.load_generation);
+    if (stats != nullptr) {
+      // Set after ExecutePlan: its stats prologue resets every run-scoped
+      // field, this one included.
+      stats->shared_plan_hit = adopted;
+    }
+  }
   if (stats != nullptr) {
-    // Set after ExecutePlan: its stats prologue resets every run-scoped
-    // field, this one included.
-    stats->shared_plan_hit = adopted;
+    if (control != nullptr) {
+      // One write at the top level: per-shard stats must not fold this
+      // shared counter (see FoldShardStats).
+      stats->io_retries = control->io_retries();
+      if (result.ok()) stats->degraded = control->cut();
+    }
     stats->seconds = timer.ElapsedSeconds();
   }
   return result;

@@ -176,6 +176,17 @@ class PreparedQuery {
   /// PreparedQuery must not Execute concurrently with itself.
   Result<std::vector<Answer>> Execute(QueryStats* stats = nullptr);
 
+  /// Execute under a per-query budget/cancellation block (rdbms/service.h):
+  /// the executor polls `control` at its cancellation points, retries
+  /// transient I/O against its retry budget, and either fails with
+  /// DeadlineExceeded or (allow_partial) degrades to the exact top-k of
+  /// the visited candidates, reporting QueryStats::degraded /
+  /// visited_candidates / io_retries. `control` may be null (identical to
+  /// the overload above); both parameters are explicit so the overloads
+  /// never collide. This is what QueryService::Execute runs.
+  Result<std::vector<Answer>> Execute(QueryControl* control,
+                                      QueryStats* stats);
+
   /// Executes and wraps the ranked answers in a streaming cursor.
   Result<Cursor> Open(QueryStats* stats = nullptr);
 
@@ -213,7 +224,10 @@ class PreparedQuery {
   PreparedQuery(ShardedDb* db, std::vector<PlanSpec> shard_plans, Dfa dfa);
 
   /// Scatter-gather Execute over the owning ShardedDb (see session.cc).
-  Result<std::vector<Answer>> ExecuteSharded(QueryStats* stats);
+  /// `control` (nullable) threads the query budget into every shard's
+  /// ExecutePlan and is polled again at the per-shard gather.
+  Result<std::vector<Answer>> ExecuteSharded(QueryControl* control,
+                                             QueryStats* stats);
 
   /// Copies any artifacts the plan will need from the session table into
   /// the local cache, when the local cache lacks them for `generation`.

@@ -25,6 +25,23 @@ void FaultInjector::Clear() {
   armed_.store(false, std::memory_order_release);
 }
 
+void FaultInjector::Seed(uint64_t seed) {
+  util::MutexLock lock(&mu_);
+  // Never let the splitmix state be 0 (it would stay 0 forever).
+  rng_state_ = seed != 0 ? seed : 0x9e3779b97f4a7c15ull;
+}
+
+namespace {
+/// splitmix64 step: the deterministic uniform draw behind probabilistic
+/// rules. Cheap, seedable, and good enough for fault soaking.
+uint64_t NextRand(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
 bool FaultInjector::ShouldFail(FaultOp op, const std::string& path,
                                size_t* short_bytes) {
   if (!armed_.load(std::memory_order_acquire)) return false;
@@ -35,6 +52,15 @@ bool FaultInjector::ShouldFail(FaultOp op, const std::string& path,
     if (!rule.path_substr.empty() &&
         path.find(rule.path_substr) == std::string::npos) {
       continue;
+    }
+    if (rule.probability > 0.0) {
+      // Soak mode: an independent coin per matching operation; the rule
+      // stays installed until Clear.
+      const double draw = static_cast<double>(NextRand(&rng_state_) >> 11) *
+                          (1.0 / 9007199254740992.0);  // [0, 1), 53 bits
+      if (draw >= rule.probability) continue;
+      if (short_bytes != nullptr) *short_bytes = rule.short_bytes;
+      return true;
     }
     if (rule.countdown > 0) {
       --rule.countdown;
@@ -78,6 +104,26 @@ Status CheckedFlush(FILE* file, const std::string& path) {
   if (fflush(file) != 0) {
     return Status::IOError("fflush failed: " + path + ": " +
                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status CheckedPRead(int fd, void* buf, size_t n, uint64_t offset,
+                    const std::string& path) {
+  if (FaultInjector::Global()->ShouldFail(FaultOp::kRead, path, nullptr)) {
+    return Status::IOError("injected read fault: " + path);
+  }
+  char* out = static_cast<char*>(buf);
+  while (n > 0) {
+    ssize_t r = pread(fd, out, n, static_cast<off_t>(offset));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pread: " + path + ": " + std::strerror(errno));
+    }
+    if (r == 0) return Status::IOError("short read past end of " + path);
+    out += r;
+    offset += static_cast<uint64_t>(r);
+    n -= static_cast<size_t>(r);
   }
   return Status::OK();
 }

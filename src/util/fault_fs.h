@@ -25,6 +25,7 @@ enum class FaultOp : uint8_t {
   kWrite = 0,  ///< fwrite via CheckedWrite
   kFlush = 1,  ///< fflush via CheckedFlush
   kSync = 2,   ///< fsync via CheckedSync
+  kRead = 3,   ///< pread via CheckedPRead (blob/heap read paths)
 };
 
 /// \brief One injected failure: the `countdown`-th matching operation on a
@@ -32,12 +33,17 @@ enum class FaultOp : uint8_t {
 /// fault into a short write that actually persists that many prefix bytes
 /// (a torn write, not a clean no-op). `sticky` keeps the rule armed so
 /// every later match fails too (a dead disk rather than a glitch).
+/// `probability` > 0 switches the rule to soak mode: every matching
+/// operation fails independently with that probability (deterministic
+/// seeded RNG; `countdown` is ignored and the rule stays installed until
+/// Clear, like a flaky disk rather than a scripted glitch).
 struct FaultRule {
   FaultOp op = FaultOp::kWrite;
   std::string path_substr;
   int countdown = 0;
   size_t short_bytes = 0;
   bool sticky = false;
+  double probability = 0.0;
 };
 
 /// \brief Process-global registry of fault rules. Thread-safe; the armed
@@ -49,6 +55,10 @@ class FaultInjector {
   void Install(FaultRule rule);
   void Clear();
 
+  /// Reseeds the RNG behind probabilistic rules, so a soak run is
+  /// reproducible from its seed. Clear() does not reset the seed.
+  void Seed(uint64_t seed);
+
   /// True if `op` on `path` should fail now. For short writes,
   /// `*short_bytes` receives how many bytes to persist before failing.
   bool ShouldFail(FaultOp op, const std::string& path, size_t* short_bytes);
@@ -56,6 +66,7 @@ class FaultInjector {
  private:
   util::Mutex mu_;
   std::vector<FaultRule> rules_ GUARDED_BY(mu_);
+  uint64_t rng_state_ GUARDED_BY(mu_) = 0x9e3779b97f4a7c15ull;
   std::atomic<bool> armed_{false};
 };
 
@@ -69,6 +80,13 @@ Status CheckedFlush(FILE* file, const std::string& path);
 
 /// \brief fflush + fsync(fileno(file)) with fault injection.
 Status CheckedSync(FILE* file, const std::string& path);
+
+/// \brief pread(fd, buf, n, offset) that retries EINTR and short reads and
+/// fails unless all `n` bytes arrive, with fault injection (FaultOp::kRead)
+/// consulted first. The concurrent-safe positioned read every storage read
+/// path uses, so a kRead rule can hit blob and heap fetches alike.
+Status CheckedPRead(int fd, void* buf, size_t n, uint64_t offset,
+                    const std::string& path);
 
 }  // namespace util
 }  // namespace staccato

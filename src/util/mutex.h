@@ -15,6 +15,7 @@
 // locking today, and a smaller surface keeps the annotations airtight.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -78,6 +79,18 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();
+  }
+
+  /// Wait() with a relative timeout. Returns false iff the wait ended by
+  /// timing out (a normal or spurious wakeup returns true — re-test the
+  /// predicate either way). The timeout is a duration, not a clock read:
+  /// callers that enforce wall-clock deadlines compute the remaining
+  /// budget themselves (rdbms/service.cc owns the deadline clock).
+  bool WaitFor(std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_->mu_, std::adopt_lock);
+    const std::cv_status st = cv_.wait_for(lock, timeout);
+    lock.release();
+    return st == std::cv_status::no_timeout;
   }
 
   void Signal() { cv_.notify_one(); }

@@ -12,8 +12,10 @@ namespace {
 thread_local const ThreadPool* tls_worker_pool = nullptr;
 }  // namespace
 
-ThreadPool::ThreadPool(size_t capacity)
-    : capacity_(capacity == 0 ? DefaultThreads() : capacity) {}
+ThreadPool::ThreadPool(size_t capacity, size_t max_queued)
+    : capacity_(capacity == 0 ? DefaultThreads() : capacity),
+      max_queued_(max_queued == 0 ? std::max<size_t>(8 * capacity_, 64)
+                                  : max_queued) {}
 
 ThreadPool::~ThreadPool() {
   // Move the worker handles out under the lock, then join without it:
@@ -53,8 +55,20 @@ ThreadPool& ThreadPool::Shared() {
 bool ThreadPool::OnWorkerThread() const { return tls_worker_pool == this; }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  if (!TryEnqueue(task)) {
+    // Full queue: degrade to inline execution. The caller's thread does
+    // the work itself rather than buffering unbounded backlog.
+    task();
+  }
+}
+
+bool ThreadPool::TryEnqueue(std::function<void()> task) {
   {
     util::MutexLock lock(&mu_);
+    if (queue_.size() - queue_head_ >= max_queued_) {
+      saturation_rejects_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     if (!started_) {
       started_ = true;
       workers_.reserve(capacity_);
@@ -65,6 +79,12 @@ void ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
   }
   cv_.Signal();
+  return true;
+}
+
+size_t ThreadPool::queue_depth() const {
+  util::MutexLock lock(&mu_);
+  return queue_.size() - queue_head_;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -148,14 +168,22 @@ Status ParallelForWorker(size_t n, size_t grain,
   state.fn = &fn;
   const size_t helpers = workers - 1;  // the caller is worker 0
   state.active.store(helpers, std::memory_order_relaxed);
+  size_t submitted = 0;
   for (size_t h = 0; h < helpers; ++h) {
-    pool.Submit([&state, h] {
+    const bool queued = pool.TryEnqueue([&state, h] {
       state.Drain(h + 1);
       util::MutexLock lock(&state.mu);
       if (state.active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         state.done.SignalAll();
       }
     });
+    if (!queued) break;  // saturated pool: degrade to fewer helpers
+    ++submitted;
+  }
+  if (submitted < helpers) {
+    // Helpers that never enqueued will never Drain or decrement; the
+    // caller still covers all the work itself via its own Drain below.
+    state.active.fetch_sub(helpers - submitted, std::memory_order_acq_rel);
   }
   state.Drain(0);
   util::MutexLock lock(&state.mu);

@@ -16,6 +16,8 @@
 // degrade gracefully instead of deadlocking.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <thread>
 #include <vector>
@@ -27,18 +29,46 @@ namespace staccato {
 
 /// \brief A lazily started pool of worker threads. Construction is cheap:
 /// no thread is spawned until the first Submit.
+///
+/// The task queue is bounded (`max_queued`): a saturated pool makes
+/// overload *visible* instead of buffering unbounded work. TryEnqueue
+/// reports the rejection to the caller; Submit degrades by running the
+/// task inline on the calling thread, so no work is ever dropped — it
+/// just stops being parallel. The admission controller in rdbms/service
+/// reads queue_depth()/saturation_rejects() to size its retry-after
+/// hints.
 class ThreadPool {
  public:
   /// `capacity` = number of workers; 0 = DefaultThreads().
-  explicit ThreadPool(size_t capacity = 0);
+  /// `max_queued` = pending-task cap; 0 = max(8 * capacity, 64).
+  explicit ThreadPool(size_t capacity = 0, size_t max_queued = 0);
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   size_t capacity() const { return capacity_; }
+  size_t max_queued() const { return max_queued_; }
 
-  /// Enqueues a task; worker threads are started on first use.
+  /// Enqueues a task; worker threads are started on first use. If the
+  /// queue is at max_queued(), runs the task inline on the calling
+  /// thread instead (never blocks, never drops).
   void Submit(std::function<void()> task);
+
+  /// Enqueues a task unless the queue is full. Returns false — without
+  /// enqueuing or running anything — iff the pending-task queue is at
+  /// max_queued(); the caller decides how to degrade (ParallelFor runs
+  /// with fewer helpers; Submit falls back to inline execution).
+  bool TryEnqueue(std::function<void()> task);
+
+  /// Tasks enqueued but not yet claimed by a worker. A snapshot: stale
+  /// by the time the caller reads it, good enough for load shedding.
+  size_t queue_depth() const;
+
+  /// Lifetime count of TryEnqueue calls rejected by a full queue — the
+  /// pool's saturation signal.
+  uint64_t saturation_rejects() const {
+    return saturation_rejects_.load(std::memory_order_relaxed);
+  }
 
   /// True iff the calling thread is one of *this* pool's workers.
   /// ParallelFor uses it to run nested regions inline.
@@ -57,13 +87,15 @@ class ThreadPool {
   void WorkerLoop();
 
   const size_t capacity_;
-  util::Mutex mu_;
+  const size_t max_queued_;
+  mutable util::Mutex mu_;
   util::CondVar cv_{&mu_};  // signalled on new work and on stop
   std::vector<std::function<void()>> queue_ GUARDED_BY(mu_);  // FIFO via head
   size_t queue_head_ GUARDED_BY(mu_) = 0;
   std::vector<std::thread> workers_ GUARDED_BY(mu_);  // spawned lazily
   bool started_ GUARDED_BY(mu_) = false;
   bool stop_ GUARDED_BY(mu_) = false;
+  std::atomic<uint64_t> saturation_rejects_{0};
 };
 
 /// \brief Scheduling knobs for ParallelFor / ParallelMap.

@@ -23,6 +23,10 @@ const char* CodeName(StatusCode code) {
       return "Out of range";
     case StatusCode::kInternal:
       return "Internal error";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

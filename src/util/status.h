@@ -20,6 +20,8 @@ enum class StatusCode : uint8_t {
   kNotImplemented = 6,
   kOutOfRange = 7,
   kInternal = 8,
+  kDeadlineExceeded = 9,
+  kUnavailable = 10,
 };
 
 /// \brief Outcome of an operation: either OK or an error code plus message.
@@ -60,6 +62,16 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  /// A budgeted or cancelled query ran out of wall clock / work budget.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// Transient overload: the caller should back off and retry (the
+  /// admission controller embeds a "retry-after-ms=N" hint in the message;
+  /// see rdbms/service.h RetryAfterHintMs).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -76,6 +88,10 @@ class [[nodiscard]] Status {
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   std::string ToString() const;
 

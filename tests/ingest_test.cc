@@ -28,6 +28,7 @@
 #include "rdbms/session.h"
 #include "rdbms/staccato_db.h"
 #include "rdbms/wal.h"
+#include "util/fault_fs.h"
 #include "util/strings.h"
 
 namespace staccato {
@@ -426,6 +427,63 @@ TEST_F(IngestTest, ConcurrentAppendAndExecute) {
   auto oracle = Oracle(total_);
   ExpectSameDb(oracle.get(), subject.get(), Approach::kStaccato,
                IndexMode::kNever, 4, true, patterns_);
+}
+
+// Probabilistic fault soak (opt-in: STACCATO_FAULT_SOAK=1, run by the CI
+// fault-soak job). Appends race a flaky disk — every WAL write, flush,
+// and fsync fails independently with 10% probability — and the invariant
+// is the crash-safety contract, not any particular success count: each
+// Append either succeeds or fails cleanly with a Status, the database
+// stays queryable throughout, and after the disk heals a reopen recovers
+// every committed document (at least the reported successes, at most the
+// attempts — a fault after the commit record is a durable append that
+// reported failure).
+TEST_F(IngestTest, FaultSoakAppendsSurviveFlakyDisk) {
+  const char* soak = std::getenv("STACCATO_FAULT_SOAK");
+  if (soak == nullptr || std::string(soak) != "1") {
+    GTEST_SKIP() << "set STACCATO_FAULT_SOAK=1 to run the fault soak";
+  }
+  const std::string dir = eval::MakeScratchDir("ingest_soak");
+  const size_t base = total_ / 2;
+  size_t successes = 0;
+  {
+    auto subject = OpenAt(dir);
+    ASSERT_TRUE(subject->Load(Prefix(full_, base), SmallLoad()).ok());
+
+    util::FaultInjector::Global()->Seed(20260808);
+    for (util::FaultOp op :
+         {util::FaultOp::kWrite, util::FaultOp::kFlush, util::FaultOp::kSync}) {
+      util::FaultRule flaky;
+      flaky.op = op;
+      flaky.path_substr = WalPath(dir);
+      flaky.probability = 0.1;
+      util::FaultInjector::Global()->Install(flaky);
+    }
+
+    for (size_t i = base; i < total_; ++i) {
+      if (subject->Append(InputFor(full_, i)).ok()) ++successes;
+      // The database answers queries between flaky appends; answers are
+      // well-formed (prob-ranked, no crash) whatever the disk did.
+      if ((i - base) % 4 == 0) {
+        auto ans = RunQuery(subject.get(), Approach::kStaccato, patterns_[0],
+                            IndexMode::kNever, 2, true);
+        for (size_t r = 1; r < ans.size(); ++r) {
+          ASSERT_LE(ans[r].prob, ans[r - 1].prob) << "unranked answer";
+        }
+      }
+    }
+    util::FaultInjector::Global()->Clear();
+  }  // close without checkpoint: recovery comes from the surviving WAL
+
+  auto reopened = StaccatoDb::OpenExisting(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_GE((*reopened)->NumSfas(), base + successes);
+  EXPECT_LE((*reopened)->NumSfas(), total_);
+  auto ans = RunQuery(reopened->get(), Approach::kStaccato, patterns_[0],
+                      IndexMode::kNever, 2, true);
+  for (size_t r = 1; r < ans.size(); ++r) {
+    EXPECT_LE(ans[r].prob, ans[r - 1].prob);
+  }
 }
 
 }  // namespace
