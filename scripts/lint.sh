@@ -122,17 +122,19 @@ if [ -n "$hits" ]; then
 fi
 
 # ---------------------------------------------------------------------------
-# 9. Deadline clock reads are confined: production code never reads
-# steady_clock outside util/timer.h (the Timer abstraction) and
-# rdbms/service.cc (where QueryControl arms and checks deadlines and the
-# admission queue computes its wait bound). The executor polls
-# QueryControl::Check() instead of reading a clock, so "how much time is
-# left" has exactly one implementation — and tests can fake budgets
-# (born-expired deadlines, step caps) without mocking time.
+# 9. Clock reads are confined: production code never reads steady_clock
+# outside util/timer.h (the Timer abstraction), rdbms/service.cc (where
+# QueryControl arms and checks deadlines and the admission queue computes
+# its wait bound), and telemetry/clock.cc (the trace-timestamp seam). The
+# executor polls QueryControl::Check() instead of reading a clock, so
+# "how much time is left" has exactly one implementation — and tests can
+# fake budgets (born-expired deadlines, step caps) without mocking time.
+# All trace timestamps go through telemetry::MonotonicNanos(), so traces
+# are fake-clock-testable (telemetry::FakeClock) for the same reason.
 hits=$(grep -rn 'steady_clock' src/ --include="*.h" --include="*.cc" \
-  | grep -vE "^src/(util/timer\.h|rdbms/service\.(h|cc)):" || true)
+  | grep -vE "^src/(util/timer\.h|rdbms/service\.cc|telemetry/clock\.(h|cc)):" || true)
 if [ -n "$hits" ]; then
-  fail "steady_clock read outside util/timer.h / rdbms/service.* (poll QueryControl instead)" "$hits"
+  fail "steady_clock read outside util/timer.h / rdbms/service.cc / telemetry/clock.* (poll QueryControl or use telemetry::MonotonicNanos)" "$hits"
 fi
 
 # ---------------------------------------------------------------------------

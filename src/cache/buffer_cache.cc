@@ -4,6 +4,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "telemetry/metrics_registry.h"
 #include "util/mutex.h"
 
 namespace staccato::cache {
@@ -25,6 +26,41 @@ size_t RoundUpPow2(size_t n) {
   size_t p = 1;
   while (p < n) p <<= 1;
   return p;
+}
+
+/// Process-global cache metrics, shared by every BufferCache instance
+/// (per-instance figures stay in stats()). The byte gauges are split by
+/// space class so one scrape shows blob bytes and table-page bytes
+/// competing for the budget.
+struct CacheMetrics {
+  telemetry::Counter* hits;
+  telemetry::Counter* misses;
+  telemetry::Counter* inserts;
+  telemetry::Counter* evictions;
+  telemetry::Counter* rejected;
+  telemetry::Gauge* blob_bytes;
+  telemetry::Gauge* page_bytes;
+};
+
+const CacheMetrics& Metrics() {
+  static const CacheMetrics m = [] {
+    auto& r = telemetry::MetricsRegistry::Global();
+    CacheMetrics cm;
+    cm.hits = r.GetCounter("staccato_cache_hits_total");
+    cm.misses = r.GetCounter("staccato_cache_misses_total");
+    cm.inserts = r.GetCounter("staccato_cache_inserts_total");
+    cm.evictions = r.GetCounter("staccato_cache_evictions_total");
+    cm.rejected = r.GetCounter("staccato_cache_rejected_total");
+    cm.blob_bytes = r.GetGauge("staccato_cache_bytes{space=\"blob\"}");
+    cm.page_bytes = r.GetGauge("staccato_cache_bytes{space=\"page\"}");
+    return cm;
+  }();
+  return m;
+}
+
+telemetry::Gauge* BytesGauge(uint64_t space) {
+  const CacheMetrics& m = Metrics();
+  return space >= kReservedSpaceBase ? m.blob_bytes : m.page_bytes;
 }
 
 }  // namespace
@@ -141,6 +177,7 @@ struct BufferCache::Shard {
     table.erase(e->key);
     if (e->prev != nullptr) ListRemove(e);
     usage -= e->charge;
+    BytesGauge(e->key.space)->Add(-static_cast<int64_t>(e->charge));
     e->in_cache = false;
     --e->refs;  // drop the table's reference
     if (e->refs == 0) delete e;
@@ -170,7 +207,12 @@ BufferCache::~BufferCache() {
   for (Shard* sh : shards_) {
     {
       util::MutexLock lock(&sh->mu);
-      for (auto& [key, entry] : sh->table) delete entry;
+      for (auto& [key, entry] : sh->table) {
+        // Deleted without FinishErase, so the global byte gauges must be
+        // unwound here or a destroyed cache leaks phantom resident bytes.
+        BytesGauge(key.space)->Add(-static_cast<int64_t>(entry->charge));
+        delete entry;
+      }
       sh->table.clear();
     }
     delete sh;
@@ -206,9 +248,11 @@ BufferCache::Handle BufferCache::Lookup(const CacheKey& key) {
   auto it = sh.table.find(key);
   if (it == sh.table.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().misses->Increment();
     return Handle();
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().hits->Increment();
   Entry* e = it->second;
   ++e->refs;
   if (e->prev != nullptr) sh.ListRemove(e);  // pinned: off the LRU list
@@ -234,6 +278,7 @@ BufferCache::Handle BufferCache::Insert(const CacheKey& key,
     // The value alone can never fit: refuse before flushing every
     // resident entry of the shard for nothing.
     ++sh.rejected;
+    Metrics().rejected->Increment();
     e->refs = 1;
     return Handle(e);  // shard stays null: detached
   }
@@ -242,11 +287,13 @@ BufferCache::Handle BufferCache::Insert(const CacheKey& key,
     if (victim == nullptr) break;
     sh.FinishErase(victim);
     ++sh.evictions;
+    Metrics().evictions->Increment();
   }
   if (sh.usage + e->charge > sh.capacity) {
     // Strict budget: every resident entry is pinned (or the value alone
     // exceeds the shard slice). Hand the bytes back uncached.
     ++sh.rejected;
+    Metrics().rejected->Increment();
     e->refs = 1;
     return Handle(e);  // shard stays null: detached
   }
@@ -256,6 +303,8 @@ BufferCache::Handle BufferCache::Insert(const CacheKey& key,
   sh.table.emplace(e->key, e);
   sh.usage += e->charge;
   ++sh.inserts;
+  Metrics().inserts->Increment();
+  BytesGauge(e->key.space)->Add(static_cast<int64_t>(e->charge));
   return Handle(e);
 }
 

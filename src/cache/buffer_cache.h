@@ -66,6 +66,14 @@ struct CacheKeyHash {
   size_t operator()(const CacheKey& k) const;
 };
 
+/// Spaces at the very top of the 64-bit range are reserved for
+/// process-wide blob representations (rdbms/blob_store.h assigns them
+/// downward from ~0 - 1); per-table page namespaces count upward from 1
+/// and can never reach them. Telemetry uses the split to attribute
+/// resident cache bytes per class without this layer knowing about the
+/// rdbms layer.
+inline constexpr uint64_t kReservedSpaceBase = ~uint64_t{0} - 15;
+
 /// \brief Sizing knob for the database-owned cache. `budget_bytes == 0`
 /// disables caching entirely (the database then reads storage directly,
 /// with bit-identical answers). `shards == 0` picks the default shard

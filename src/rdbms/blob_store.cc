@@ -5,6 +5,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "telemetry/metrics_registry.h"
 #include "util/fault_fs.h"
 #include "util/serde.h"
 
@@ -101,6 +102,18 @@ Status BlobStore::GetInto(BlobId id, std::string* out) {
   // read flavours report identical accounting for the same blob.
   reads_.fetch_add(1, std::memory_order_relaxed);
   bytes_read_.fetch_add(sizeof(len) + len, std::memory_order_relaxed);
+  // Process-wide mirrors of the per-store counters above, for scrapes.
+  struct BlobMetrics {
+    telemetry::Counter* reads;
+    telemetry::Counter* bytes;
+  };
+  static const BlobMetrics m = [] {
+    auto& r = telemetry::MetricsRegistry::Global();
+    return BlobMetrics{r.GetCounter("staccato_blob_reads_total"),
+                       r.GetCounter("staccato_blob_bytes_read_total")};
+  }();
+  m.reads->Increment();
+  m.bytes->Increment(sizeof(len) + len);
   return Status::OK();
 }
 

@@ -14,6 +14,7 @@
 #include "indexing/projection.h"
 #include "inference/query_eval.h"
 #include "rdbms/service.h"
+#include "telemetry/clock.h"
 #include "util/mutex.h"
 #include "util/parallel.h"
 #include "util/strings.h"
@@ -21,6 +22,13 @@
 namespace staccato::rdbms {
 
 namespace {
+
+/// Stage-timing read: seconds elapsed since a MonotonicNanos() reading.
+/// All executor stage timings go through the telemetry clock seam so a
+/// FakeClock makes them deterministic under test.
+double SecondsSince(uint64_t start_ns) {
+  return static_cast<double>(telemetry::MonotonicNanos() - start_ns) / 1e9;
+}
 
 /// One cancellation-point poll of the (optional) per-query control block.
 /// OK with `*cut_now` false = keep going; OK with `*cut_now` true = the
@@ -546,6 +554,8 @@ void InitQueryStats(QueryStats* stats, const PlanSpec& plan,
   stats->degraded = false;
   stats->visited_candidates = 0;
   stats->io_retries = 0;
+  stats->stage = StageTimings{};
+  stats->trace = nullptr;
 }
 
 /// Entries built against older data are dead; start the cache over at the
@@ -641,6 +651,11 @@ Result<std::vector<Answer>> ExecuteStrings(const PlanContext& ctx,
                                            QueryStats* stats) {
   std::vector<double> prob(ctx.num_sfas, 0.0);
   ctx.kmap->ResetIoStats();
+  // Strings eval has no separate Fetch: the kMAP scan reads and matches in
+  // one pass, so the whole pass is the fetch+eval stage. The interval is
+  // measured once and recorded as both the stage timing and the trace
+  // span, so the two can never disagree.
+  const uint64_t scan_start_ns = telemetry::MonotonicNanos();
   const size_t num_pages = ctx.kmap->NumPages();
   constexpr uint32_t kChunkPages = 8;  // 64 KiB snapshot per worker step
   size_t threads = std::max<size_t>(1, plan.eval_threads);
@@ -711,7 +726,14 @@ Result<std::vector<Answer>> ExecuteStrings(const PlanContext& ctx,
   } else {
     AccumulateDeltaKMap(ctx, plan, dfa, allowed, &prob);
   }
+  const uint64_t scan_end_ns = telemetry::MonotonicNanos();
+  if (ctx.trace != nullptr) {
+    ctx.trace->AddSpan("Eval(kmap-scan)", scan_start_ns, scan_end_ns,
+                       ctx.trace_parent);
+  }
   if (stats != nullptr) {
+    stats->stage.fetch_eval_s =
+        static_cast<double>(scan_end_ns - scan_start_ns) / 1e9;
     size_t candidates = CountStringCandidates(ctx, plan, allowed);
     stats->heap_pages_read += ctx.kmap->io_stats().page_reads;
     stats->candidates = candidates;
@@ -726,7 +748,17 @@ Result<std::vector<Answer>> ExecuteStrings(const PlanContext& ctx,
           cut_key != SIZE_MAX ? std::min(cut_key, ctx.num_sfas) : candidates;
     }
   }
-  return RankStringAnswers(prob, plan.num_ans);
+  const uint64_t topk_start_ns = telemetry::MonotonicNanos();
+  std::vector<Answer> ranked = RankStringAnswers(prob, plan.num_ans);
+  const uint64_t topk_end_ns = telemetry::MonotonicNanos();
+  if (ctx.trace != nullptr) {
+    ctx.trace->AddSpan("TopK", topk_start_ns, topk_end_ns, ctx.trace_parent);
+  }
+  if (stats != nullptr) {
+    stats->stage.topk_s =
+        static_cast<double>(topk_end_ns - topk_start_ns) / 1e9;
+  }
+  return ranked;
 }
 
 struct SfaCandidate {
@@ -850,9 +882,19 @@ Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
   HeapTable* blob_table = full ? ctx.fullsfa : ctx.staccato_graph;
 
   size_t total_postings = 0;
+  const uint64_t cand_start_ns = telemetry::MonotonicNanos();
   STACCATO_ASSIGN_OR_RETURN(
       std::vector<SfaCandidate> cands,
       BuildSfaCandidates(ctx, plan, allowed, stats, cache, &total_postings));
+  const uint64_t cand_end_ns = telemetry::MonotonicNanos();
+  if (ctx.trace != nullptr) {
+    ctx.trace->AddSpan("CandidateGen", cand_start_ns, cand_end_ns,
+                       ctx.trace_parent);
+  }
+  if (stats != nullptr) {
+    stats->stage.candidate_gen_s =
+        static_cast<double>(cand_end_ns - cand_start_ns) / 1e9;
+  }
 
   size_t threads = std::max<size_t>(1, plan.eval_threads);
   threads = std::min(threads, cands.empty() ? size_t{1} : cands.size());
@@ -977,6 +1019,10 @@ Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
     visited[i] = 1;
     return Status::OK();
   };
+  // Fetch and Eval stream per candidate inside eval_one, so they are one
+  // timed stage (StageTimings::fetch_eval_s) — timing them separately
+  // would mean per-candidate clock reads.
+  const uint64_t eval_start_ns = telemetry::MonotonicNanos();
   if (threads <= 1) {
     for (size_t v = 0; v < cands.size(); ++v) {
       STACCATO_RETURN_NOT_OK(eval_one(0, v));
@@ -985,8 +1031,15 @@ Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
     STACCATO_RETURN_NOT_OK(ParallelForWorker(
         cands.size(), /*grain=*/1, eval_one, ParallelOptions{threads}));
   }
+  const uint64_t eval_end_ns = telemetry::MonotonicNanos();
+  if (ctx.trace != nullptr) {
+    ctx.trace->AddSpan("Fetch+Eval", eval_start_ns, eval_end_ns,
+                       ctx.trace_parent);
+  }
 
   if (stats != nullptr) {
+    stats->stage.fetch_eval_s =
+        static_cast<double>(eval_end_ns - eval_start_ns) / 1e9;
     BlobIoStats bio = ctx.blobs->io_stats();
     stats->blob_bytes_read += bio.bytes_read;
     stats->cache_hits += bio.cache_hits;
@@ -1015,11 +1068,21 @@ Result<std::vector<Answer>> ExecuteSfas(const PlanContext& ctx,
     }
   }
 
+  const uint64_t topk_start_ns = telemetry::MonotonicNanos();
   std::vector<Answer> answers;
   for (size_t i = 0; i < cands.size(); ++i) {
     if (prob[i] > 0.0) answers.push_back({cands[i].doc, prob[i]});
   }
-  return RankAnswers(std::move(answers), plan.num_ans);
+  std::vector<Answer> ranked = RankAnswers(std::move(answers), plan.num_ans);
+  const uint64_t topk_end_ns = telemetry::MonotonicNanos();
+  if (ctx.trace != nullptr) {
+    ctx.trace->AddSpan("TopK", topk_start_ns, topk_end_ns, ctx.trace_parent);
+  }
+  if (stats != nullptr) {
+    stats->stage.topk_s =
+        static_cast<double>(topk_end_ns - topk_start_ns) / 1e9;
+  }
+  return ranked;
 }
 
 }  // namespace
@@ -1029,6 +1092,7 @@ Result<std::vector<Answer>> ExecutePlan(const PlanContext& ctx,
                                         QueryStats* stats, PlanCache* cache,
                                         TopKThreshold* shared_topk) {
   InitQueryStats(stats, plan, /*batch_size=*/0);
+  const uint64_t plan_start_ns = telemetry::MonotonicNanos();
   // Cancellation point: query entry. An already-expired deadline fails (or
   // degrades to an empty answer set) here — before the filter bitmap is
   // built, before a single candidate is evaluated, before a single blob
@@ -1043,16 +1107,31 @@ Result<std::vector<Answer>> ExecutePlan(const PlanContext& ctx,
   }
   ResetStaleCache(cache, ctx);
   std::vector<char> scratch;
+  const uint64_t filter_start_ns = telemetry::MonotonicNanos();
   STACCATO_ASSIGN_OR_RETURN(
       const std::vector<char>* allowed,
       EqualityBitmap(ctx, plan, stats, cache, &scratch));
+  const uint64_t filter_end_ns = telemetry::MonotonicNanos();
+  if (ctx.trace != nullptr && !plan.equalities.empty()) {
+    ctx.trace->AddSpan("Filter", filter_start_ns, filter_end_ns,
+                       ctx.trace_parent);
+  }
+  if (stats != nullptr) {
+    stats->stage.filter_s =
+        static_cast<double>(filter_end_ns - filter_start_ns) / 1e9;
+  }
+  Result<std::vector<Answer>> result =
+      Status::InvalidArgument("unknown eval strategy");
   switch (plan.eval) {
     case EvalStrategy::kStrings:
-      return ExecuteStrings(ctx, plan, dfa, *allowed, stats);
+      result = ExecuteStrings(ctx, plan, dfa, *allowed, stats);
+      break;
     case EvalStrategy::kSfaDp:
-      return ExecuteSfas(ctx, plan, dfa, *allowed, stats, cache, shared_topk);
+      result = ExecuteSfas(ctx, plan, dfa, *allowed, stats, cache, shared_topk);
+      break;
   }
-  return Status::InvalidArgument("unknown eval strategy");
+  if (stats != nullptr) stats->stage.total_s = SecondsSince(plan_start_ns);
+  return result;
 }
 
 Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
@@ -1071,6 +1150,11 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
     batch_stats->eval_steps_saved = 0;
   }
   if (n == 0) return results;
+  // Batch-wide stage clock: one physical pass serves every member, so all
+  // members report the same stage times (same attribution caveat as the
+  // batch I/O counters; see StageTimings).
+  const uint64_t batch_start_ns = telemetry::MonotonicNanos();
+  StageTimings batch_stage;
 
   // Per-item prologue, identical to ExecutePlan: stats shape, cache
   // generation check, equality bitmap. Then split by eval strategy — the
@@ -1106,6 +1190,7 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
     (plan.eval == EvalStrategy::kStrings ? strings_items : sfa_items)
         .push_back(i);
   }
+  batch_stage.filter_s = SecondsSince(batch_start_ns);
 
   // ---- String-eval members: one shared kMAPData scan -----------------------
   // Every member sees the rows in storage order and accumulates its own
@@ -1113,6 +1198,7 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
   // pass — the scan itself just happens once instead of once per query.
   if (!strings_items.empty()) {
     const size_t m = strings_items.size();
+    const uint64_t scan_start_ns = telemetry::MonotonicNanos();
     std::vector<std::vector<double>> prob(
         m, std::vector<double>(ctx.num_sfas, 0.0));
     ctx.kmap->ResetIoStats();
@@ -1132,6 +1218,8 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
                           *allowed[strings_items[j]], &prob[j]);
     }
     const uint64_t scan_reads = ctx.kmap->io_stats().page_reads;
+    batch_stage.fetch_eval_s += SecondsSince(scan_start_ns);
+    const uint64_t rank_start_ns = telemetry::MonotonicNanos();
     for (size_t j = 0; j < m; ++j) {
       const size_t i = strings_items[j];
       const PlanSpec& plan = *items[i].plan;
@@ -1149,6 +1237,7 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
       if (batch_stats != nullptr) batch_stats->total_candidates += candidates;
       results[i] = RankStringAnswers(prob[j], plan.num_ans);
     }
+    batch_stage.topk_s += SecondsSince(rank_start_ns);
     if (batch_stats != nullptr) batch_stats->kmap_scan_passes = 1;
   }
 
@@ -1161,6 +1250,7 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
     };
     std::vector<SfaWork> group;
     group.reserve(sfa_items.size());
+    const uint64_t cand_start_ns = telemetry::MonotonicNanos();
     for (size_t i : sfa_items) {
       SfaWork w;
       w.item = i;
@@ -1170,6 +1260,8 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
                              items[i].cache, &w.total_postings));
       group.push_back(std::move(w));
     }
+    batch_stage.candidate_gen_s = SecondsSince(cand_start_ns);
+    const uint64_t fetch_start_ns = telemetry::MonotonicNanos();
 
     // Shared Fetch: each distinct (representation, doc) blob is read AND
     // deserialized once, however many batch members evaluate it — the eval
@@ -1344,7 +1436,9 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
           return Status::OK();
         },
         ParallelOptions{eval_workers}));
+    batch_stage.fetch_eval_s += SecondsSince(fetch_start_ns);
 
+    const uint64_t rank_start_ns = telemetry::MonotonicNanos();
     for (size_t g = 0; g < group.size(); ++g) {
       const SfaWork& w = group[g];
       const PlanSpec& plan = *items[w.item].plan;
@@ -1389,6 +1483,7 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
       }
       results[w.item] = RankAnswers(std::move(answers), plan.num_ans);
     }
+    batch_stage.topk_s += SecondsSince(rank_start_ns);
     if (batch_stats != nullptr) {
       batch_stats->distinct_docs_fetched = sfa_map.size();
       batch_stats->fetch_threads = fetch_workers;
@@ -1397,6 +1492,10 @@ Result<std::vector<std::vector<Answer>>> ExecutePlanBatch(
       batch_stats->cache_misses = fetch_bio.cache_misses;
       batch_stats->cache_bytes = fetch_cache_bytes;
     }
+  }
+  batch_stage.total_s = SecondsSince(batch_start_ns);
+  for (const BatchItem& item : items) {
+    if (item.stats != nullptr) item.stats->stage = batch_stage;
   }
   return results;
 }
@@ -1434,6 +1533,19 @@ std::string ExplainPlan(const PlanSpec& plan, const QueryStats& stats) {
       stats.candidates, stats.est_candidates, stats.fetch_threads,
       stats.threads_used, stats.filter_from_cache ? "hit" : "miss",
       stats.candidates_from_cache ? "hit" : "miss");
+  // Per-stage est-vs-actual: measured wall time per physical stage (the
+  // executor's own clock, StageTimings) next to the planner's per-stage
+  // cost estimate (cost units, where ~1.0 = one sequential page read).
+  {
+    const StageTimings& st = stats.stage;
+    const PathCost& est = plan.cost.chosen_cost();
+    out += StringPrintf(
+        "  Stages: candidate-gen=%.3f ms, filter=%.3f ms, "
+        "fetch+eval=%.3f ms (est io=%.1f eval=%.1f units), "
+        "topk=%.3f ms, total=%.3f ms\n",
+        st.candidate_gen_s * 1e3, st.filter_s * 1e3, st.fetch_eval_s * 1e3,
+        est.io_cost, est.eval_cost, st.topk_s * 1e3, st.total_s * 1e3);
+  }
   if (plan.eval == EvalStrategy::kSfaDp) {
     // Early termination only exists for the DFA×SFA DP; a string scan
     // has no bounded kernel, so the line would only mislead there.
@@ -1463,11 +1575,14 @@ std::string ExplainPlan(const PlanSpec& plan, const QueryStats& stats) {
     for (const ShardStats& s : stats.shards) {
       out += StringPrintf(
           "    shard %zu: candidates=%zu pruned=%zu steps-saved=%llu "
-          "cache-hits=%llu est-cost=%.1f (%.1f ms)\n",
+          "cache=%llu/%llu pages=%llu blob=%llu B est-cost=%.1f (%.1f ms)\n",
           s.shard, s.candidates, s.eval_pruned,
           static_cast<unsigned long long>(s.eval_steps_saved),
-          static_cast<unsigned long long>(s.cache_hits), s.est_cost,
-          s.seconds * 1e3);
+          static_cast<unsigned long long>(s.cache_hits),
+          static_cast<unsigned long long>(s.cache_misses),
+          static_cast<unsigned long long>(s.heap_pages_read),
+          static_cast<unsigned long long>(s.blob_bytes_read), s.est_cost,
+          s.stage.total_s * 1e3);
     }
   }
   return out;
@@ -1489,6 +1604,66 @@ std::string PlanSummary(const PlanSpec& plan) {
   }
   out += StringPrintf(">top-%zu", plan.num_ans);
   return out;
+}
+
+void FoldShardStats(const std::vector<QueryStats>& per_shard,
+                    size_t total_docs, QueryStats* out) {
+  *out = QueryStats{};
+  out->shards.reserve(per_shard.size());
+  for (size_t s = 0; s < per_shard.size(); ++s) {
+    const QueryStats& ps = per_shard[s];
+    out->heap_pages_read += ps.heap_pages_read;
+    out->blob_bytes_read += ps.blob_bytes_read;
+    out->candidates += ps.candidates;
+    out->index_postings += ps.index_postings;
+    out->used_index |= ps.used_index;
+    out->used_projection |= ps.used_projection;
+    out->threads_used = std::max(out->threads_used, ps.threads_used);
+    out->fetch_threads = std::max(out->fetch_threads, ps.fetch_threads);
+    out->est_candidates += ps.est_candidates;
+    out->est_cost += ps.est_cost;
+    out->filter_from_cache |= ps.filter_from_cache;
+    out->candidates_from_cache |= ps.candidates_from_cache;
+    out->cache_hits += ps.cache_hits;
+    out->cache_misses += ps.cache_misses;
+    out->cache_bytes += ps.cache_bytes;
+    out->eval_pruned += ps.eval_pruned;
+    out->eval_steps_saved += ps.eval_steps_saved;
+    out->batch_size = std::max(out->batch_size, ps.batch_size);
+    out->shared_candidate_pass |= ps.shared_candidate_pass;
+    // Budget observability: any degraded shard degrades the whole query;
+    // visited counts sum. io_retries is NOT folded — per-shard stats all
+    // read the one shared QueryControl counter, so summing would multiply
+    // it by the shard count; Execute sets the top-level figure once.
+    out->degraded |= ps.degraded;
+    out->visited_candidates += ps.visited_candidates;
+    // Shards run in parallel, so the query-level stage times are the
+    // slowest shard's (max, not sum — a sum would exceed wall clock).
+    out->stage.candidate_gen_s =
+        std::max(out->stage.candidate_gen_s, ps.stage.candidate_gen_s);
+    out->stage.filter_s = std::max(out->stage.filter_s, ps.stage.filter_s);
+    out->stage.fetch_eval_s =
+        std::max(out->stage.fetch_eval_s, ps.stage.fetch_eval_s);
+    out->stage.topk_s = std::max(out->stage.topk_s, ps.stage.topk_s);
+    out->stage.total_s = std::max(out->stage.total_s, ps.stage.total_s);
+    ShardStats row;
+    row.shard = s;
+    row.candidates = ps.candidates;
+    row.eval_pruned = ps.eval_pruned;
+    row.eval_steps_saved = ps.eval_steps_saved;
+    row.cache_hits = ps.cache_hits;
+    row.cache_misses = ps.cache_misses;
+    row.heap_pages_read = ps.heap_pages_read;
+    row.blob_bytes_read = ps.blob_bytes_read;
+    row.est_cost = ps.est_cost;
+    row.stage = ps.stage;
+    out->shards.push_back(std::move(row));
+  }
+  out->selectivity = total_docs == 0
+                         ? 0.0
+                         : static_cast<double>(out->candidates) /
+                               static_cast<double>(total_docs);
+  if (!per_shard.empty()) out->plan_summary = per_shard[0].plan_summary;
 }
 
 }  // namespace staccato::rdbms

@@ -52,6 +52,7 @@
 #include <atomic>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,7 @@
 #include "rdbms/delta.h"
 #include "rdbms/heap_table.h"
 #include "rdbms/sql.h"
+#include "telemetry/trace.h"
 #include "util/mutex.h"
 #include "util/result.h"
 
@@ -117,18 +119,40 @@ struct QueryOptions {
   bool early_stop = true;
 };
 
+/// \brief Wall-clock seconds per physical-plan stage, measured inside the
+/// executor through the telemetry clock seam (telemetry::MonotonicNanos)
+/// — the one source of truth for "where did the time go". ExplainPlan
+/// renders est-vs-actual from these, and each ShardStats row carries its
+/// own copy so per-stage skew across shards is visible. Fetch and Eval
+/// stream together per candidate on the SFA path, so they are timed as
+/// one stage. Under batching every member of the batch reports the
+/// batch-wide stage times (one physical pass serves them all — the same
+/// attribution caveat as the batch I/O counters).
+struct StageTimings {
+  double candidate_gen_s = 0.0;  ///< index probe / candidate enumeration
+  double filter_s = 0.0;         ///< equality-bitmap build + apply
+  double fetch_eval_s = 0.0;     ///< streamed Fetch+Eval (kMAP scan or SFA DP)
+  double topk_s = 0.0;           ///< final RankAnswers
+  double total_s = 0.0;          ///< whole plan execution
+};
+
 /// \brief One shard's slice of a scatter-gather execution, recorded by
 /// ShardedDb::Query (and the sharded Session paths) so skew across shards
 /// is visible without a profiler. `ExplainPlan(plan, stats)` renders one
-/// "Shards:" line per entry.
+/// "Shards:" line per entry. Every counter here is this shard's own
+/// figure — FoldShardStats copies them from the shard's QueryStats, so
+/// the solo and batch paths report identically.
 struct ShardStats {
   size_t shard = 0;            ///< shard ordinal (directory suffix)
   size_t candidates = 0;       ///< SFAs evaluated on this shard
   size_t eval_pruned = 0;      ///< candidates aborted by the global bound
   uint64_t eval_steps_saved = 0;
   uint64_t cache_hits = 0;     ///< blob reads served warm on this shard
+  uint64_t cache_misses = 0;   ///< blob reads that went to disk
+  uint64_t heap_pages_read = 0;
+  uint64_t blob_bytes_read = 0;
   double est_cost = 0.0;       ///< this shard's planner cost estimate
-  double seconds = 0.0;        ///< this shard's wall-clock eval time
+  StageTimings stage;          ///< this shard's per-stage wall-clock time
 };
 
 /// \brief Execution statistics for the benches.
@@ -196,6 +220,14 @@ struct QueryStats {
   bool degraded = false;
   size_t visited_candidates = 0;
   uint64_t io_retries = 0;
+  /// Per-stage wall-clock breakdown, measured by the executor itself (one
+  /// clock seam, see StageTimings). `seconds` above remains the caller-
+  /// measured end-to-end figure the benches report; `stage.total_s` is
+  /// the executor-measured plan time (excludes session gather overhead).
+  StageTimings stage;
+  /// The query's span tree when tracing was enabled, else null. Shared
+  /// with the session's TraceSink ring; immutable once published.
+  std::shared_ptr<const telemetry::QueryTrace> trace;
 };
 
 enum class CandidateSource { kFullScan, kIndexProbe };
@@ -350,6 +382,13 @@ struct PlanContext {
   /// worker's fetch->eval stream, the kMAP scan loop, and the per-shard
   /// gather. Null = unbudgeted legacy execution, zero overhead.
   QueryControl* control = nullptr;
+  /// Optional per-query trace (telemetry/trace.h). Null = tracing off:
+  /// every instrumentation point is one branch. The executor's stage
+  /// spans nest under `trace_parent` (the per-shard scatter span on
+  /// sharded paths, 0 = top level). Tracing only observes — it must never
+  /// change an answer.
+  telemetry::QueryTrace* trace = nullptr;
+  uint64_t trace_parent = 0;
 };
 
 /// Resolves a logical query into a physical plan: prices the full-scan and
@@ -521,5 +560,19 @@ std::string ExplainPlan(const PlanSpec& plan, const QueryStats& stats);
 /// Compact one-line shape for QueryStats::plan_summary, e.g.
 /// "index-probe>filter>projection>sfa-dp[t=4]>top-100".
 std::string PlanSummary(const PlanSpec& plan);
+
+/// Folds per-shard execution stats into the caller-facing QueryStats: the
+/// top-level counters become cross-shard totals and one ShardStats entry
+/// per shard records the skew (ExplainPlan renders them as "Shards:"
+/// lines), carrying the shard's full counter set — candidates, pruning,
+/// cache hits/misses, heap pages, blob bytes, and per-stage timings.
+/// `total_docs` is the global document count for selectivity. The ONLY
+/// shard-stats folding function: both the solo scatter-gather path and
+/// the batch path route through it, so the per-shard rows can never
+/// diverge between them. io_retries is deliberately not folded — every
+/// shard reads the one shared QueryControl counter, so summing would
+/// multiply it by the shard count; the top-level Execute writes it once.
+void FoldShardStats(const std::vector<QueryStats>& per_shard,
+                    size_t total_docs, QueryStats* out);
 
 }  // namespace staccato::rdbms

@@ -29,14 +29,13 @@
 //       admitted / shed / timed out / completed / deadline-exceeded /
 //       degraded.
 //
-// Clock discipline: every steady_clock read for deadlines and queue
+// Clock discipline: every monotonic-clock read for deadlines and queue
 // timeouts lives in service.cc (scripts/lint.sh rule 9). The executor
 // never reads a clock — it polls QueryControl::Check(), which is a few
 // relaxed atomic loads on the happy path.
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -126,11 +125,21 @@ class QueryControl {
     return io_retries_.load(std::memory_order_relaxed);
   }
 
+  /// How long this query waited for an admission slot, recorded by the
+  /// service before Execute so the trace can show the wait as a span.
+  /// Written once, before the query starts — no synchronization needed.
+  void set_admission_wait_ns(uint64_t ns) { admission_wait_ns_ = ns; }
+  uint64_t admission_wait_ns() const { return admission_wait_ns_; }
+
  private:
   const ExecBudget budget_;
   int max_io_retries_ = 3;  ///< resolved from budget / STACCATO_IO_RETRIES
   bool has_deadline_ = false;
-  std::chrono::steady_clock::time_point deadline_{};  ///< read in .cc only
+  /// Deadline as monotonic nanos (same origin as the service.cc clock
+  /// reads); the raw integer keeps the chrono clock types out of this
+  /// header (scripts/lint.sh rule 9).
+  uint64_t deadline_ns_ = 0;
+  uint64_t admission_wait_ns_ = 0;
   std::atomic<bool> cancelled_{false};
   std::atomic<bool> cut_{false};
   std::atomic<uint64_t> dp_steps_{0};

@@ -7,6 +7,9 @@
 #include "rdbms/shard.h"
 #include "rdbms/sql.h"
 #include "rdbms/staccato_db.h"
+#include "telemetry/clock.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/slow_log.h"
 #include "util/parallel.h"
 #include "util/strings.h"
 #include "util/timer.h"
@@ -41,49 +44,25 @@ int ArtifactCount(const PlanCache& cache) {
   return (cache.bitmap_valid ? 1 : 0) + (cache.candidates_valid ? 1 : 0);
 }
 
-/// Folds per-shard execution stats into the caller-facing QueryStats: the
-/// top-level counters become cross-shard totals and one ShardStats entry
-/// per shard records the skew (ExplainPlan renders them as "Shards:"
-/// lines). `total_docs` is the global document count for selectivity.
-void FoldShardStats(const std::vector<QueryStats>& per_shard,
-                    const std::vector<double>& shard_seconds,
-                    size_t total_docs, QueryStats* out) {
-  *out = QueryStats{};
-  out->shards.reserve(per_shard.size());
-  for (size_t s = 0; s < per_shard.size(); ++s) {
-    const QueryStats& ps = per_shard[s];
-    out->heap_pages_read += ps.heap_pages_read;
-    out->blob_bytes_read += ps.blob_bytes_read;
-    out->candidates += ps.candidates;
-    out->index_postings += ps.index_postings;
-    out->used_index |= ps.used_index;
-    out->used_projection |= ps.used_projection;
-    out->threads_used = std::max(out->threads_used, ps.threads_used);
-    out->fetch_threads = std::max(out->fetch_threads, ps.fetch_threads);
-    out->est_candidates += ps.est_candidates;
-    out->est_cost += ps.est_cost;
-    out->filter_from_cache |= ps.filter_from_cache;
-    out->candidates_from_cache |= ps.candidates_from_cache;
-    out->cache_hits += ps.cache_hits;
-    out->cache_misses += ps.cache_misses;
-    out->cache_bytes += ps.cache_bytes;
-    out->eval_pruned += ps.eval_pruned;
-    out->eval_steps_saved += ps.eval_steps_saved;
-    // Budget observability: any degraded shard degrades the whole query;
-    // visited counts sum. io_retries is NOT folded — per-shard stats all
-    // read the one shared QueryControl counter, so summing would multiply
-    // it by the shard count; Execute sets the top-level figure once.
-    out->degraded |= ps.degraded;
-    out->visited_candidates += ps.visited_candidates;
-    out->shards.push_back(ShardStats{s, ps.candidates, ps.eval_pruned,
-                                     ps.eval_steps_saved, ps.cache_hits,
-                                     ps.est_cost, shard_seconds[s]});
-  }
-  out->selectivity = total_docs == 0
-                         ? 0.0
-                         : static_cast<double>(out->candidates) /
-                               static_cast<double>(total_docs);
-  if (!per_shard.empty()) out->plan_summary = per_shard[0].plan_summary;
+/// Session-level query metrics, registered once (see service.cc for the
+/// admission-side figures; these count every PreparedQuery::Execute,
+/// budgeted or not).
+struct SessionMetrics {
+  telemetry::Counter* queries;
+  telemetry::Counter* failures;
+  telemetry::Histogram* query_us;
+};
+
+const SessionMetrics& Metrics() {
+  static const SessionMetrics m = [] {
+    auto& r = telemetry::MetricsRegistry::Global();
+    SessionMetrics sm;
+    sm.queries = r.GetCounter("staccato_queries_total");
+    sm.failures = r.GetCounter("staccato_query_failures_total");
+    sm.query_us = r.GetHistogram("staccato_query_us");
+    return sm;
+  }();
+  return m;
 }
 
 /// Remaps one shard's ranked answers (shard-local doc ids) to global ids
@@ -197,12 +176,16 @@ Result<PreparedQuery> Session::Prepare(Approach approach,
                                 BuildPlan(ctx, approach, q, opts_.eval_threads));
       plans.push_back(std::move(plan));
     }
-    return PreparedQuery(sdb_, std::move(plans), std::move(dfa));
+    PreparedQuery pq(sdb_, std::move(plans), std::move(dfa));
+    pq.tracer_ = tracer_;
+    return pq;
   }
   PlanContext ctx = db_->MakePlanContext();
   STACCATO_ASSIGN_OR_RETURN(PlanSpec plan,
                             BuildPlan(ctx, approach, q, opts_.eval_threads));
-  return PreparedQuery(db_, std::move(plan), std::move(dfa), shared_caches_);
+  PreparedQuery pq(db_, std::move(plan), std::move(dfa), shared_caches_);
+  pq.tracer_ = tracer_;
+  return pq;
 }
 
 Result<PreparedQuery> Session::PrepareSql(Approach approach,
@@ -311,13 +294,11 @@ Result<std::vector<std::vector<Answer>>> Session::ExecuteBatchSharded(
       num_shards, std::vector<QueryStats>(num_queries));
   std::vector<std::vector<std::vector<Answer>>> shard_results(num_shards);
   std::vector<BatchStats> shard_batch_stats(num_shards);
-  std::vector<double> shard_seconds(num_shards, 0.0);
   // Per-shard Status capture (lambda always returns OK): the first
   // failing shard in shard order is what the caller sees, not whichever
   // failure happened to race into the pool's error slot first.
   std::vector<Status> shard_status(num_shards);
   STACCATO_RETURN_NOT_OK(ParallelFor(num_shards, 1, [&](size_t s) -> Status {
-    Timer shard_timer;
     std::vector<BatchItem> items;
     items.reserve(num_queries);
     for (size_t i = 0; i < num_queries; ++i) {
@@ -332,7 +313,6 @@ Result<std::vector<std::vector<Answer>>> Session::ExecuteBatchSharded(
     } else {
       shard_status[s] = r.status();
     }
-    shard_seconds[s] = shard_timer.ElapsedSeconds();
     return Status::OK();
   }));
   for (size_t s = 0; s < num_shards; ++s) {
@@ -349,8 +329,7 @@ Result<std::vector<std::vector<Answer>>> Session::ExecuteBatchSharded(
     }
     out[i] = RankAnswers(std::move(merged), queries[i]->plan_.num_ans);
     if (stats != nullptr) {
-      FoldShardStats(per_shard, shard_seconds, map->total,
-                     &stats->per_query[i]);
+      FoldShardStats(per_shard, map->total, &stats->per_query[i]);
     }
   }
   if (stats != nullptr) {
@@ -374,14 +353,18 @@ Result<std::vector<std::vector<Answer>>> Session::ExecuteBatchSharded(
 }
 
 Result<std::vector<Answer>> PreparedQuery::ExecuteSharded(
-    QueryControl* control, QueryStats* stats) {
+    QueryControl* control, QueryStats* stats, telemetry::QueryTrace* trace) {
   Timer timer;
   const size_t num_shards = sdb_->num_shards();
+  // The scatter span: one child span per shard, so cross-shard skew shows
+  // up in the trace the same way it does in the "Shards:" lines.
+  telemetry::ScopedSpan scatter_span(trace, "Scatter");
   // Plan contexts first, id-map snapshot second (see ExecuteBatchSharded).
   std::vector<PlanContext> ctxs(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
     ctxs[s] = sdb_->shard(s)->MakePlanContext();
     ctxs[s].control = control;  // one budget, shared across every shard
+    ctxs[s].trace = trace;
   }
   std::shared_ptr<const ShardMap> map = sdb_->map_snapshot();
   // The forwarded global bound: every shard's Eval offers its answers
@@ -393,7 +376,6 @@ Result<std::vector<Answer>> PreparedQuery::ExecuteSharded(
       sdb_->forward_threshold() ? &global_topk : nullptr;
   std::vector<QueryStats> per_shard(num_shards);
   std::vector<std::vector<Answer>> shard_answers(num_shards);
-  std::vector<double> shard_seconds(num_shards, 0.0);
   // Every shard records its own Status and the lambda always returns OK,
   // so (a) a failing shard never tears down its siblings mid-eval and
   // (b) the gather below surfaces the FIRST failing shard's Status in
@@ -401,7 +383,9 @@ Result<std::vector<Answer>> PreparedQuery::ExecuteSharded(
   // first-error capture would surface whichever failure raced first.
   std::vector<Status> shard_status(num_shards);
   STACCATO_RETURN_NOT_OK(ParallelFor(num_shards, 1, [&](size_t s) -> Status {
-    Timer shard_timer;
+    telemetry::ScopedSpan shard_span(trace, StringPrintf("shard-%zu", s),
+                                     scatter_span.id());
+    ctxs[s].trace_parent = shard_span.id();
     Result<std::vector<Answer>> r =
         ExecutePlan(ctxs[s], shard_plans_[s], dfa_, &per_shard[s],
                     &shard_caches_[s], forwarded);
@@ -410,7 +394,6 @@ Result<std::vector<Answer>> PreparedQuery::ExecuteSharded(
     } else {
       shard_status[s] = r.status();
     }
-    shard_seconds[s] = shard_timer.ElapsedSeconds();
     return Status::OK();
   }));
   // Gather: remap shard-local doc ids to global ones and re-rank. Each
@@ -419,6 +402,7 @@ Result<std::vector<Answer>> PreparedQuery::ExecuteSharded(
   // concatenation reproduces the 1-shard answer bit for bit. The budget
   // is polled once per shard here (the gather cancellation point); a cut
   // only stops *new* work, so already-computed answers still merge.
+  telemetry::ScopedSpan gather_span(trace, "Gather");
   std::vector<Answer> merged;
   for (size_t s = 0; s < num_shards; ++s) {
     STACCATO_RETURN_NOT_OK(shard_status[s]);
@@ -430,7 +414,7 @@ Result<std::vector<Answer>> PreparedQuery::ExecuteSharded(
   }
   std::vector<Answer> ranked = RankAnswers(std::move(merged), plan_.num_ans);
   if (stats != nullptr) {
-    FoldShardStats(per_shard, shard_seconds, map->total, stats);
+    FoldShardStats(per_shard, map->total, stats);
     stats->seconds = timer.ElapsedSeconds();
   }
   return ranked;
@@ -444,11 +428,26 @@ Result<std::vector<Answer>> PreparedQuery::Execute(QueryControl* control,
                                                    QueryStats* stats) {
   Result<std::vector<Answer>> result = Status::Internal("unreachable");
   Timer timer;
+  const uint64_t start_ns = telemetry::MonotonicNanos();
+  // Tracing is an observer only: `trace` stays null unless this query's
+  // session turned it on, and nothing below ever *reads* it, so answers
+  // are bit-identical either way (telemetry_test pins this down).
+  std::shared_ptr<telemetry::QueryTrace> trace;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    trace = telemetry::QueryTrace::Make(plan_.pattern);
+    if (control != nullptr && control->admission_wait_ns() > 0) {
+      // Measured by the service before Execute began; backdate the span
+      // so the trace timeline starts at "entered the admission queue".
+      trace->AddSpan("admission-wait", start_ns - control->admission_wait_ns(),
+                     start_ns);
+    }
+  }
   if (sdb_ != nullptr) {
-    result = ExecuteSharded(control, stats);
+    result = ExecuteSharded(control, stats, trace.get());
   } else {
     PlanContext ctx = db_->MakePlanContext();
     ctx.control = control;
+    ctx.trace = trace.get();
     const bool adopted = AdoptSharedCache(ctx.load_generation);
     result = ExecutePlan(ctx, plan_, dfa_, stats, &cache_);
     if (result.ok()) PublishSharedCache(ctx.load_generation);
@@ -466,6 +465,30 @@ Result<std::vector<Answer>> PreparedQuery::Execute(QueryControl* control,
       if (result.ok()) stats->degraded = control->cut();
     }
     stats->seconds = timer.ElapsedSeconds();
+    stats->trace = trace;  // after the executors: InitQueryStats resets it
+  }
+  const uint64_t wall_ns = telemetry::MonotonicNanos() - start_ns;
+  const SessionMetrics& m = Metrics();
+  m.queries->Increment();
+  if (!result.ok()) m.failures->Increment();
+  m.query_us->Record(wall_ns / 1000);
+  if (trace != nullptr) tracer_->Push(trace);
+  // Slow-query hook: plan summary, est-vs-actual stats, and the span tree
+  // (when traced) go to the capped log. Render cost is paid only by
+  // queries already past the threshold.
+  telemetry::SlowQueryLog& slow = telemetry::SlowQueryLog::Global();
+  if (slow.ShouldLog(wall_ns / 1000000)) {
+    std::string entry = StringPrintf(
+        "--- slow query: %.1f ms, pattern \"%s\", status %s\n",
+        static_cast<double>(wall_ns) / 1e6, plan_.pattern.c_str(),
+        result.ok() ? "ok" : result.status().ToString().c_str());
+    if (stats != nullptr) {
+      entry += ExplainPlan(plan_, *stats);
+    } else {
+      entry += ExplainPlan(plan_);
+    }
+    if (trace != nullptr) entry += telemetry::RenderTrace(*trace);
+    slow.Append(entry);
   }
   return result;
 }

@@ -148,6 +148,21 @@ class Session {
     return shared_caches_->hits.load(std::memory_order_relaxed);
   }
 
+  /// Per-query tracing (telemetry/trace.h). The sink is shared with every
+  /// PreparedQuery this session creates (queries stay valid if the
+  /// Session dies first, like the plan-cache table); its enabled bit
+  /// seeds from STACCATO_TRACE and can be toggled here at any time.
+  /// While enabled, each Execute records a span tree — answer-neutral,
+  /// a few dozen spans per query — and publishes it to the sink's
+  /// bounded ring (and to QueryStats::trace).
+  void set_tracing(bool on) { tracer_->set_enabled(on); }
+  bool tracing() const { return tracer_->enabled(); }
+  /// The most recent finished traces, newest first.
+  std::vector<std::shared_ptr<const telemetry::QueryTrace>> recent_traces()
+      const {
+    return tracer_->Recent();
+  }
+
  private:
   /// Scatter-gather batch execution: one ExecutePlanBatch per shard fans
   /// out over the pool, every shard's copy of one logical query shares
@@ -160,6 +175,8 @@ class Session {
   SessionOptions opts_;
   std::shared_ptr<SharedPlanCacheTable> shared_caches_ =
       std::make_shared<SharedPlanCacheTable>();
+  std::shared_ptr<telemetry::TraceSink> tracer_ =
+      std::make_shared<telemetry::TraceSink>();
 };
 
 /// \brief A compiled, planned, repeatedly executable query.
@@ -225,9 +242,11 @@ class PreparedQuery {
 
   /// Scatter-gather Execute over the owning ShardedDb (see session.cc).
   /// `control` (nullable) threads the query budget into every shard's
-  /// ExecutePlan and is polled again at the per-shard gather.
+  /// ExecutePlan and is polled again at the per-shard gather. `trace`
+  /// (nullable) receives a scatter span with one child span per shard.
   Result<std::vector<Answer>> ExecuteSharded(QueryControl* control,
-                                             QueryStats* stats);
+                                             QueryStats* stats,
+                                             telemetry::QueryTrace* trace);
 
   /// Copies any artifacts the plan will need from the session table into
   /// the local cache, when the local cache lacks them for `generation`.
@@ -252,6 +271,10 @@ class PreparedQuery {
   ShardedDb* sdb_ = nullptr;
   std::vector<PlanSpec> shard_plans_;
   std::vector<PlanCache> shard_caches_;
+  /// The owning session's trace sink (null for hand-built queries =
+  /// tracing off). Shared so the query can keep tracing if the Session
+  /// dies first.
+  std::shared_ptr<telemetry::TraceSink> tracer_;
 };
 
 /// \brief Forward-only iteration over one execution's ranked answers.

@@ -12,6 +12,8 @@
 #include "indexing/index_builder.h"
 #include "inference/kbest.h"
 #include "rdbms/session.h"
+#include "telemetry/clock.h"
+#include "telemetry/metrics_registry.h"
 #include "util/crc32.h"
 #include "util/fault_fs.h"
 #include "util/parallel.h"
@@ -415,9 +417,25 @@ Status StaccatoDb::Append(const DocumentInput& doc) {
   commit.payload_crc = util::Crc32(payload);
   // Durability first: the document exists exactly when its commit record
   // is on disk (per the sync policy).
+  struct WalMetrics {
+    telemetry::Counter* commits;
+    telemetry::Histogram* commit_us;
+  };
+  static const WalMetrics wal_metrics = [] {
+    auto& r = telemetry::MetricsRegistry::Global();
+    return WalMetrics{r.GetCounter("staccato_wal_commits_total"),
+                      r.GetHistogram("staccato_wal_commit_us")};
+  }();
+  // The interval spans record append through fsync (Commit), i.e. the
+  // full durability cost of one ingest — the figure an fsync-bound
+  // ingest pipeline needs to see.
+  const uint64_t commit_start_ns = telemetry::MonotonicNanos();
   STACCATO_RETURN_NOT_OK(wal_->AddRecord(payload));
   STACCATO_RETURN_NOT_OK(wal_->AddRecord(EncodeWalCommit(commit)));
   STACCATO_RETURN_NOT_OK(wal_->Commit());
+  wal_metrics.commits->Increment();
+  wal_metrics.commit_us->Record(
+      (telemetry::MonotonicNanos() - commit_start_ns) / 1000);
   // Materialize from the *serialized* record, exactly as replay would —
   // a crashed-and-recovered database serves bit-identical delta state.
   STACCATO_ASSIGN_OR_RETURN(std::shared_ptr<const DeltaDoc> d,

@@ -1,0 +1,53 @@
+#include "telemetry/clock.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace staccato::telemetry {
+
+namespace {
+
+/// The installed fake time, or the sentinel meaning "read the real
+/// clock". A plain atomic value (not a pointer to the FakeClock) keeps
+/// MonotonicNanos() safe even if it races a FakeClock being destroyed on
+/// another thread: it can read a stale instant, never freed memory.
+constexpr uint64_t kRealClock = ~uint64_t{0};
+std::atomic<uint64_t> g_fake_ns{kRealClock};
+
+}  // namespace
+
+uint64_t MonotonicNanos() {
+  const uint64_t fake = g_fake_ns.load(std::memory_order_relaxed);
+  if (fake != kRealClock) return fake;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+FakeClock::FakeClock(uint64_t start_ns) {
+  if (g_fake_ns.load(std::memory_order_relaxed) != kRealClock) {
+    std::fprintf(stderr, "telemetry::FakeClock: already installed\n");
+    std::abort();
+  }
+  Set(start_ns);
+}
+
+FakeClock::~FakeClock() { g_fake_ns.store(kRealClock, std::memory_order_relaxed); }
+
+void FakeClock::Advance(uint64_t delta_ns) {
+  g_fake_ns.fetch_add(delta_ns, std::memory_order_relaxed);
+}
+
+void FakeClock::Set(uint64_t now_ns) {
+  if (now_ns == kRealClock) --now_ns;  // the sentinel is not a valid instant
+  g_fake_ns.store(now_ns, std::memory_order_relaxed);
+}
+
+uint64_t FakeClock::now_ns() const {
+  return g_fake_ns.load(std::memory_order_relaxed);
+}
+
+}  // namespace staccato::telemetry

@@ -1,0 +1,41 @@
+// The telemetry clock seam: every trace timestamp and latency-histogram
+// sample in the engine reads time through MonotonicNanos(), and nothing
+// else. Production reads one steady_clock call (this file and its .cc are
+// the only telemetry code allowed to spell steady_clock — scripts/lint.sh
+// rule 9); tests install a FakeClock and drive time by hand, so span
+// nesting, slow-query thresholds, and histogram contents are all
+// deterministic under test without sleeping.
+//
+// This seam is deliberately separate from QueryControl's deadline clock
+// (rdbms/service.cc): a deadline decides *behavior* (a query fails or
+// degrades), telemetry only *observes*. Keeping the read sites distinct
+// means a fake telemetry clock can never change an answer.
+#pragma once
+
+#include <cstdint>
+
+namespace staccato::telemetry {
+
+/// Monotonic nanoseconds since an arbitrary process-local origin. One
+/// relaxed atomic load on the fake-clock branch check, then one
+/// steady_clock read — cheap enough for per-stage (not per-candidate)
+/// instrumentation.
+uint64_t MonotonicNanos();
+
+/// \brief RAII fake clock for tests: while alive, MonotonicNanos()
+/// returns the installed value instead of reading the real clock. At most
+/// one may be installed at a time (nesting aborts — a silently shadowed
+/// fake clock makes time-dependent assertions lie).
+class FakeClock {
+ public:
+  explicit FakeClock(uint64_t start_ns = 0);
+  ~FakeClock();
+  FakeClock(const FakeClock&) = delete;
+  FakeClock& operator=(const FakeClock&) = delete;
+
+  void Advance(uint64_t delta_ns);
+  void Set(uint64_t now_ns);
+  uint64_t now_ns() const;
+};
+
+}  // namespace staccato::telemetry

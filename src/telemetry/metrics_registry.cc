@@ -1,0 +1,243 @@
+#include "telemetry/metrics_registry.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace staccato::telemetry {
+
+namespace {
+
+/// "name{label=\"x\"}" -> "name"; names without labels pass through.
+std::string BaseName(const std::string& name) {
+  const size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+/// Splice extra labels into a possibly-labelled metric name:
+/// ("n", le=7) -> n{le="7"}; ("n{space=\"x\"}", le=7) -> n{space="x",le="7"}.
+std::string WithLabel(const std::string& name, const std::string& label,
+                      const std::string& value) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    return name + "{" + label + "=\"" + value + "\"}";
+  }
+  std::string out = name.substr(0, name.size() - 1);  // drop trailing '}'
+  out += "," + label + "=\"" + value + "\"}";
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += StringPrintf("\\u%04x", c);
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t Histogram::count() const {
+  uint64_t n = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) n += bucket_count(i);
+  return n;
+}
+
+uint64_t Histogram::ValueAtQuantile(double q) const {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Snapshot the buckets once so count and rank agree even while other
+  // threads keep recording.
+  uint64_t counts[kNumBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = bucket_count(i);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  // Exact rank: the ceil(q*total)-th smallest sample, 1-based, at least 1.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (static_cast<double>(rank) < q * static_cast<double>(total)) ++rank;
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kNumBuckets - 1);  // unreachable
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* g = [] {
+    auto* r = new MetricsRegistry();  // leaked: metric pointers never dangle
+    if (const char* path = std::getenv("STACCATO_METRICS_DUMP");
+        path != nullptr && path[0] != '\0') {
+      static std::string g_dump_path;  // atexit runs after locals die
+      g_dump_path = path;
+      std::atexit([] {
+        const std::string& p = g_dump_path;
+        const bool json =
+            p.size() >= 5 && p.compare(p.size() - 5, 5, ".json") == 0;
+        std::FILE* f = std::fopen(p.c_str(), "w");
+        if (f == nullptr) return;
+        const std::string text =
+            json ? Global().DumpJson() : Global().DumpPrometheus();
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+      });
+    }
+    return r;
+  }();
+  return *g;
+}
+
+MetricsRegistry::Metric* MetricsRegistry::FindOrCreate(const std::string& name,
+                                                       Kind kind) {
+  util::MutexLock lock(&mu_);
+  auto [it, inserted] = metrics_.try_emplace(name);
+  Metric& m = it->second;
+  if (inserted) {
+    m.kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        m.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        m.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        m.histogram = std::make_unique<Histogram>();
+        break;
+    }
+  } else if (m.kind != kind) {
+    std::fprintf(stderr,
+                 "MetricsRegistry: metric '%s' registered as two kinds\n",
+                 name.c_str());
+    std::abort();
+  }
+  return &m;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  return FindOrCreate(name, Kind::kCounter)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  return FindOrCreate(name, Kind::kGauge)->gauge.get();
+}
+
+Gauge* MetricsRegistry::GetCallbackGauge(const std::string& name,
+                                         std::function<int64_t()> read) {
+  Gauge* g = FindOrCreate(name, Kind::kGauge)->gauge.get();
+  if (!g->callback_) g->callback_ = std::move(read);
+  return g;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return FindOrCreate(name, Kind::kHistogram)->histogram.get();
+}
+
+std::string MetricsRegistry::DumpPrometheus() const {
+  util::MutexLock lock(&mu_);
+  std::string out;
+  std::string last_typed;  // base name that already got its # TYPE line
+  for (const auto& [name, m] : metrics_) {
+    const std::string base = BaseName(name);
+    switch (m.kind) {
+      case Kind::kCounter:
+        if (base != last_typed) {
+          out += "# TYPE " + base + " counter\n";
+          last_typed = base;
+        }
+        out += StringPrintf("%s %" PRIu64 "\n", name.c_str(),
+                                  m.counter->value());
+        break;
+      case Kind::kGauge:
+        if (base != last_typed) {
+          out += "# TYPE " + base + " gauge\n";
+          last_typed = base;
+        }
+        out += StringPrintf("%s %" PRId64 "\n", name.c_str(),
+                                  m.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        if (base != last_typed) {
+          out += "# TYPE " + base + " histogram\n";
+          last_typed = base;
+        }
+        const Histogram& h = *m.histogram;
+        size_t highest = 0;
+        for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+          if (h.bucket_count(i) > 0) highest = i;
+        }
+        uint64_t cum = 0;
+        for (size_t i = 0; i <= highest; ++i) {
+          cum += h.bucket_count(i);
+          out += StringPrintf(
+              "%s %" PRIu64 "\n",
+              WithLabel(name + "_bucket", "le",
+                        StringPrintf("%" PRIu64,
+                                           Histogram::BucketUpperBound(i)))
+                  .c_str(),
+              cum);
+        }
+        const uint64_t total = h.count();
+        out += StringPrintf(
+            "%s %" PRIu64 "\n",
+            WithLabel(name + "_bucket", "le", "+Inf").c_str(), total);
+        out += StringPrintf("%s_sum %" PRIu64 "\n", name.c_str(),
+                                  h.sum());
+        out += StringPrintf("%s_count %" PRIu64 "\n", name.c_str(),
+                                  total);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  util::MutexLock lock(&mu_);
+  std::string counters, gauges, histograms;
+  for (const auto& [name, m] : metrics_) {
+    const std::string key = "\"" + JsonEscape(name) + "\"";
+    switch (m.kind) {
+      case Kind::kCounter:
+        if (!counters.empty()) counters += ",";
+        counters +=
+            StringPrintf("%s:%" PRIu64, key.c_str(), m.counter->value());
+        break;
+      case Kind::kGauge:
+        if (!gauges.empty()) gauges += ",";
+        gauges +=
+            StringPrintf("%s:%" PRId64, key.c_str(), m.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        if (!histograms.empty()) histograms += ",";
+        const Histogram& h = *m.histogram;
+        histograms += StringPrintf(
+            "%s:{\"count\":%" PRIu64 ",\"sum\":%" PRIu64 ",\"p50\":%" PRIu64
+            ",\"p95\":%" PRIu64 ",\"p99\":%" PRIu64 "}",
+            key.c_str(), h.count(), h.sum(), h.ValueAtQuantile(0.50),
+            h.ValueAtQuantile(0.95), h.ValueAtQuantile(0.99));
+        break;
+      }
+    }
+  }
+  return "{\"counters\":{" + counters + "},\"gauges\":{" + gauges +
+         "},\"histograms\":{" + histograms + "}}\n";
+}
+
+}  // namespace staccato::telemetry

@@ -1,0 +1,163 @@
+// Process-global metrics registry: named counters, gauges, and
+// fixed-boundary log-bucket latency histograms, with Prometheus and JSON
+// text exposition.
+//
+// Hot-path contract: recording is lock-free. Counter::Increment and
+// Gauge::Add/Set are single relaxed atomic RMWs; Histogram::Record is two
+// relaxed fetch_adds (the value's power-of-two bucket plus the running
+// sum) — no mutex, no allocation, no clock read. The registry mutex is
+// taken only at registration (once per call site, cached in a function-
+// local static) and at dump time.
+//
+// Registration returns stable pointers: metrics live as long as the
+// process (the global registry is deliberately leaked, like
+// ThreadPool::Shared), so a cached Counter* never dangles. Re-registering
+// a name returns the existing metric; registering a name as two different
+// types is a programmer error and aborts loudly.
+//
+// Metric names follow Prometheus conventions (`staccato_..._total` for
+// counters) and may carry a fixed label suffix, e.g.
+// `staccato_cache_bytes{space="blob"}` — the dump emits the name verbatim
+// and writes the # TYPE header once per base name.
+//
+// Histogram buckets are powers of two: bucket 0 holds the value 0 and
+// bucket i >= 1 holds [2^(i-1), 2^i - 1]. ValueAtQuantile(q) finds the
+// bucket containing the exact rank ceil(q*count) sample (exact-rank, not
+// interpolated) and returns that bucket's inclusive upper bound, so for
+// any recorded distribution: true_quantile <= ValueAtQuantile(q) <=
+// 2 * max(true_quantile, 1) — a guarantee the tests check against a
+// sorted-vector oracle. Record values in a unit where factor-of-two
+// resolution is acceptable (microseconds for latencies).
+//
+// STACCATO_METRICS_DUMP=<path>: at process exit the global registry
+// writes itself to <path> — JSON when the path ends in ".json",
+// Prometheus text otherwise.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "util/mutex.h"
+
+namespace staccato::telemetry {
+
+/// \brief Monotone counter. Increment is one relaxed fetch_add.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// \brief Point-in-time value. Either written directly (Set/Add) or
+/// backed by a callback sampled at dump time — the callback flavor costs
+/// the instrumented component nothing on its hot path (the shared
+/// ThreadPool's queue depth is read this way).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const {
+    return callback_ ? callback_() : v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<int64_t> v_{0};
+  std::function<int64_t()> callback_;  ///< set once at registration
+};
+
+/// \brief Fixed-boundary log-bucket histogram (see file comment for the
+/// bucket layout and the quantile guarantee). Record is lock-free.
+class Histogram {
+ public:
+  /// Bucket 0 = value 0; bucket i in [1, 64] = values of bit-width i.
+  static constexpr size_t kNumBuckets = 65;
+
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const;
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Inclusive upper bound of the bucket holding the exact rank
+  /// ceil(q * count) sample (1-based); 0 when empty. q is clamped to
+  /// [0, 1].
+  uint64_t ValueAtQuantile(double q) const;
+
+  static size_t BucketIndex(uint64_t value) {
+    if (value == 0) return 0;
+    return static_cast<size_t>(64 - __builtin_clzll(value));
+  }
+  /// Largest value bucket `i` can hold (0, 1, 3, 7, ..., UINT64_MAX).
+  static uint64_t BucketUpperBound(size_t i) {
+    if (i == 0) return 0;
+    if (i >= 64) return ~uint64_t{0};
+    return (uint64_t{1} << i) - 1;
+  }
+
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// \brief The registry: name -> metric, one per process (Global()), with
+/// text exposition. Thread-safe; see the file comment for the locking
+/// contract. Separate instances can be constructed for tests.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-global registry (leaked; pointers never dangle). The
+  /// first call arms the STACCATO_METRICS_DUMP at-exit writer.
+  static MetricsRegistry& Global();
+
+  /// Each Get* registers on first use and returns the existing metric
+  /// afterwards. Registering one name as two different types aborts.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Gauge whose value is `read()` sampled at dump time. `read` must stay
+  /// callable for the registry's lifetime (process lifetime for Global()).
+  Gauge* GetCallbackGauge(const std::string& name,
+                          std::function<int64_t()> read);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Prometheus text exposition, metrics in name order. Histograms emit
+  /// cumulative `_bucket{le="..."}` series (up to the highest non-empty
+  /// bucket), `_sum`, and `_count`.
+  std::string DumpPrometheus() const;
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+  /// sum, p50, p95, p99}}} — one stable machine-readable snapshot.
+  std::string DumpJson() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Metric {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Metric* FindOrCreate(const std::string& name, Kind kind);
+
+  mutable util::Mutex mu_;
+  /// std::map: stable pointers and name-sorted iteration for dumps, so
+  /// label variants of one base name stay adjacent.
+  std::map<std::string, Metric> metrics_ GUARDED_BY(mu_);
+};
+
+}  // namespace staccato::telemetry

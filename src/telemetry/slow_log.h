@@ -1,0 +1,59 @@
+// Slow-query log: queries whose wall time exceeds a threshold get their
+// plan summary, stats, and trace appended to a size-capped log file.
+//
+// The process-global instance (Global()) is configured once from the
+// environment:
+//   STACCATO_SLOW_QUERY_MS   threshold in milliseconds; unset or 0
+//                            disables logging entirely (the common case —
+//                            ShouldLog is then a single comparison).
+//   STACCATO_SLOW_QUERY_LOG  log file path (default "staccato_slow.log").
+//   STACCATO_SLOW_LOG_MB     size cap per file in MiB (default 16).
+//
+// Rotation keeps the total bounded: when an append would push the file
+// past the cap, the file is renamed to "<path>.1" (replacing any previous
+// one) and a fresh file is started — so at most 2x cap bytes ever exist.
+// Tests construct their own instance with an explicit Config.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/mutex.h"
+
+namespace staccato::telemetry {
+
+/// \brief Append-only, size-capped, rotating text log for slow queries.
+class SlowQueryLog {
+ public:
+  struct Config {
+    std::string path;
+    uint64_t threshold_ms = 0;  ///< 0 disables
+    uint64_t max_bytes = 16ull << 20;
+  };
+
+  explicit SlowQueryLog(Config config);
+
+  /// The env-configured process instance (leaked).
+  static SlowQueryLog& Global();
+
+  bool enabled() const { return config_.threshold_ms > 0; }
+  /// True when a query that took `wall_ms` should be logged.
+  bool ShouldLog(double wall_ms) const {
+    return enabled() && wall_ms >= static_cast<double>(config_.threshold_ms);
+  }
+
+  /// Appends one entry (a newline is added if missing), rotating first if
+  /// the file would exceed the cap. Best-effort: I/O errors are swallowed
+  /// — observability must never fail a query.
+  void Append(const std::string& entry);
+
+  const Config& config() const { return config_; }
+
+ private:
+  const Config config_;
+  util::Mutex mu_;
+  uint64_t current_bytes_ GUARDED_BY(mu_) = 0;
+  bool sized_ GUARDED_BY(mu_) = false;  ///< current_bytes_ initialized
+};
+
+}  // namespace staccato::telemetry

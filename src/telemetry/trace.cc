@@ -1,0 +1,131 @@
+#include "telemetry/trace.h"
+
+#include <cinttypes>
+#include <cstdlib>
+#include <utility>
+
+#include "telemetry/clock.h"
+#include "util/strings.h"
+
+namespace staccato::telemetry {
+
+uint64_t QueryTrace::StartSpan(const std::string& name, uint64_t parent) {
+  const uint64_t now = MonotonicNanos();
+  util::MutexLock lock(&mu_);
+  TraceSpan s;
+  s.name = name;
+  s.id = spans_.size() + 1;
+  s.parent = parent;
+  s.start_ns = now;
+  spans_.push_back(std::move(s));
+  return spans_.back().id;
+}
+
+void QueryTrace::EndSpan(uint64_t id) {
+  const uint64_t now = MonotonicNanos();
+  util::MutexLock lock(&mu_);
+  if (id == 0 || id > spans_.size()) return;
+  spans_[id - 1].end_ns = now;
+}
+
+uint64_t QueryTrace::AddSpan(const std::string& name, uint64_t start_ns,
+                             uint64_t end_ns, uint64_t parent) {
+  util::MutexLock lock(&mu_);
+  TraceSpan s;
+  s.name = name;
+  s.id = spans_.size() + 1;
+  s.parent = parent;
+  s.start_ns = start_ns;
+  s.end_ns = end_ns;
+  spans_.push_back(std::move(s));
+  return spans_.back().id;
+}
+
+std::vector<TraceSpan> QueryTrace::spans() const {
+  util::MutexLock lock(&mu_);
+  return spans_;
+}
+
+TraceSink::TraceSink(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      enabled_([] {
+        const char* v = std::getenv("STACCATO_TRACE");
+        return v != nullptr && v[0] != '\0' && v[0] != '0';
+      }()) {}
+
+void TraceSink::Push(std::shared_ptr<const QueryTrace> trace) {
+  if (trace == nullptr) return;
+  util::MutexLock lock(&mu_);
+  ring_.push_back(std::move(trace));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<std::shared_ptr<const QueryTrace>> TraceSink::Recent() const {
+  util::MutexLock lock(&mu_);
+  return {ring_.rbegin(), ring_.rend()};
+}
+
+namespace {
+
+void RenderSpanTree(const std::vector<TraceSpan>& spans, uint64_t parent,
+                    int depth, uint64_t origin_ns, std::string* out) {
+  for (const TraceSpan& s : spans) {
+    if (s.parent != parent) continue;
+    const uint64_t end = s.end_ns == 0 ? s.start_ns : s.end_ns;
+    const double offset_ms =
+        static_cast<double>(s.start_ns - origin_ns) / 1e6;
+    const double dur_ms = static_cast<double>(end - s.start_ns) / 1e6;
+    out->append(static_cast<size_t>(2 * depth), ' ');
+    *out += StringPrintf("%-24s @%9.3f ms  %9.3f ms%s\n",
+                               s.name.c_str(), offset_ms, dur_ms,
+                               s.end_ns == 0 ? "  (open)" : "");
+    RenderSpanTree(spans, s.id, depth + 1, origin_ns, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderTrace(const QueryTrace& trace) {
+  const std::vector<TraceSpan> spans = trace.spans();
+  uint64_t origin = 0, total_end = 0;
+  for (const TraceSpan& s : spans) {
+    if (origin == 0 || s.start_ns < origin) origin = s.start_ns;
+    const uint64_t end = s.end_ns == 0 ? s.start_ns : s.end_ns;
+    if (end > total_end) total_end = end;
+  }
+  std::string out = StringPrintf(
+      "Trace %s (%zu spans, total %.3f ms)\n", trace.label().c_str(),
+      spans.size(),
+      origin == 0 ? 0.0 : static_cast<double>(total_end - origin) / 1e6);
+  RenderSpanTree(spans, 0, 1, origin, &out);
+  return out;
+}
+
+std::string TraceToJson(const QueryTrace& trace) {
+  const std::vector<TraceSpan> spans = trace.spans();
+  std::string out = "{\"label\":\"";
+  for (char c : trace.label()) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) >= 0x20) out += c;
+  }
+  out += "\",\"spans\":[";
+  bool first = true;
+  for (const TraceSpan& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    const uint64_t end = s.end_ns == 0 ? s.start_ns : s.end_ns;
+    out += "{\"name\":\"";
+    for (char c : s.name) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) >= 0x20) out += c;
+    }
+    out += StringPrintf("\",\"id\":%" PRIu64 ",\"parent\":%" PRIu64
+                              ",\"start_ns\":%" PRIu64 ",\"dur_ns\":%" PRIu64
+                              "}",
+                              s.id, s.parent, s.start_ns, end - s.start_ns);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace staccato::telemetry

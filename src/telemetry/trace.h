@@ -1,0 +1,129 @@
+// Per-query structured tracing: a QueryTrace is a tree of timed spans
+// (admission wait, plan stages, per-shard scatter work, WAL commit)
+// recorded through the telemetry clock seam (telemetry/clock.h).
+//
+// Granularity contract: spans wrap *stages*, never per-candidate work —
+// a traced query records a few dozen spans, so the cost is a handful of
+// clock reads and one short mutex hold per span against millions of
+// evaluated candidates. When tracing is off the engine passes a null
+// QueryTrace* and every instrumentation point is a single branch
+// (ScopedSpan on a null trace does nothing), which is the "~0 when idle"
+// half of the overhead budget.
+//
+// Answer neutrality: a QueryTrace only ever *observes* — nothing in the
+// engine reads a trace to make a decision, so tracing on/off must produce
+// bit-identical answers (telemetry_test checks this across the
+// shard/thread/early-stop matrix).
+//
+// Thread safety: one QueryTrace may be written by several shard worker
+// threads at once; span start/end each take the trace's mutex briefly.
+// Finished traces are published as shared_ptr<const QueryTrace> into the
+// session's bounded TraceSink ring and are immutable from then on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/mutex.h"
+
+namespace staccato::telemetry {
+
+/// One timed span. `parent` is the index+1 of the enclosing span in
+/// QueryTrace::spans() (0 = root); spans are stored in start order.
+struct TraceSpan {
+  std::string name;
+  uint64_t id = 0;         ///< 1-based index into the span list
+  uint64_t parent = 0;     ///< enclosing span id, 0 for top-level
+  uint64_t start_ns = 0;   ///< MonotonicNanos() at start
+  uint64_t end_ns = 0;     ///< MonotonicNanos() at end; 0 while open
+};
+
+/// \brief A span tree for one query execution. Create with
+/// QueryTrace::Make, hand the raw pointer down through PlanContext, then
+/// publish the shared_ptr (now treated as const) to the TraceSink.
+class QueryTrace {
+ public:
+  static std::shared_ptr<QueryTrace> Make(std::string label) {
+    auto t = std::make_shared<QueryTrace>();
+    t->label_ = std::move(label);
+    return t;
+  }
+
+  /// Opens a span; returns its id for EndSpan and for parenting children.
+  uint64_t StartSpan(const std::string& name, uint64_t parent = 0);
+  void EndSpan(uint64_t id);
+  /// Records an already-measured interval (e.g. admission wait, whose
+  /// duration QueryControl measured before the trace existed).
+  uint64_t AddSpan(const std::string& name, uint64_t start_ns,
+                   uint64_t end_ns, uint64_t parent = 0);
+
+  const std::string& label() const { return label_; }
+  /// Snapshot of the spans recorded so far (copies under the mutex).
+  std::vector<TraceSpan> spans() const;
+
+ private:
+  std::string label_;
+  mutable util::Mutex mu_;
+  std::vector<TraceSpan> spans_ GUARDED_BY(mu_);
+};
+
+/// \brief RAII span: opens on construction, closes on destruction.
+/// Null-safe — every instrumentation point passes its (possibly null)
+/// trace pointer unconditionally and pays one branch when tracing is off.
+class ScopedSpan {
+ public:
+  ScopedSpan(QueryTrace* trace, const std::string& name, uint64_t parent = 0)
+      : trace_(trace) {
+    if (trace_ != nullptr) id_ = trace_->StartSpan(name, parent);
+  }
+  ~ScopedSpan() {
+    if (trace_ != nullptr) trace_->EndSpan(id_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Id to parent child spans under this one (0 when tracing is off,
+  /// which correctly means "top-level" for any child recorded anyway).
+  uint64_t id() const { return id_; }
+
+ private:
+  QueryTrace* trace_;
+  uint64_t id_ = 0;
+};
+
+/// \brief Bounded ring of finished traces, one per Session. Keeps the
+/// last `capacity` traces; older ones drop off. Also owns the session's
+/// tracing on/off bit (seeded from STACCATO_TRACE, overridable per
+/// session).
+class TraceSink {
+ public:
+  explicit TraceSink(size_t capacity = 16);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  void Push(std::shared_ptr<const QueryTrace> trace);
+  /// Most recent first.
+  std::vector<std::shared_ptr<const QueryTrace>> Recent() const;
+
+ private:
+  const size_t capacity_;
+  std::atomic<bool> enabled_;
+  mutable util::Mutex mu_;
+  std::deque<std::shared_ptr<const QueryTrace>> ring_ GUARDED_BY(mu_);
+};
+
+/// EXPLAIN ANALYZE-style text rendering: one line per span, indented by
+/// tree depth, with start offset and duration in milliseconds.
+std::string RenderTrace(const QueryTrace& trace);
+
+/// {"label": ..., "spans": [{"name","id","parent","start_ns","dur_ns"}]}
+std::string TraceToJson(const QueryTrace& trace);
+
+}  // namespace staccato::telemetry

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "telemetry/metrics_registry.h"
+
 namespace staccato {
 
 namespace {
@@ -48,7 +50,16 @@ size_t ThreadPool::DefaultThreads() {
 }
 
 ThreadPool& ThreadPool::Shared() {
-  static ThreadPool* pool = new ThreadPool();  // never destroyed: outlives
+  static ThreadPool* pool = [] {
+    ThreadPool* p = new ThreadPool();  // never destroyed: outlives
+    // Callback gauge is safe exactly because this pool is leaked — a
+    // pool that can be destroyed would leave a dangling callback in the
+    // process-global registry, so only Shared() registers one.
+    telemetry::MetricsRegistry::Global().GetCallbackGauge(
+        "staccato_pool_queue_depth",
+        [p]() { return static_cast<int64_t>(p->queue_depth()); });
+    return p;
+  }();
   return *pool;  // static-teardown-ordered users (tests, benches)
 }
 
@@ -67,6 +78,10 @@ bool ThreadPool::TryEnqueue(std::function<void()> task) {
     util::MutexLock lock(&mu_);
     if (queue_.size() - queue_head_ >= max_queued_) {
       saturation_rejects_.fetch_add(1, std::memory_order_relaxed);
+      static telemetry::Counter* rejects =
+          telemetry::MetricsRegistry::Global().GetCounter(
+              "staccato_pool_saturation_rejects_total");
+      rejects->Increment();
       return false;
     }
     if (!started_) {

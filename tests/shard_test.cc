@@ -295,6 +295,70 @@ TEST_F(ShardTest, ExecuteBatchMatchesSoloExecutes) {
   }
 }
 
+// Regression: the batch path used to fold per-shard stats through its own
+// ad-hoc loop that dropped the cache/io counters from the ShardStats rows.
+// Both solo ExecuteSharded and ExecuteBatchSharded now route through the
+// one audited FoldShardStats, so the batch rows must carry the same
+// counter set the solo rows do.
+TEST_F(ShardTest, BatchFoldPreservesPerShardCounters) {
+  auto db = ShardedDb::Open(eval::MakeScratchDir("shard_fold"),
+                            ShardConfig{4, cache::CacheConfig()});
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_TRUE((*db)->Load(*dataset_, SmallLoad()).ok());
+  Session session(db->get(), SessionOptions{2, 50});
+  QueryOptions q;
+  q.pattern = Patterns()[0];
+  q.num_ans = 50;
+  // Solo run: the oracle for which row fields must be populated.
+  QueryStats solo_stats;
+  (void)RunQuery(db->get(), Approach::kStaccato, q.pattern, 2, true,
+                 &solo_stats);
+  ASSERT_EQ(solo_stats.shards.size(), 4u);
+  // Batch of one: same plan, batch fold path.
+  auto prepared = session.PrepareBatch(Approach::kStaccato, {q});
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  std::vector<PreparedQuery*> ptrs = {&(*prepared)[0]};
+  BatchStats bstats;
+  auto batched = session.ExecuteBatch(ptrs, &bstats);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  ASSERT_EQ(bstats.per_query.size(), 1u);
+  const QueryStats& bq = bstats.per_query[0];
+  ASSERT_EQ(bq.shards.size(), 4u);
+  uint64_t solo_blob = 0, batch_blob = 0, solo_pages = 0, batch_pages = 0;
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(bq.shards[s].shard, s);
+    EXPECT_EQ(bq.shards[s].candidates, solo_stats.shards[s].candidates)
+        << "shard " << s;
+    solo_blob += solo_stats.shards[s].blob_bytes_read;
+    batch_blob += bq.shards[s].blob_bytes_read;
+    solo_pages += solo_stats.shards[s].heap_pages_read;
+    batch_pages += bq.shards[s].heap_pages_read;
+  }
+  // The solo run did physical work (cold DB); the batch rows must report
+  // the same classes of counters rather than silently dropping them.
+  // Exact equality is not required (the solo run warmed the cache), but a
+  // batch row set that sums to zero while the top-level counters are
+  // non-zero is precisely the dropped-counters bug.
+  if (bq.blob_bytes_read > 0) EXPECT_GT(batch_blob, 0u);
+  if (bq.heap_pages_read > 0) EXPECT_GT(batch_pages, 0u);
+  // Cross-check the fold itself: top-level totals equal the row sums.
+  EXPECT_EQ(bq.blob_bytes_read, batch_blob);
+  EXPECT_EQ(bq.heap_pages_read, batch_pages);
+  uint64_t row_hits = 0, row_misses = 0;
+  for (const ShardStats& row : bq.shards) {
+    row_hits += row.cache_hits;
+    row_misses += row.cache_misses;
+  }
+  EXPECT_EQ(bq.cache_hits, row_hits);
+  EXPECT_EQ(bq.cache_misses, row_misses);
+  // Solo totals fold identically (both paths share FoldShardStats).
+  uint64_t solo_row_hits = 0;
+  for (const ShardStats& row : solo_stats.shards) solo_row_hits += row.cache_hits;
+  EXPECT_EQ(solo_stats.cache_hits, solo_row_hits);
+  (void)solo_blob;
+  (void)solo_pages;
+}
+
 TEST_F(ShardTest, ConcurrentExecutesRaceAppendsSafely) {
   auto db = ShardedDb::Open(eval::MakeScratchDir("shard_race"),
                             ShardConfig{4, cache::CacheConfig()});
